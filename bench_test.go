@@ -1,0 +1,232 @@
+package parmp
+
+// One benchmark per table/figure of the paper's evaluation. Each bench
+// regenerates the corresponding figure at the quick scale; run
+// cmd/mpbench -scale full for the paper's processor counts (up to 3072
+// virtual processors).
+//
+//	go test -bench=. -benchmem
+//
+// Benchmarks report the figure's headline number as a custom metric where
+// one exists (speedup factors, CV reductions) so regressions in the
+// reproduced SHAPE are visible, not just wall-clock changes.
+
+import (
+	"testing"
+
+	"parmp/internal/experiments"
+	"parmp/internal/metrics"
+)
+
+func quickScale() experiments.Scale { return experiments.Quick() }
+
+// benchFirstOverLast reports col0[last]/col1[last] as a speedup metric.
+func reportSpeedup(b *testing.B, tb *metrics.Table, base, improved string) {
+	bs := tb.Column(base)
+	im := tb.Column(improved)
+	if len(bs) == 0 || len(im) == 0 || im[0] == 0 {
+		return
+	}
+	b.ReportMetric(bs[0]/im[0], "speedup-lowP")
+	b.ReportMetric(bs[len(bs)-1]/im[len(im)-1], "speedup-highP")
+}
+
+func BenchmarkFig4a(b *testing.B) {
+	sc := quickScale()
+	for i := 0; i < b.N; i++ {
+		tb := experiments.Fig4a(sc)
+		if i == 0 {
+			naive := tb.Column("model-imbalance")
+			best := tb.Column("model-improvement")
+			b.ReportMetric(naive[len(naive)-1], "naiveCV")
+			b.ReportMetric(best[len(best)-1], "bestCV")
+		}
+	}
+}
+
+func BenchmarkFig4b(b *testing.B) {
+	sc := quickScale()
+	for i := 0; i < b.N; i++ {
+		tb := experiments.Fig4b(sc)
+		if i == 0 {
+			theo := tb.Column("theoretical-pct")
+			b.ReportMetric(theo[0], "theoretical-pct-lowP")
+		}
+	}
+}
+
+func BenchmarkFig5a(b *testing.B) {
+	sc := quickScale()
+	for i := 0; i < b.N; i++ {
+		tb := experiments.Fig5a(sc)
+		if i == 0 {
+			reportSpeedup(b, tb, "without-lb", "repartitioning")
+		}
+	}
+}
+
+func BenchmarkFig5b(b *testing.B) {
+	sc := quickScale()
+	for i := 0; i < b.N; i++ {
+		tb := experiments.Fig5b(sc)
+		if i == 0 {
+			before := tb.Column("before-repartitioning")
+			after := tb.Column("after-repartitioning")
+			b.ReportMetric(before[0], "cv-before")
+			b.ReportMetric(after[0], "cv-after")
+		}
+	}
+}
+
+func BenchmarkFig5c(b *testing.B) {
+	sc := quickScale()
+	for i := 0; i < b.N; i++ {
+		tb := experiments.Fig5c(sc)
+		if i == 0 {
+			noLB := tb.Column("without-lb")
+			rp := tb.Column("repartitioning")
+			b.ReportMetric(noLB[0]-noLB[len(noLB)-1], "spread-nolb")
+			b.ReportMetric(rp[0]-rp[len(rp)-1], "spread-repart")
+		}
+	}
+}
+
+func BenchmarkFig6(b *testing.B) {
+	sc := quickScale()
+	for i := 0; i < b.N; i++ {
+		tb := experiments.Fig6(sc)
+		if i == 0 {
+			reportSpeedup(b, tb, "without-lb", "repartitioning")
+		}
+	}
+}
+
+func BenchmarkFig7a(b *testing.B) {
+	sc := quickScale()
+	for i := 0; i < b.N; i++ {
+		tb := experiments.Fig7a(sc)
+		if i == 0 {
+			nc := tb.Column("node-connection")
+			rc := tb.Column("region-connection")
+			other := tb.Column("other")
+			b.ReportMetric(nc[0]/(nc[0]+rc[0]+other[0]), "node-conn-frac")
+		}
+	}
+}
+
+func BenchmarkFig7b(b *testing.B) {
+	sc := quickScale()
+	for i := 0; i < b.N; i++ {
+		tb := experiments.Fig7b(sc)
+		if i == 0 {
+			region := tb.Column("region-graph")
+			if region[0] > 0 {
+				b.ReportMetric(region[1]/region[0], "remote-access-ratio")
+			}
+		}
+	}
+}
+
+func BenchmarkFig8(b *testing.B) {
+	sc := quickScale()
+	for i := 0; i < b.N; i++ {
+		tables := experiments.Fig8(sc)
+		if i == 0 {
+			reportSpeedup(b, tables[0], "without-lb", "repartitioning")
+		}
+	}
+}
+
+func BenchmarkFig9(b *testing.B) {
+	sc := quickScale()
+	for i := 0; i < b.N; i++ {
+		tables := experiments.Fig9(sc)
+		if i == 0 {
+			b.ReportMetric(metrics.Sum(tables[0].Column("stolen")), "stolen-lowP")
+			b.ReportMetric(metrics.Sum(tables[1].Column("stolen")), "stolen-highP")
+		}
+	}
+}
+
+func BenchmarkFig10(b *testing.B) {
+	sc := quickScale()
+	for i := 0; i < b.N; i++ {
+		tables := experiments.Fig10(sc)
+		if i == 0 {
+			mixed := tables[0]
+			noLB := mixed.Column("without-lb")
+			diff := mixed.Column("diffusive-ws")
+			b.ReportMetric(noLB[0]/diff[0], "rrt-steal-speedup")
+		}
+	}
+}
+
+// BenchmarkPlanPRM measures the library's end-to-end planning throughput
+// (independent of any figure).
+func BenchmarkPlanPRM(b *testing.B) {
+	e := EnvironmentByName("med-cube")
+	space := NewPointSpace(e)
+	opts := Options{Procs: 16, Regions: 128, SamplesPerRegion: 8, Strategy: Repartition, Seed: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := PlanPRM(space, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPlanRRT measures radial RRT planning throughput.
+func BenchmarkPlanRRT(b *testing.B) {
+	space := NewPointSpace(EnvironmentByName("mixed-30"))
+	opts := Options{Procs: 8, Regions: 64, NodesPerRegion: 10, Radius: 0.5,
+		Strategy: WorkStealing, Policy: Diffusive(), Seed: 1}
+	root := V(0.5, 0.5, 0.5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := PlanRRT(space, root, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Ablation benchmarks: design-choice studies from DESIGN.md.
+
+func BenchmarkAblationDecomposition(b *testing.B) {
+	sc := quickScale()
+	for i := 0; i < b.N; i++ {
+		tb := experiments.AblationDecomposition(sc)
+		if i == 0 {
+			noLB := tb.Column("without-lb")
+			rp := tb.Column("repartitioning")
+			last := len(noLB) - 1
+			b.ReportMetric(noLB[last]/rp[last], "speedup-at-max-decomp")
+		}
+	}
+}
+
+func BenchmarkAblationStealChunk(b *testing.B) {
+	sc := quickScale()
+	for i := 0; i < b.N; i++ {
+		experiments.AblationStealChunk(sc)
+	}
+}
+
+func BenchmarkAblationPartitioner(b *testing.B) {
+	sc := quickScale()
+	for i := 0; i < b.N; i++ {
+		tb := experiments.AblationPartitioner(sc)
+		if i == 0 {
+			cut := tb.Column("edge-cut")
+			if cut[0] > 0 {
+				b.ReportMetric(cut[1]/cut[0], "lpt-cut-ratio")
+			}
+		}
+	}
+}
+
+func BenchmarkAblationVictimPolicy(b *testing.B) {
+	sc := quickScale()
+	for i := 0; i < b.N; i++ {
+		experiments.AblationVictimPolicy(sc)
+	}
+}

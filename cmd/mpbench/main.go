@@ -1,0 +1,72 @@
+// Command mpbench regenerates the paper's evaluation figures.
+//
+// Usage:
+//
+//	mpbench -exp fig5a -scale quick
+//	mpbench -exp all -scale full
+//	mpbench -list
+//
+// Each experiment prints one or more text tables whose rows/series mirror
+// the corresponding figure of "Using Load Balancing to Scalably
+// Parallelize Sampling-Based Motion Planning Algorithms" (IPDPS 2014).
+// The quick scale finishes in seconds; the full scale sweeps the paper's
+// processor counts (up to 3072 virtual processors) and takes minutes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"parmp/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id ("+strings.Join(experiments.Names(), ", ")+")")
+	scale := flag.String("scale", "quick", "sweep scale (quick, full)")
+	format := flag.String("format", "text", "output format (text, csv, json)")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.Names() {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	sc, ok := experiments.ScaleByName(*scale)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "mpbench: unknown scale %q (want quick or full)\n", *scale)
+		os.Exit(2)
+	}
+	start := time.Now()
+	tables, ok := experiments.ByName(*exp, sc)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "mpbench: unknown experiment %q; try -list\n", *exp)
+		os.Exit(2)
+	}
+	for i, tb := range tables {
+		if i > 0 {
+			fmt.Println()
+		}
+		switch *format {
+		case "csv":
+			fmt.Printf("# %s\n", tb.Title)
+			if err := tb.WriteCSV(os.Stdout); err != nil {
+				fmt.Fprintln(os.Stderr, "mpbench:", err)
+				os.Exit(1)
+			}
+		case "json":
+			if err := tb.WriteJSON(os.Stdout); err != nil {
+				fmt.Fprintln(os.Stderr, "mpbench:", err)
+				os.Exit(1)
+			}
+		default:
+			fmt.Print(tb.String())
+		}
+	}
+	fmt.Fprintf(os.Stderr, "mpbench: %s at scale %s in %v\n", *exp, sc.Name, time.Since(start).Round(time.Millisecond))
+}

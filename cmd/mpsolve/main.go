@@ -1,0 +1,145 @@
+// Command mpsolve plans a motion query in one of the benchmark
+// environments with parallel PRM and prints the resulting path.
+//
+// Usage:
+//
+//	mpsolve -env med-cube -strategy repartition -procs 16 \
+//	        -start 0.05,0.05,0.05 -goal 0.95,0.95,0.95
+//
+// The planner runs on the simulated distributed machine; the printed
+// breakdown reports virtual-time per phase and the load balance achieved.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"parmp"
+	"parmp/internal/cspace"
+	"parmp/internal/prm"
+)
+
+func parseConfig(s string) (parmp.Config, error) {
+	parts := strings.Split(s, ",")
+	q := make(parmp.Config, len(parts))
+	for i, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad coordinate %q: %w", p, err)
+		}
+		q[i] = v
+	}
+	return q, nil
+}
+
+func main() {
+	envName := flag.String("env", "med-cube", "environment ("+strings.Join(parmp.EnvironmentNames(), ", ")+")")
+	envFile := flag.String("envfile", "", "load the environment from a file in the env text format instead")
+	strategy := flag.String("strategy", "repartition", "load balancing (none, repartition, hybrid, rand-8, diffusive)")
+	procs := flag.Int("procs", 16, "virtual processors")
+	regions := flag.Int("regions", 0, "regions (default 8x procs)")
+	samples := flag.Int("samples", 16, "sampling attempts per region")
+	startStr := flag.String("start", "0.05,0.05,0.05", "start configuration (comma-separated)")
+	goalStr := flag.String("goal", "0.95,0.95,0.95", "goal configuration")
+	seed := flag.Uint64("seed", 1, "random seed")
+	samplerName := flag.String("sampler", "uniform", "sampling strategy (uniform, gaussian, bridge, mixed)")
+	shortcut := flag.Int("shortcut", 0, "post-process the path with this many shortcut iterations")
+	flag.Parse()
+
+	var e *parmp.Environment
+	if *envFile != "" {
+		f, err := os.Open(*envFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mpsolve:", err)
+			os.Exit(2)
+		}
+		e, err = parmp.ParseEnvironment(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mpsolve:", err)
+			os.Exit(2)
+		}
+	} else {
+		e = parmp.EnvironmentByName(*envName)
+	}
+	if e == nil {
+		fmt.Fprintf(os.Stderr, "mpsolve: unknown environment %q\n", *envName)
+		os.Exit(2)
+	}
+	start, err := parseConfig(*startStr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mpsolve:", err)
+		os.Exit(2)
+	}
+	goal, err := parseConfig(*goalStr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mpsolve:", err)
+		os.Exit(2)
+	}
+	if len(start) != e.Dim() || len(goal) != e.Dim() {
+		fmt.Fprintf(os.Stderr, "mpsolve: %s is %d-dimensional\n", *envName, e.Dim())
+		os.Exit(2)
+	}
+
+	sampler, ok := cspace.SamplerByName(*samplerName)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "mpsolve: unknown sampler %q\n", *samplerName)
+		os.Exit(2)
+	}
+	opts := parmp.Options{
+		Procs:            *procs,
+		Regions:          *regions,
+		SamplesPerRegion: *samples,
+		Seed:             *seed,
+		Sampler:          sampler,
+	}
+	switch *strategy {
+	case "none":
+		opts.Strategy = parmp.NoLB
+	case "repartition":
+		opts.Strategy = parmp.Repartition
+	case "hybrid":
+		opts.Strategy = parmp.WorkStealing
+		opts.Policy = parmp.Hybrid(8)
+	case "rand-8":
+		opts.Strategy = parmp.WorkStealing
+		opts.Policy = parmp.RandK(8)
+	case "diffusive":
+		opts.Strategy = parmp.WorkStealing
+		opts.Policy = parmp.Diffusive()
+	default:
+		fmt.Fprintf(os.Stderr, "mpsolve: unknown strategy %q\n", *strategy)
+		os.Exit(2)
+	}
+
+	space := parmp.NewPointSpace(e)
+	res, err := parmp.PlanPRM(space, opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mpsolve:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("environment : %s\n", e)
+	fmt.Printf("roadmap     : %s\n", prm.ComputeStats(res.Roadmap))
+	fmt.Printf("virtual time: %.0f units on %d procs (%s)\n", res.TotalTime, *procs, *strategy)
+	fmt.Printf("phases      : sampling=%.0f redistribute=%.0f node-conn=%.0f region-conn=%.0f\n",
+		res.Phases.Sampling, res.Phases.Redistribution, res.Phases.NodeConnection, res.Phases.RegionConnection)
+	fmt.Printf("load CV     : %.3f -> %.3f (migrated %d regions)\n", res.CVBefore, res.CVAfter, res.MigratedRegions)
+
+	path, ok := parmp.Query(space, res.Roadmap, start, goal, 8)
+	if !ok {
+		fmt.Println("query       : NO PATH FOUND (try more samples)")
+		os.Exit(1)
+	}
+	if *shortcut > 0 {
+		before := parmp.PathLength(space, path)
+		path = parmp.ShortcutPath(space, path, *shortcut, *seed)
+		fmt.Printf("shortcut    : length %.3f -> %.3f\n", before, parmp.PathLength(space, path))
+	}
+	fmt.Printf("query       : path with %d waypoints\n", len(path))
+	for i, q := range path {
+		fmt.Printf("  %3d: %v\n", i, q)
+	}
+}

@@ -1,0 +1,97 @@
+// Command mptrace runs a small work-stealing simulation with event
+// tracing enabled and renders a per-processor utilization timeline, making
+// the steal protocol visible: who ran what, who stole from whom, and
+// where processors idled.
+//
+// Usage:
+//
+//	mptrace -env med-cube -procs 8 -regions 64 -policy hybrid
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"parmp/internal/cspace"
+	"parmp/internal/dist"
+	"parmp/internal/env"
+	"parmp/internal/prm"
+	"parmp/internal/region"
+	"parmp/internal/rng"
+	"parmp/internal/steal"
+	"parmp/internal/work"
+)
+
+func main() {
+	envName := flag.String("env", "med-cube", "environment")
+	procs := flag.Int("procs", 8, "virtual processors")
+	regions := flag.Int("regions", 64, "regions")
+	samples := flag.Int("samples", 12, "sampling attempts per region")
+	policyName := flag.String("policy", "hybrid", "steal policy (hybrid, rand-8, diffusive, none)")
+	width := flag.Int("width", 72, "timeline width in characters")
+	verbose := flag.Bool("v", false, "print the raw event log too")
+	flag.Parse()
+
+	e := env.ByName(*envName)
+	if e == nil {
+		fmt.Fprintf(os.Stderr, "mptrace: unknown environment %q\n", *envName)
+		os.Exit(2)
+	}
+	var policy steal.Policy
+	if *policyName != "none" {
+		var ok bool
+		policy, ok = steal.ByName(*policyName)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "mptrace: unknown policy %q\n", *policyName)
+			os.Exit(2)
+		}
+	}
+
+	// Build the node-connection workload exactly as the PRM driver does.
+	s := cspace.NewPointSpace(e)
+	rg := region.UniformGrid(s.Bounds, region.SplitEvenly(e.Dim(), *regions, 0))
+	region.NaiveColumnPartition(rg, *procs)
+	params := prm.Params{SamplesPerRegion: *samples, K: 4}
+	cost := work.DefaultCostModel()
+	nodes := make([][]prm.Node, rg.NumRegions())
+	queues := make([][]work.Task, *procs)
+	for i := 0; i < rg.NumRegions(); i++ {
+		i := i
+		nodes[i], _ = prm.SampleRegion(s, rg.Region(i).Box, i, params, rng.Derive(1, uint64(i)))
+		queues[rg.Owner[i]] = append(queues[rg.Owner[i]], work.Task{
+			ID:      i,
+			Payload: len(nodes[i]),
+			Run: func() (float64, int) {
+				_, w := prm.ConnectRegion(s, nodes[i], params)
+				return cost.Time(w), len(nodes[i])
+			},
+		})
+	}
+
+	var events []dist.TraceEvent
+	rep := dist.Run(dist.Config{
+		Procs:   *procs,
+		Profile: work.Hopper(),
+		Policy:  policy,
+		Seed:    7,
+		Trace: func(ev dist.TraceEvent) {
+			events = append(events, ev)
+		},
+	}, queues)
+
+	fmt.Printf("%d tasks on %d procs, policy=%s, makespan=%.0f units\n\n",
+		rep.TotalTasks, *procs, *policyName, rep.Makespan)
+	for _, line := range dist.Timeline(events, rep, *procs, *width) {
+		fmt.Println(line)
+	}
+	fmt.Printf("\n'#' executing, '.' idle/communicating; one column = %.0f virtual units\n",
+		rep.Makespan/float64(*width))
+
+	if *verbose {
+		fmt.Println()
+		for _, ev := range events {
+			fmt.Println(ev)
+		}
+	}
+}

@@ -1,0 +1,63 @@
+// Narrow passage: compare every load balancing strategy on an imbalanced
+// PRM workload, reproducing the headline effect of the paper — in a
+// heterogeneous environment the naive uniform subdivision leaves most
+// processors idle while a few grind, and both repartitioning and work
+// stealing recover the lost time.
+//
+//	go run ./examples/narrowpassage
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"parmp"
+)
+
+func main() {
+	e := parmp.EnvironmentByName("med-cube")
+	space := parmp.NewPointSpace(e)
+
+	type variant struct {
+		name string
+		opts parmp.Options
+	}
+	base := parmp.Options{
+		Procs:            32,
+		Regions:          256,
+		SamplesPerRegion: 16,
+		Seed:             7,
+		Profile:          parmp.HopperProfile(),
+	}
+	variants := []variant{
+		{"without LB", withStrategy(base, parmp.NoLB, nil)},
+		{"repartitioning", withStrategy(base, parmp.Repartition, nil)},
+		{"hybrid stealing", withStrategy(base, parmp.WorkStealing, parmp.Hybrid(8))},
+		{"rand-8 stealing", withStrategy(base, parmp.WorkStealing, parmp.RandK(8))},
+		{"diffusive stealing", withStrategy(base, parmp.WorkStealing, parmp.Diffusive())},
+	}
+
+	var baseline float64
+	fmt.Printf("%-20s %12s %10s %10s %8s\n", "strategy", "virtual time", "speedup", "node-conn", "load CV")
+	for i, v := range variants {
+		res, err := parmp.PlanPRM(space, v.opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if i == 0 {
+			baseline = res.TotalTime
+		}
+		fmt.Printf("%-20s %12.0f %9.2fx %10.0f %8.3f\n",
+			v.name, res.TotalTime, baseline/res.TotalTime,
+			res.Phases.NodeConnection, res.CVAfter)
+	}
+	fmt.Println("\nThe same roadmap is produced by every strategy; only the")
+	fmt.Println("schedule differs. Expect repartitioning to lead, stealing to")
+	fmt.Println("follow, and the naive mapping to trail (paper Figs. 5 and 8).")
+}
+
+func withStrategy(o parmp.Options, s parmp.Strategy, p parmp.StealPolicy) parmp.Options {
+	o.Strategy = s
+	o.Policy = p
+	return o
+}

@@ -1,0 +1,3 @@
+module parmp
+
+go 1.22

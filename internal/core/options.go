@@ -1,0 +1,215 @@
+// Package core is the paper's primary contribution: parallel
+// subdivision-based PRM and radial RRT drivers with pluggable load
+// balancing — none, adaptive work stealing (RAND-K / DIFFUSIVE / HYBRID
+// victim policies), or bulk-synchronous repartitioning driven by
+// per-region work estimates.
+//
+// Execution is phased exactly as in the paper:
+//
+//	PRM:  subdivide → sample → [weight → repartition → migrate] →
+//	      node connection (stealable) → region connection → merge
+//	RRT:  radial subdivide → [k-ray weight → repartition] →
+//	      branch growth (stealable) → branch connection → merge
+//
+// The expensive phases run on a simulated distributed machine
+// (internal/dist) in virtual time, with every region task charged the
+// work the sequential planner actually performed, so strong-scaling
+// sweeps reproduce the paper's load-balance phenomenology on any host.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"parmp/internal/cspace"
+	"parmp/internal/steal"
+	"parmp/internal/work"
+)
+
+// Strategy selects the load balancing approach.
+type Strategy int
+
+const (
+	// NoLB runs the naive static partition without balancing.
+	NoLB Strategy = iota
+	// Repartition redistributes regions bulk-synchronously using a
+	// per-region work estimate before the expensive phase.
+	Repartition
+	// WorkStealing steals regions (ownership transfer) during the
+	// expensive phase using Options.Policy.
+	WorkStealing
+)
+
+// String names the strategy for reports.
+func (s Strategy) String() string {
+	switch s {
+	case NoLB:
+		return "no-lb"
+	case Repartition:
+		return "repartition"
+	case WorkStealing:
+		return "work-stealing"
+	}
+	return fmt.Sprintf("strategy(%d)", int(s))
+}
+
+// Partitioner selects the repartitioning algorithm.
+type Partitioner int
+
+const (
+	// PartitionSpatial balances weights while preserving spatial
+	// contiguity of the region graph (lower edge cut; the default).
+	PartitionSpatial Partitioner = iota
+	// PartitionLPT is pure longest-processing-time greedy balancing,
+	// ignoring edge cuts (the paper's model-analysis partitioner).
+	PartitionLPT
+)
+
+// Options configures a parallel planning run.
+type Options struct {
+	// Procs is the number of virtual processors.
+	Procs int
+	// Regions is the over-decomposition degree (total region count); it
+	// should be >= Procs. For grid subdivision the actual count is the
+	// nearest grid product >= Regions.
+	Regions int
+	// Overlap is the inter-region sampling overlap fraction for grid
+	// subdivision, or the cone overlap angle (radians) for radial.
+	Overlap float64
+	// Adaptive refines grid cells that straddle obstacle boundaries
+	// (one extra split level along the longest axis, up to AdaptiveDepth)
+	// so granularity concentrates where workloads are heterogeneous.
+	Adaptive      bool
+	AdaptiveDepth int
+
+	// Strategy picks the load balancer; Policy the steal victim policy
+	// (required for WorkStealing); Partitioner the repartition algorithm.
+	Strategy    Strategy
+	Policy      steal.Policy
+	Partitioner Partitioner
+	// StealChunk is the fraction of a victim's pending regions taken per
+	// steal. The default (a vanishing fraction, i.e. one region per
+	// steal) matches the paper's region-at-a-time ownership transfer;
+	// raise it toward 0.5 for classic steal-half behaviour (see the
+	// ablation benchmarks).
+	StealChunk float64
+
+	// Profile and Cost define the virtual machine.
+	Profile work.MachineProfile
+	Cost    work.CostModel
+
+	// Seed makes the run deterministic.
+	Seed uint64
+
+	// HostWorkers > 1 executes the region planning closures concurrently
+	// on that many OS goroutines before the virtual-time replay, using
+	// the real work-stealing executor (internal/exec). Results and the
+	// reported virtual times are bit-identical to the sequential run —
+	// region tasks are deterministic and memoized — so this is purely a
+	// wall-clock accelerator on multicore hosts.
+	HostWorkers int
+
+	// PRM parameters.
+	SamplesPerRegion int
+	ConnectK         int
+	BoundaryK        int
+	// Sampler generates PRM candidates (nil = uniform). Narrow-passage
+	// samplers concentrate nodes near obstacles.
+	Sampler cspace.Sampler
+	// BoundaryFrontier caps how many of a region's nodes participate in
+	// each cross-region connection attempt (the boundary frontier).
+	BoundaryFrontier int
+
+	// RRT parameters.
+	NodesPerRegion int
+	Step           float64
+	GoalBias       float64
+	RegionK        int     // adjacent cone count in the radial region graph
+	Radius         float64 // radial subdivision sphere radius
+	KRays          int     // rays per region for the RRT weight estimate
+	// Star grows asymptotically-optimal RRT* branches (choose-parent +
+	// rewiring) instead of plain RRT. More local-planning work per node,
+	// and even more heterogeneous region costs.
+	Star bool
+	// RewireRadius is the RRT* neighbourhood radius (0 = 3 x Step).
+	RewireRadius float64
+}
+
+// Defaults fills unset fields with sensible values.
+func (o Options) Defaults() Options {
+	if o.Procs <= 0 {
+		o.Procs = 4
+	}
+	if o.Regions <= 0 {
+		o.Regions = 8 * o.Procs
+	}
+	if o.Profile.Name == "" {
+		o.Profile = work.Hopper()
+	}
+	if (o.Cost == work.CostModel{}) {
+		o.Cost = work.DefaultCostModel()
+	}
+	if o.SamplesPerRegion <= 0 {
+		o.SamplesPerRegion = 10
+	}
+	if o.ConnectK <= 0 {
+		o.ConnectK = 5
+	}
+	if o.BoundaryK <= 0 {
+		o.BoundaryK = 2
+	}
+	if o.BoundaryFrontier <= 0 {
+		o.BoundaryFrontier = 1
+	}
+	if o.NodesPerRegion <= 0 {
+		o.NodesPerRegion = 20
+	}
+	if o.Step <= 0 {
+		o.Step = 0.05
+	}
+	if o.GoalBias <= 0 {
+		o.GoalBias = 0.1
+	}
+	if o.RegionK <= 0 {
+		o.RegionK = 4
+	}
+	if o.Radius <= 0 {
+		o.Radius = 0.5
+	}
+	if o.KRays <= 0 {
+		o.KRays = 8
+	}
+	if o.StealChunk <= 0 {
+		o.StealChunk = 1e-9 // one region per steal
+	}
+	return o
+}
+
+// Validate reports configuration errors.
+func (o Options) Validate() error {
+	if o.Procs <= 0 {
+		return errors.New("core: Procs must be positive")
+	}
+	if o.Regions < o.Procs {
+		return fmt.Errorf("core: Regions (%d) must be >= Procs (%d) for over-decomposition", o.Regions, o.Procs)
+	}
+	if o.Strategy == WorkStealing && o.Policy == nil {
+		return errors.New("core: WorkStealing requires a steal policy")
+	}
+	return nil
+}
+
+// PhaseBreakdown records virtual time per phase (Fig. 7(a)).
+type PhaseBreakdown struct {
+	Setup            float64 // subdivision + initial partition barrier
+	Sampling         float64 // PRM sampling sub-phase
+	Redistribution   float64 // weight computation + migration (repartition)
+	NodeConnection   float64 // PRM node connection / RRT branch growth
+	RegionConnection float64 // cross-region connection
+	Other            float64 // barriers and merge
+}
+
+// Total sums all phases.
+func (p PhaseBreakdown) Total() float64 {
+	return p.Setup + p.Sampling + p.Redistribution + p.NodeConnection + p.RegionConnection + p.Other
+}

@@ -1,0 +1,245 @@
+package core
+
+import (
+	"parmp/internal/cspace"
+	"parmp/internal/dist"
+	"parmp/internal/graph"
+	"parmp/internal/metrics"
+	"parmp/internal/prm"
+	"parmp/internal/region"
+	"parmp/internal/repart"
+	"parmp/internal/rng"
+	"parmp/internal/work"
+)
+
+// PRMResult is the outcome of a parallel PRM run.
+type PRMResult struct {
+	Roadmap     *prm.Roadmap
+	RegionGraph *region.Graph
+	Phases      PhaseBreakdown
+	// TotalTime is the virtual makespan of the whole pipeline.
+	TotalTime float64
+	// ProcStats is the construction-phase execution profile.
+	ProcStats []dist.ProcStats
+	// NodeLoads[p] counts roadmap nodes on processor p after the run —
+	// the paper's load-profile quantity (Fig. 5(c)).
+	NodeLoads []float64
+	// CVBefore/CVAfter are the node-count coefficients of variation under
+	// the naive partition and the final ownership (Fig. 5(b)).
+	CVBefore, CVAfter float64
+	// Remote-access accounting for the region-connection phase
+	// (Fig. 7(b)): RegionRemote counts region-graph edges crossing
+	// processors; RoadmapRemote counts cross-processor roadmap accesses.
+	RegionRemote, RoadmapRemote int
+	EdgeCut                     int
+	// MigratedRegions counts ownership transfers due to repartitioning.
+	MigratedRegions int
+}
+
+// prmRegionData memoizes per-region planning output.
+type prmRegionData struct {
+	nodes       []prm.Node
+	sampleWork  cspace.Counters
+	edges       [][2]int
+	connectWork cspace.Counters
+}
+
+// ParallelPRM runs the uniform-subdivision parallel PRM (Algorithm 1)
+// with the configured load-balancing strategy on space s.
+func ParallelPRM(s *cspace.Space, opts Options) (*PRMResult, error) {
+	opts = opts.Defaults()
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	res := &PRMResult{Roadmap: prm.NewRoadmap()}
+
+	// --- Setup: subdivide C-space, build region graph, naive partition.
+	dims := s.Env.Dim()
+	spec := region.SplitEvenly(dims, opts.Regions, opts.Overlap)
+	var rg *region.Graph
+	if opts.Adaptive {
+		rg = region.AdaptiveGrid(s.Env, region.AdaptiveSpec{
+			Base:     spec,
+			MaxDepth: opts.AdaptiveDepth,
+		})
+	} else {
+		rg = region.UniformGrid(s.Bounds, spec)
+	}
+	region.NaiveColumnPartition(rg, opts.Procs)
+	res.RegionGraph = rg
+	n := rg.NumRegions()
+	res.Phases.Setup = opts.Profile.Barrier(opts.Procs)
+
+	params := prm.Params{SamplesPerRegion: opts.SamplesPerRegion, K: opts.ConnectK, Sampler: opts.Sampler}
+	data := make([]prmRegionData, n)
+
+	// --- Sampling sub-phase (cheap, static).
+	sampleCosts := make([][]float64, opts.Procs)
+	sampleCounts := make([]int, n)
+	for i := 0; i < n; i++ {
+		r := rng.Derive(opts.Seed, uint64(i))
+		data[i].nodes, data[i].sampleWork = prm.SampleRegion(s, rg.Region(i).Box, i, params, r)
+		sampleCounts[i] = len(data[i].nodes)
+		owner := rg.Owner[i]
+		sampleCosts[owner] = append(sampleCosts[owner], opts.Cost.Time(data[i].sampleWork))
+	}
+	samplingMakespan, _ := dist.StaticPhase(sampleCosts)
+	res.Phases.Sampling = samplingMakespan + opts.Profile.Barrier(opts.Procs)
+
+	weights := repart.SampleCountWeights(sampleCounts)
+	rg.SetWeights(weights)
+	res.CVBefore = metrics.CV(rg.LoadPerProcessor(opts.Procs))
+
+	// --- Optional repartitioning before the expensive phase.
+	if opts.Strategy == Repartition {
+		var assign []int
+		switch opts.Partitioner {
+		case PartitionLPT:
+			assign = repart.GreedyLPT(weights, opts.Procs)
+		default:
+			assign = repart.GreedySpatial(rg, weights, opts.Procs, 0.05)
+		}
+		// Rebalance only when the candidate meaningfully lowers the
+		// bottleneck load; an already-balanced run (e.g. the free
+		// environment) keeps its partition and pays only the check.
+		if worthRebalancing(weights, rg.Owner, assign, opts.Procs) {
+			plan := repart.MakePlan(rg, assign)
+			res.MigratedRegions = len(plan.Moved)
+			res.Phases.Redistribution = plan.MigrationCost(rg, opts.Profile, sampleCounts, opts.Procs) +
+				opts.Profile.Barrier(opts.Procs)
+			plan.Apply(rg)
+		} else {
+			res.Phases.Redistribution = opts.Profile.Barrier(opts.Procs)
+		}
+	}
+
+	// --- Node-connection phase (expensive; stealable).
+	queues := make([][]work.Task, opts.Procs)
+	for i := 0; i < n; i++ {
+		i := i
+		task := work.Task{
+			ID:      i,
+			Payload: len(data[i].nodes), // stealing this region moves its samples
+			Run: func() (float64, int) {
+				data[i].edges, data[i].connectWork = prm.ConnectRegion(s, data[i].nodes, params)
+				return opts.Cost.Time(data[i].connectWork), len(data[i].nodes)
+			},
+		}
+		queues[rg.Owner[i]] = append(queues[rg.Owner[i]], task)
+	}
+	var policy = opts.Policy
+	if opts.Strategy != WorkStealing {
+		policy = nil
+	}
+	hostPrePass(opts, queues)
+	report := dist.Run(dist.Config{
+		Procs:      opts.Procs,
+		Profile:    opts.Profile,
+		Policy:     policy,
+		StealChunk: opts.StealChunk,
+		MaxRounds:  4,
+		Seed:       opts.Seed ^ 0x9e37,
+	}, queues)
+	res.ProcStats = report.Procs
+	res.Phases.NodeConnection = report.Makespan + opts.Profile.Barrier(opts.Procs)
+
+	// Work stealing permanently migrates the region and its data: record
+	// the final ownership so the region-connection phase sees it.
+	if opts.Strategy == WorkStealing {
+		for id, p := range report.ExecutedBy {
+			rg.Owner[id] = p
+		}
+	}
+	res.EdgeCut = rg.EdgeCut()
+
+	// --- Region-connection phase (Algorithm 1, lines 10-12). A cut
+	// edge's connection work can run on either endpoint's owner; the
+	// currently lighter one takes it (both owners hold the region graph,
+	// so this needs no extra coordination).
+	connCosts := make([][]float64, opts.Procs)
+	connLoad := make([]float64, opts.Procs)
+	var boundaryEdges []boundaryEdge
+	rg.ForEachAdjacentPair(func(a, b int) {
+		br := prm.ConnectBoundary(s, data[a].nodes, data[b].nodes, opts.BoundaryK, opts.BoundaryFrontier)
+		cost := opts.Cost.Time(br.Work)
+		ownerA, ownerB := rg.Owner[a], rg.Owner[b]
+		if ownerA != ownerB {
+			res.RegionRemote++
+			res.RoadmapRemote += br.Attempts
+			cost += opts.Profile.RemoteAccess * float64(1+br.Attempts)
+		} else {
+			cost += opts.Profile.LocalAccess * float64(1+br.Attempts)
+		}
+		runner := ownerA
+		if connLoad[ownerB] < connLoad[ownerA] {
+			runner = ownerB
+		}
+		connLoad[runner] += cost
+		connCosts[runner] = append(connCosts[runner], cost)
+		boundaryEdges = append(boundaryEdges, boundaryEdge{a: a, b: b, pairs: br.Edges})
+	})
+	regionConnMakespan, _ := dist.StaticPhase(connCosts)
+	res.Phases.RegionConnection = regionConnMakespan + opts.Profile.Barrier(opts.Procs)
+
+	// --- Merge into a single roadmap.
+	base := make([]int, n)
+	for i := 0; i < n; i++ {
+		base[i] = res.Roadmap.NumNodes()
+		for _, nd := range data[i].nodes {
+			res.Roadmap.AddNode(nd)
+		}
+	}
+	for i := 0; i < n; i++ {
+		for _, e := range data[i].edges {
+			a, b := graph.ID(base[i]+e[0]), graph.ID(base[i]+e[1])
+			res.Roadmap.G.AddEdge(a, b, s.Distance(data[i].nodes[e[0]].Q, data[i].nodes[e[1]].Q))
+		}
+	}
+	for _, be := range boundaryEdges {
+		for _, pr := range be.pairs {
+			a := graph.ID(base[be.a] + pr[0])
+			b := graph.ID(base[be.b] + pr[1])
+			res.Roadmap.G.AddEdge(a, b, s.Distance(data[be.a].nodes[pr[0]].Q, data[be.b].nodes[pr[1]].Q))
+		}
+	}
+	res.Phases.Other = opts.Profile.Barrier(opts.Procs)
+
+	// --- Load profile and totals.
+	res.NodeLoads = make([]float64, opts.Procs)
+	for i := 0; i < n; i++ {
+		res.NodeLoads[rg.Owner[i]] += float64(len(data[i].nodes))
+	}
+	res.CVAfter = metrics.CV(res.NodeLoads)
+	res.TotalTime = res.Phases.Total()
+	return res, nil
+}
+
+// boundaryEdge records cross-region connections for the merge step.
+type boundaryEdge struct {
+	a, b  int
+	pairs [][2]int
+}
+
+// worthRebalancing reports whether the candidate assignment lowers the
+// bottleneck (maximum per-processor) load by more than a small threshold.
+// Migrating for marginal gains costs more than it saves — the paper's
+// free-environment experiments show effective balancers must be no-ops on
+// balanced workloads.
+func worthRebalancing(weights []float64, current, candidate []int, procs int) bool {
+	maxLoad := func(assign []int) float64 {
+		load := make([]float64, procs)
+		for i, w := range weights {
+			load[assign[i]] += w
+		}
+		var m float64
+		for _, l := range load {
+			if l > m {
+				m = l
+			}
+		}
+		return m
+	}
+	const threshold = 0.05
+	cur := maxLoad(current)
+	return cur > 0 && maxLoad(candidate) < cur*(1-threshold)
+}

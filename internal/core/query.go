@@ -1,0 +1,119 @@
+package core
+
+import (
+	"sort"
+	"sync"
+
+	"parmp/internal/cspace"
+	"parmp/internal/exec"
+	"parmp/internal/geom"
+	"parmp/internal/steal"
+	"parmp/internal/work"
+)
+
+// ExtractPath returns a collision-free configuration path from the RRT
+// root to goal: the tree node nearest to goal is located across all
+// branches, connected to goal with the local planner, and walked back to
+// the root along parent links. ok is false when the goal cannot be
+// attached to the tree.
+func (r *RRTResult) ExtractPath(s *cspace.Space, goal cspace.Config, c *cspace.Counters) ([]cspace.Config, bool) {
+	if !s.Valid(goal, c) {
+		return nil, false
+	}
+	// Gather all tree nodes with back-references to (branch, index).
+	type ref struct{ branch, node int }
+	var pts []geom.Vec
+	var refs []ref
+	for bi, tree := range r.Branches {
+		if tree == nil {
+			continue
+		}
+		for ni, n := range tree.Nodes {
+			pts = append(pts, n.Q)
+			refs = append(refs, ref{branch: bi, node: ni})
+		}
+	}
+	if len(pts) == 0 {
+		return nil, false
+	}
+	// Try candidates in increasing metric order (the space's weighted
+	// metric, so angular DOFs do not dominate). Nearby nodes can all be
+	// unreachable — wrong side of a wall, incompatible heading — so keep
+	// trying until a generous attempt budget runs out.
+	order := make([]int, len(pts))
+	for i := range order {
+		order[i] = i
+	}
+	dist := make([]float64, len(pts))
+	for i, p := range pts {
+		dist[i] = s.Distance(goal, p)
+	}
+	sort.Slice(order, func(a, b int) bool { return dist[order[a]] < dist[order[b]] })
+	if c != nil {
+		c.KNNQueries++
+		c.KNNEvals += int64(len(pts))
+	}
+	// No attempt cap: failed plans abort at the first collision, so even
+	// an unreachable goal costs only one cheap sweep per node, and a
+	// reachable one stops at the first success.
+	for _, idx := range order {
+		rf := refs[idx]
+		branch := r.Branches[rf.branch]
+		// Plan tree → goal: steering may be asymmetric (a forward-only
+		// car cannot drive a path backwards).
+		if !s.LocalPlan(branch.Nodes[rf.node].Q, goal, c) {
+			continue
+		}
+		// Walk to the branch root (== the global root).
+		idxPath := branch.PathToRoot(rf.node)
+		path := make([]cspace.Config, 0, len(idxPath)+1)
+		for i := len(idxPath) - 1; i >= 0; i-- {
+			path = append(path, branch.Nodes[idxPath[i]].Q.Clone())
+		}
+		path = append(path, goal.Clone())
+		return path, true
+	}
+	return nil, false
+}
+
+// memoize wraps tasks so each Run body executes at most once even when a
+// concurrent host pre-pass and the virtual-time replay both invoke it.
+func memoize(tasks []work.Task) []work.Task {
+	out := make([]work.Task, len(tasks))
+	for i := range tasks {
+		inner := tasks[i].Run
+		var once sync.Once
+		var cost float64
+		var payload int
+		out[i] = work.Task{
+			ID:      tasks[i].ID,
+			Payload: tasks[i].Payload,
+			Run: func() (float64, int) {
+				once.Do(func() { cost, payload = inner() })
+				return cost, payload
+			},
+		}
+	}
+	return out
+}
+
+// hostPrePass optionally executes all queued tasks concurrently on real
+// goroutines. Tasks are memoized in place so the subsequent virtual-time
+// replay reuses the computed results instead of re-planning.
+func hostPrePass(opts Options, queues [][]work.Task) {
+	if opts.HostWorkers <= 1 {
+		return
+	}
+	for p := range queues {
+		queues[p] = memoize(queues[p])
+	}
+	pre := make([][]work.Task, len(queues))
+	for p := range queues {
+		pre[p] = append([]work.Task(nil), queues[p]...)
+	}
+	exec.Run(exec.Config{
+		Workers: opts.HostWorkers,
+		Policy:  steal.RandK{K: 2},
+		Seed:    opts.Seed,
+	}, pre)
+}

@@ -1,0 +1,289 @@
+package core
+
+import (
+	"math"
+
+	"parmp/internal/cspace"
+	"parmp/internal/dist"
+	"parmp/internal/graph"
+	"parmp/internal/metrics"
+	"parmp/internal/region"
+	"parmp/internal/repart"
+	"parmp/internal/rng"
+	"parmp/internal/rrt"
+	"parmp/internal/work"
+)
+
+// RRTResult is the outcome of a parallel radial RRT run.
+type RRTResult struct {
+	// Branches holds each region's grown subtree, indexed by region ID.
+	Branches []*rrt.Tree
+	// Bridges are successful cross-region connections (regionA, nodeA,
+	// regionB, nodeB). Bridges that would close a cycle in the
+	// region-level tree are pruned (Algorithm 2, lines 15-17).
+	Bridges [][4]int
+	// PrunedCycles counts bridge candidates discarded to keep the
+	// region-level structure a tree.
+	PrunedCycles int
+
+	RegionGraph *region.Graph
+	Phases      PhaseBreakdown
+	TotalTime   float64
+	ProcStats   []dist.ProcStats
+	// NodeLoads[p] counts tree nodes on processor p after the run.
+	NodeLoads         []float64
+	CVBefore, CVAfter float64
+	RegionRemote      int
+	EdgeCut           int
+	MigratedRegions   int
+	// Rewires counts RRT* parent improvements (0 for plain RRT).
+	Rewires int
+	// WeightActualCorr is the Pearson correlation between the k-ray
+	// weight estimate and the measured branch cost — the paper's evidence
+	// that the estimator is poor (only populated when Strategy is
+	// Repartition).
+	WeightActualCorr float64
+}
+
+// TotalNodes sums the nodes of all branches.
+func (r *RRTResult) TotalNodes() int {
+	total := 0
+	for _, t := range r.Branches {
+		if t != nil {
+			total += t.Len()
+		}
+	}
+	return total
+}
+
+// ParallelRRT runs the uniform radial subdivision parallel RRT
+// (Algorithm 2) rooted at root with the configured load balancing.
+func ParallelRRT(s *cspace.Space, root cspace.Config, opts Options) (*RRTResult, error) {
+	opts = opts.Defaults()
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	res := &RRTResult{}
+
+	// --- Setup: radial subdivision about the root. The subdivision
+	// sphere lives in the full d-dimensional C-space ("a hypersphere is
+	// created in d-dimensional C-space centered at q_root"), so cones are
+	// joint-space sectors for articulated robots.
+	apex := root.Clone()
+	setupRNG := rng.Derive(opts.Seed, 0xabcdef)
+	rg := region.RadialSubdivision(apex, region.RadialSpec{
+		Regions:      opts.Regions,
+		K:            opts.RegionK,
+		Radius:       opts.Radius,
+		OverlapAngle: opts.Overlap,
+	}, setupRNG)
+	// The naive mapping groups spatially adjacent cones on the same
+	// processor (contiguous blocks of a BFS sweep over the region graph),
+	// mirroring the paper's mesh-aligned distribution. This is what makes
+	// workload heterogeneity hit whole processors rather than averaging
+	// out across random cone assignments.
+	assignContiguous(rg, opts.Procs)
+	res.RegionGraph = rg
+	n := rg.NumRegions()
+	res.Phases.Setup = opts.Profile.Barrier(opts.Procs)
+
+	// --- Optional repartitioning with the k-ray estimate (computed up
+	// front: unlike PRM there is no cheap sampling phase whose output
+	// predicts work, which is exactly the paper's point). The ray probe
+	// is a workspace concept, so it only applies when the C-space is the
+	// workspace (point robots); articulated robots fall back to uniform
+	// weights, making repartitioning a no-op for them.
+	weights := make([]float64, n)
+	for i := range weights {
+		weights[i] = 1
+	}
+	if s.Dim() == s.Env.Dim() {
+		weights = repart.KRayWeights(s.Env, rg, opts.KRays, opts.Seed)
+	}
+	rg.SetWeights(weights)
+	res.CVBefore = metrics.CV(rg.LoadPerProcessor(opts.Procs))
+	if opts.Strategy == Repartition {
+		var assign []int
+		switch opts.Partitioner {
+		case PartitionLPT:
+			assign = repart.GreedyLPT(weights, opts.Procs)
+		default:
+			assign = repart.GreedySpatial(rg, weights, opts.Procs, 0.05)
+		}
+		// The weight pass itself costs k rays per region on the owner.
+		rayCosts := make([][]float64, opts.Procs)
+		for i := 0; i < n; i++ {
+			rayCosts[rg.Owner[i]] = append(rayCosts[rg.Owner[i]],
+				float64(opts.KRays)*opts.Cost.CDObstacle*float64(len(s.Env.Obstacles)+1))
+		}
+		rayMakespan, _ := dist.StaticPhase(rayCosts)
+		res.Phases.Redistribution = rayMakespan + opts.Profile.Barrier(opts.Procs)
+		// Note: unlike PRM there is no balanced-already escape hatch
+		// here — the k-ray estimate CLAIMS imbalance whether or not it is
+		// real, which is the paper's point. Migration proceeds whenever
+		// the estimated loads look improvable.
+		if worthRebalancing(weights, rg.Owner, assign, opts.Procs) {
+			plan := repart.MakePlan(rg, assign)
+			res.MigratedRegions = len(plan.Moved)
+			res.Phases.Redistribution += plan.MigrationCost(rg, opts.Profile, nil, opts.Procs)
+			plan.Apply(rg)
+		}
+	}
+
+	// --- Branch growth phase (expensive; stealable).
+	params := rrt.Params{Nodes: opts.NodesPerRegion, Step: opts.Step, GoalBias: opts.GoalBias}
+	results := make([]rrt.Result, n)
+	rewires := make([]int, n)
+	queues := make([][]work.Task, opts.Procs)
+	for i := 0; i < n; i++ {
+		i := i
+		task := work.Task{
+			ID: i,
+			Run: func() (float64, int) {
+				if opts.Star {
+					starRes := rrt.GrowRegionStar(s, rg.Region(i),
+						rrt.StarParams{Params: params, RewireRadius: opts.RewireRadius},
+						rng.Derive(opts.Seed, uint64(i)))
+					results[i] = rrt.Result{
+						Tree:  &rrt.Tree{Nodes: starRes.Tree.Nodes},
+						Work:  starRes.Work,
+						Iters: starRes.Iters,
+					}
+					rewires[i] = starRes.Rewires
+				} else {
+					results[i] = rrt.GrowRegion(s, rg.Region(i), params, rng.Derive(opts.Seed, uint64(i)))
+				}
+				return opts.Cost.Time(results[i].Work), results[i].Tree.Len()
+			},
+		}
+		queues[rg.Owner[i]] = append(queues[rg.Owner[i]], task)
+	}
+	policy := opts.Policy
+	if opts.Strategy != WorkStealing {
+		policy = nil
+	}
+	hostPrePass(opts, queues)
+	report := dist.Run(dist.Config{
+		Procs:      opts.Procs,
+		Profile:    opts.Profile,
+		Policy:     policy,
+		StealChunk: opts.StealChunk,
+		MaxRounds:  4,
+		Seed:       opts.Seed ^ 0x51ab,
+	}, queues)
+	res.ProcStats = report.Procs
+	res.Phases.NodeConnection = report.Makespan + opts.Profile.Barrier(opts.Procs)
+	if opts.Strategy == WorkStealing {
+		for id, p := range report.ExecutedBy {
+			rg.Owner[id] = p
+		}
+	}
+	res.EdgeCut = rg.EdgeCut()
+	res.Branches = make([]*rrt.Tree, n)
+	for i := 0; i < n; i++ {
+		res.Branches[i] = results[i].Tree
+		res.Rewires += rewires[i]
+	}
+
+	// Correlation between weight estimate and measured cost.
+	if opts.Strategy == Repartition {
+		costs := make([]float64, n)
+		for i := 0; i < n; i++ {
+			costs[i] = report.Cost[i]
+		}
+		res.WeightActualCorr = pearson(weights, costs)
+	}
+
+	// --- Branch connection phase with cycle pruning.
+	uf := graph.NewUnionFind(n)
+	connCosts := make([][]float64, opts.Procs)
+	rg.ForEachAdjacentPair(func(a, b int) {
+		var c cspace.Counters
+		target := region.ConeTarget(rg.Region(b))
+		ia, ib, ok := rrt.Connect(s, res.Branches[a], res.Branches[b], target, 3, &c)
+		cost := opts.Cost.Time(c)
+		ownerA, ownerB := rg.Owner[a], rg.Owner[b]
+		if ownerA != ownerB {
+			res.RegionRemote++
+			cost += opts.Profile.RemoteAccess
+		} else {
+			cost += opts.Profile.LocalAccess
+		}
+		connCosts[ownerA] = append(connCosts[ownerA], cost)
+		if ok {
+			// "If any edge connection creates a cycle, the tree is pruned
+			// so as to remove the cycle": keep the bridge only if it
+			// merges two distinct components.
+			if uf.Union(a, b) {
+				res.Bridges = append(res.Bridges, [4]int{a, ia, b, ib})
+			} else {
+				res.PrunedCycles++
+			}
+		}
+	})
+	connMakespan, _ := dist.StaticPhase(connCosts)
+	res.Phases.RegionConnection = connMakespan + opts.Profile.Barrier(opts.Procs)
+	res.Phases.Other = opts.Profile.Barrier(opts.Procs)
+
+	res.NodeLoads = make([]float64, opts.Procs)
+	for i := 0; i < n; i++ {
+		res.NodeLoads[rg.Owner[i]] += float64(res.Branches[i].Len())
+	}
+	res.CVAfter = metrics.CV(res.NodeLoads)
+	res.TotalTime = res.Phases.Total()
+	return res, nil
+}
+
+// assignContiguous partitions regions into equal-count contiguous chunks
+// of a BFS sweep over the region graph.
+func assignContiguous(rg *region.Graph, procs int) {
+	n := rg.NumRegions()
+	order := make([]int, 0, n)
+	seen := make([]bool, n)
+	for start := 0; start < n; start++ {
+		if seen[start] {
+			continue
+		}
+		queue := []int{start}
+		seen[start] = true
+		for len(queue) > 0 {
+			cur := queue[0]
+			queue = queue[1:]
+			order = append(order, cur)
+			for _, nb := range rg.Adjacent(cur) {
+				if !seen[nb] {
+					seen[nb] = true
+					queue = append(queue, nb)
+				}
+			}
+		}
+	}
+	for rank, ri := range order {
+		owner := rank * procs / n
+		if owner >= procs {
+			owner = procs - 1
+		}
+		rg.Owner[ri] = owner
+	}
+}
+
+// pearson returns the Pearson correlation coefficient of xs and ys
+// (0 when undefined).
+func pearson(xs, ys []float64) float64 {
+	n := float64(len(xs))
+	if n == 0 || len(xs) != len(ys) {
+		return 0
+	}
+	mx, my := metrics.Mean(xs), metrics.Mean(ys)
+	var sxy, sxx, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}

@@ -1,0 +1,69 @@
+package cspace
+
+import "parmp/internal/rng"
+
+// PathLength returns the total metric length of a waypoint path.
+func PathLength(s *Space, path []Config) float64 {
+	var total float64
+	for i := 0; i+1 < len(path); i++ {
+		total += s.Distance(path[i], path[i+1])
+	}
+	return total
+}
+
+// PathValid reports whether every hop of the path is a valid local plan,
+// metering work into c.
+func PathValid(s *Space, path []Config, c *Counters) bool {
+	if len(path) == 0 {
+		return false
+	}
+	if !s.Valid(path[0], c) {
+		return false
+	}
+	for i := 0; i+1 < len(path); i++ {
+		if !s.LocalPlan(path[i], path[i+1], c) {
+			return false
+		}
+	}
+	return true
+}
+
+// Shortcut post-processes a path with random shortcutting: repeatedly
+// pick two waypoints and replace the intervening subpath when the direct
+// local plan between them is valid. iters bounds the attempts. The input
+// slice is not modified; the (possibly shorter) result is returned.
+func Shortcut(s *Space, path []Config, iters int, r *rng.Stream, c *Counters) []Config {
+	if len(path) < 3 {
+		return append([]Config(nil), path...)
+	}
+	out := make([]Config, len(path))
+	copy(out, path)
+	for it := 0; it < iters && len(out) > 2; it++ {
+		i := r.Intn(len(out) - 2)
+		j := i + 2 + r.Intn(len(out)-i-2)
+		if s.LocalPlan(out[i], out[j], c) {
+			out = append(out[:i+1], out[j:]...)
+		}
+	}
+	return out
+}
+
+// Densify inserts intermediate configurations so that no hop exceeds
+// maxStep in metric distance, which is useful before executing a path on
+// a controller with bounded step size.
+func Densify(s *Space, path []Config, maxStep float64) []Config {
+	if len(path) == 0 || maxStep <= 0 {
+		return append([]Config(nil), path...)
+	}
+	out := []Config{path[0].Clone()}
+	for i := 0; i+1 < len(path); i++ {
+		d := s.Distance(path[i], path[i+1])
+		steps := int(d / maxStep)
+		for k := 1; k <= steps; k++ {
+			t := float64(k) / float64(steps+1)
+			out = append(out, path[i].Lerp(path[i+1], t))
+		}
+		out = append(out, path[i+1].Clone())
+	}
+	return out
+}

@@ -1,0 +1,141 @@
+package cspace
+
+import (
+	"parmp/internal/geom"
+	"parmp/internal/rng"
+)
+
+// Sampler generates candidate configurations within a region of C-space.
+// Different strategies trade sample quality for collision-check cost;
+// all meter their work through Counters.
+type Sampler interface {
+	// Sample draws one candidate in region and reports whether it is
+	// valid. Invalid candidates may still be returned (q, false) so
+	// callers can count attempts.
+	Sample(s *Space, region geom.AABB, r *rng.Stream, c *Counters) (Config, bool)
+	// Name identifies the sampler in reports.
+	Name() string
+}
+
+// UniformSampler draws uniformly at random in the region — the baseline
+// PRM sampler whose per-region yield is proportional to free volume.
+type UniformSampler struct{}
+
+// Name implements Sampler.
+func (UniformSampler) Name() string { return "uniform" }
+
+// Sample implements Sampler.
+func (UniformSampler) Sample(s *Space, region geom.AABB, r *rng.Stream, c *Counters) (Config, bool) {
+	q := s.SampleIn(region, r, c)
+	return q, s.Valid(q, c)
+}
+
+// GaussianSampler implements Gaussian obstacle-based sampling (Boor,
+// Overmars, van der Stappen 1999): draw a pair (q1, q2) a Gaussian
+// distance apart and keep q1 only if exactly one of the two collides.
+// Samples concentrate near obstacle boundaries, which is where narrow
+// passage connectivity lives.
+type GaussianSampler struct {
+	// Sigma is the standard deviation of the pair distance, in metric
+	// units. Zero defaults to 2 x the space resolution.
+	Sigma float64
+}
+
+// Name implements Sampler.
+func (GaussianSampler) Name() string { return "gaussian" }
+
+// Sample implements Sampler.
+func (g GaussianSampler) Sample(s *Space, region geom.AABB, r *rng.Stream, c *Counters) (Config, bool) {
+	sigma := g.Sigma
+	if sigma <= 0 {
+		sigma = 2 * s.Resolution
+	}
+	q1 := s.SampleIn(region, r, c)
+	// Perturb every dimension by a Gaussian step.
+	q2 := q1.Clone()
+	for i := range q2 {
+		q2[i] += r.NormFloat64() * sigma
+	}
+	q2 = s.Bounds.Clamp(q2)
+	v1 := s.Valid(q1, c)
+	v2 := s.Valid(q2, c)
+	if v1 && !v2 {
+		return q1, true
+	}
+	if v2 && !v1 {
+		return q2, true
+	}
+	return q1, false
+}
+
+// BridgeSampler implements the bridge test (Hsu et al. 2003): draw a pair
+// of colliding configurations and keep their midpoint when it is free —
+// the signature of a narrow passage.
+type BridgeSampler struct {
+	// Sigma is the standard deviation of the bridge length. Zero
+	// defaults to 4 x the space resolution.
+	Sigma float64
+}
+
+// Name implements Sampler.
+func (BridgeSampler) Name() string { return "bridge" }
+
+// Sample implements Sampler.
+func (b BridgeSampler) Sample(s *Space, region geom.AABB, r *rng.Stream, c *Counters) (Config, bool) {
+	sigma := b.Sigma
+	if sigma <= 0 {
+		sigma = 4 * s.Resolution
+	}
+	q1 := s.SampleIn(region, r, c)
+	if s.Valid(q1, c) {
+		return q1, false // bridge endpoints must collide
+	}
+	q2 := q1.Clone()
+	for i := range q2 {
+		q2[i] += r.NormFloat64() * sigma
+	}
+	q2 = s.Bounds.Clamp(q2)
+	if s.Valid(q2, c) {
+		return q2, false
+	}
+	mid := q1.Lerp(q2, 0.5)
+	return mid, s.Valid(mid, c)
+}
+
+// MixedSampler draws from Primary with probability 1-Fraction and from
+// Secondary otherwise — the standard way to blend a narrow-passage
+// sampler into uniform sampling.
+type MixedSampler struct {
+	Primary, Secondary Sampler
+	// Fraction of draws routed to Secondary, in [0, 1].
+	Fraction float64
+}
+
+// Name implements Sampler.
+func (m MixedSampler) Name() string {
+	return m.Primary.Name() + "+" + m.Secondary.Name()
+}
+
+// Sample implements Sampler.
+func (m MixedSampler) Sample(s *Space, region geom.AABB, r *rng.Stream, c *Counters) (Config, bool) {
+	if r.Float64() < m.Fraction {
+		return m.Secondary.Sample(s, region, r, c)
+	}
+	return m.Primary.Sample(s, region, r, c)
+}
+
+// SamplerByName returns a sampler by name ("uniform", "gaussian",
+// "bridge", "mixed"). ok is false for unknown names.
+func SamplerByName(name string) (Sampler, bool) {
+	switch name {
+	case "uniform":
+		return UniformSampler{}, true
+	case "gaussian":
+		return GaussianSampler{}, true
+	case "bridge":
+		return BridgeSampler{}, true
+	case "mixed":
+		return MixedSampler{Primary: UniformSampler{}, Secondary: GaussianSampler{}, Fraction: 0.5}, true
+	}
+	return nil, false
+}

@@ -1,0 +1,247 @@
+package cspace
+
+import (
+	"testing"
+
+	"parmp/internal/env"
+	"parmp/internal/geom"
+	"parmp/internal/rng"
+)
+
+func wallEnv() *env.Environment {
+	// A thin wall with a narrow slit: narrow-passage samplers should find
+	// configurations in/near the slit far more often than uniform.
+	return &env.Environment{
+		Name:   "slit",
+		Bounds: geom.Box2(0, 0, 1, 1),
+		Obstacles: []env.Obstacle{
+			env.BoxObstacle{Box: geom.Box2(0.45, 0, 0.55, 0.47)},
+			env.BoxObstacle{Box: geom.Box2(0.45, 0.53, 0.55, 1)},
+		},
+	}
+}
+
+func TestUniformSamplerYield(t *testing.T) {
+	e := env.MedCube()
+	s := NewPointSpace(e)
+	r := rng.New(1)
+	var c Counters
+	valid := 0
+	const n = 2000
+	for i := 0; i < n; i++ {
+		if _, ok := (UniformSampler{}).Sample(s, e.Bounds, r, &c); ok {
+			valid++
+		}
+	}
+	// Yield should approximate the free fraction (76 %).
+	frac := float64(valid) / n
+	if frac < 0.70 || frac > 0.82 {
+		t.Fatalf("uniform yield %v, want ~0.76", frac)
+	}
+	if c.CDCalls == 0 {
+		t.Fatal("sampler must meter collision work")
+	}
+}
+
+func TestGaussianSamplerNearObstacles(t *testing.T) {
+	e := wallEnv()
+	s := NewPointSpace(e)
+	r := rng.New(2)
+	var c Counters
+	g := GaussianSampler{Sigma: 0.05}
+	near, total := 0, 0
+	for i := 0; i < 4000; i++ {
+		q, ok := g.Sample(s, e.Bounds, r, &c)
+		if !ok {
+			continue
+		}
+		total++
+		// Near the wall band (x within 0.1 of it)?
+		if q[0] > 0.35 && q[0] < 0.65 {
+			near++
+		}
+	}
+	if total == 0 {
+		t.Fatal("gaussian sampler produced nothing")
+	}
+	// The wall band is 30 % of the width; obstacle-based samples must be
+	// strongly concentrated there.
+	frac := float64(near) / float64(total)
+	if frac < 0.5 {
+		t.Fatalf("gaussian concentration near obstacles = %v, want > 0.5", frac)
+	}
+}
+
+func TestGaussianSamplesAreValid(t *testing.T) {
+	e := wallEnv()
+	s := NewPointSpace(e)
+	r := rng.New(3)
+	g := GaussianSampler{}
+	for i := 0; i < 2000; i++ {
+		q, ok := g.Sample(s, e.Bounds, r, nil)
+		if ok && !s.Valid(q, nil) {
+			t.Fatal("accepted sample collides")
+		}
+	}
+}
+
+func TestBridgeSamplerFindsPassage(t *testing.T) {
+	e := wallEnv()
+	s := NewPointSpace(e)
+	r := rng.New(4)
+	b := BridgeSampler{Sigma: 0.1}
+	inSlit := 0
+	accepted := 0
+	for i := 0; i < 20000; i++ {
+		q, ok := b.Sample(s, e.Bounds, r, nil)
+		if !ok {
+			continue
+		}
+		accepted++
+		if !s.Valid(q, nil) {
+			t.Fatal("bridge sample collides")
+		}
+		if q[0] > 0.42 && q[0] < 0.58 && q[1] > 0.40 && q[1] < 0.60 {
+			inSlit++
+		}
+	}
+	if accepted == 0 {
+		t.Fatal("bridge sampler accepted nothing")
+	}
+	// The slit is ~0.6% of free area; bridge samples must concentrate.
+	if frac := float64(inSlit) / float64(accepted); frac < 0.3 {
+		t.Fatalf("bridge slit concentration = %v, want > 0.3", frac)
+	}
+}
+
+func TestMixedSampler(t *testing.T) {
+	e := env.Free()
+	s := NewPointSpace(e)
+	r := rng.New(5)
+	m := MixedSampler{Primary: UniformSampler{}, Secondary: GaussianSampler{}, Fraction: 0.3}
+	if m.Name() != "uniform+gaussian" {
+		t.Fatalf("Name = %q", m.Name())
+	}
+	ok := 0
+	for i := 0; i < 200; i++ {
+		if _, valid := m.Sample(s, e.Bounds, r, nil); valid {
+			ok++
+		}
+	}
+	// In free space uniform always succeeds; gaussian never (no obstacle
+	// boundary), so yield ~ 0.7.
+	if ok < 100 || ok > 180 {
+		t.Fatalf("mixed yield = %d/200", ok)
+	}
+}
+
+func TestSamplerByName(t *testing.T) {
+	for _, name := range []string{"uniform", "gaussian", "bridge", "mixed"} {
+		if _, ok := SamplerByName(name); !ok {
+			t.Fatalf("SamplerByName(%q) failed", name)
+		}
+	}
+	if _, ok := SamplerByName("quantum"); ok {
+		t.Fatal("unknown sampler should fail")
+	}
+}
+
+func TestPathLengthAndValid(t *testing.T) {
+	s := NewPointSpace(env.Free())
+	path := []Config{geom.V(0, 0, 0), geom.V(0.3, 0, 0), geom.V(0.3, 0.4, 0)}
+	if got := PathLength(s, path); got != 0.7 {
+		t.Fatalf("PathLength = %v", got)
+	}
+	if !PathValid(s, path, nil) {
+		t.Fatal("straight free path should be valid")
+	}
+	if PathValid(s, nil, nil) {
+		t.Fatal("empty path should be invalid")
+	}
+	blocked := cspaceWithWall()
+	bad := []Config{geom.V(0.1, 0.5), geom.V(0.9, 0.5)}
+	if PathValid(blocked, bad, nil) {
+		t.Fatal("path through wall should be invalid")
+	}
+}
+
+// cspaceWithWall returns a 2D space whose wall spans the full width of
+// the middle except for a gap above y = 0.9.
+func cspaceWithWall() *Space {
+	return NewPointSpace(&env.Environment{
+		Name:   "wall",
+		Bounds: geom.Box2(0, 0, 1, 1),
+		Obstacles: []env.Obstacle{
+			env.BoxObstacle{Box: geom.Box2(0.45, 0, 0.55, 0.9)},
+		},
+	})
+}
+
+func TestShortcutShortensDetour(t *testing.T) {
+	s := NewPointSpace(env.Free())
+	// A needless detour in free space.
+	path := []Config{
+		geom.V(0.1, 0.1, 0.1),
+		geom.V(0.5, 0.9, 0.5),
+		geom.V(0.9, 0.1, 0.9),
+	}
+	r := rng.New(6)
+	var c Counters
+	short := Shortcut(s, path, 50, r, &c)
+	if PathLength(s, short) >= PathLength(s, path) {
+		t.Fatalf("shortcut did not shorten: %v >= %v", PathLength(s, short), PathLength(s, path))
+	}
+	if !PathValid(s, short, nil) {
+		t.Fatal("shortcut path invalid")
+	}
+	if !short[0].Equal(path[0], 0) || !short[len(short)-1].Equal(path[len(path)-1], 0) {
+		t.Fatal("shortcut must preserve endpoints")
+	}
+}
+
+func TestShortcutPreservesValidityAroundObstacle(t *testing.T) {
+	s := cspaceWithWall()
+	// A valid path around the wall via the top; shortcutting must not
+	// produce a path through the wall.
+	path := []Config{
+		geom.V(0.1, 0.5), geom.V(0.2, 0.9), geom.V(0.5, 0.97),
+		geom.V(0.8, 0.9), geom.V(0.9, 0.5),
+	}
+	if !PathValid(s, path, nil) {
+		t.Fatal("fixture path should be valid")
+	}
+	r := rng.New(7)
+	short := Shortcut(s, path, 100, r, nil)
+	if !PathValid(s, short, nil) {
+		t.Fatal("shortcut broke validity")
+	}
+}
+
+func TestShortcutTrivialPaths(t *testing.T) {
+	s := NewPointSpace(env.Free())
+	r := rng.New(8)
+	two := []Config{geom.V(0, 0, 0), geom.V(1, 1, 1)}
+	if got := Shortcut(s, two, 10, r, nil); len(got) != 2 {
+		t.Fatalf("two-point path should be unchanged, got %d", len(got))
+	}
+}
+
+func TestDensify(t *testing.T) {
+	s := NewPointSpace(env.Free())
+	path := []Config{geom.V(0, 0, 0), geom.V(1, 0, 0)}
+	dense := Densify(s, path, 0.25)
+	if len(dense) < 4 {
+		t.Fatalf("densified length = %d", len(dense))
+	}
+	for i := 0; i+1 < len(dense); i++ {
+		if d := s.Distance(dense[i], dense[i+1]); d > 0.25+1e-9 {
+			t.Fatalf("hop %d length %v exceeds max step", i, d)
+		}
+	}
+	if !dense[0].Equal(path[0], 0) || !dense[len(dense)-1].Equal(path[1], 0) {
+		t.Fatal("densify must preserve endpoints")
+	}
+	if got := Densify(s, nil, 0.1); len(got) != 0 {
+		t.Fatal("empty densify")
+	}
+}

@@ -1,0 +1,92 @@
+package cspace
+
+import (
+	"math"
+	"testing"
+
+	"parmp/internal/env"
+	"parmp/internal/geom"
+	"parmp/internal/rng"
+)
+
+func corridorEnv() *env.Environment {
+	// A horizontal corridor of height 0.3 between two slabs.
+	return &env.Environment{
+		Name:   "corridor",
+		Bounds: geom.Box2(0, 0, 1, 1),
+		Obstacles: []env.Obstacle{
+			env.BoxObstacle{Box: geom.Box2(0, 0, 1, 0.35)},
+			env.BoxObstacle{Box: geom.Box2(0, 0.65, 1, 1)},
+		},
+	}
+}
+
+func TestSE2SpaceBasics(t *testing.T) {
+	s := NewSE2Space(corridorEnv(), NewRigidRect(0.2, 0.05))
+	if s.Dim() != 3 {
+		t.Fatalf("Dim = %d", s.Dim())
+	}
+	// Long thin body horizontal in the corridor: fits.
+	if !s.Valid(geom.V(0.5, 0.5, 0), nil) {
+		t.Fatal("horizontal body should fit the corridor")
+	}
+	// Rotated vertical: the 0.4-long body exceeds the 0.3 corridor.
+	if s.Valid(geom.V(0.5, 0.5, math.Pi/2), nil) {
+		t.Fatal("vertical body should hit the walls")
+	}
+}
+
+func TestSE2RotationSweep(t *testing.T) {
+	s := NewSE2Space(corridorEnv(), NewRigidRect(0.2, 0.05))
+	// Local plan that rotates into the wall must fail.
+	a := geom.V(0.5, 0.5, 0.0)
+	b := geom.V(0.5, 0.5, math.Pi/2)
+	if s.LocalPlan(a, b, nil) {
+		t.Fatal("rotation into walls should fail")
+	}
+	// Translation along the corridor is fine.
+	c := geom.V(0.3, 0.5, 0.0)
+	d := geom.V(0.7, 0.5, 0.0)
+	if !s.LocalPlan(c, d, nil) {
+		t.Fatal("corridor translation should succeed")
+	}
+}
+
+func TestSE2OutlineEdgesCatchThinObstacles(t *testing.T) {
+	// A thin pillar thinner than the gap between outline vertices: the
+	// edge sweep must still catch it when it pierces the body interior
+	// boundary.
+	e := &env.Environment{
+		Name:   "pillar",
+		Bounds: geom.Box2(0, 0, 1, 1),
+		Obstacles: []env.Obstacle{
+			env.BoxObstacle{Box: geom.Box2(0.495, 0.4, 0.505, 0.6)},
+		},
+	}
+	s := NewSE2Space(e, NewRigidRect(0.1, 0.02))
+	// Body centered left of the pillar, its right edge crossing it.
+	if s.Valid(geom.V(0.45, 0.45, 0), nil) {
+		t.Fatal("body outline crossing the pillar should collide")
+	}
+	if !s.Valid(geom.V(0.2, 0.45, 0), nil) {
+		t.Fatal("distant body should be free")
+	}
+}
+
+func TestSE2WorksWithPRM(t *testing.T) {
+	// End-to-end: the SE(2) body plans through the corridor with PRM.
+	s := NewSE2Space(corridorEnv(), NewRigidRect(0.1, 0.03))
+	// Sampling in the corridor band should succeed often enough.
+	valid := 0
+	r := rng.New(11)
+	var c Counters
+	for i := 0; i < 500; i++ {
+		q := s.SampleIn(s.Bounds, r, &c)
+		if s.Valid(q, &c) {
+			valid++
+		}
+	}
+	if valid == 0 {
+		t.Fatal("no valid SE(2) samples in corridor")
+	}
+}

@@ -1,0 +1,212 @@
+package cspace
+
+import (
+	"math"
+
+	"parmp/internal/env"
+	"parmp/internal/geom"
+	"parmp/internal/rng"
+)
+
+// Space binds a robot to an environment and defines the planning C-space:
+// bounds per DOF, the distance metric, sampling, validity and local
+// planning.
+type Space struct {
+	Env   *env.Environment
+	Robot Robot
+	// Bounds delimits each configuration dimension. For positional DOFs
+	// this is usually the workspace bounds; for angular DOFs [-pi, pi].
+	Bounds geom.AABB
+	// Weights scales each dimension in the distance metric (angular DOFs
+	// typically get smaller weight). Nil means all ones.
+	Weights []float64
+	// Resolution is the local planner step size in metric distance.
+	Resolution float64
+	// Steer, when non-nil, replaces straight-line motion in LocalPlan and
+	// StepToward with a kinematically feasible curve (e.g. Dubins paths
+	// for a car). Distance remains the symmetric metric used by
+	// nearest-neighbour structures.
+	Steer Steering
+}
+
+// Steering generates feasible motions between configurations for
+// non-holonomic robots.
+type Steering interface {
+	// PathLength returns the length of the feasible path from a to b
+	// (may differ from the metric and need not be symmetric).
+	PathLength(a, b Config) float64
+	// Interp returns the configuration at arc length s in [0,
+	// PathLength(a, b)] along the feasible path.
+	Interp(a, b Config, s float64) Config
+}
+
+// NewPointSpace returns a Space for a point robot in e: the C-space equals
+// the workspace.
+func NewPointSpace(e *env.Environment) *Space {
+	return &Space{
+		Env:        e,
+		Robot:      PointRobot{Dim: e.Dim()},
+		Bounds:     e.Bounds,
+		Resolution: defaultResolution(e.Bounds),
+	}
+}
+
+// NewRigidBodySpace returns a Space for a rigid body in a 3D environment:
+// 6 DOF (x, y, z, roll, pitch, yaw) with angular dimensions bounded by
+// [-pi, pi] and down-weighted in the metric.
+func NewRigidBodySpace(e *env.Environment, body RigidBody) *Space {
+	lo := geom.V(e.Bounds.Lo[0], e.Bounds.Lo[1], e.Bounds.Lo[2], -math.Pi, -math.Pi, -math.Pi)
+	hi := geom.V(e.Bounds.Hi[0], e.Bounds.Hi[1], e.Bounds.Hi[2], math.Pi, math.Pi, math.Pi)
+	b := geom.NewAABB(lo, hi)
+	return &Space{
+		Env:        e,
+		Robot:      body,
+		Bounds:     b,
+		Weights:    []float64{1, 1, 1, 0.1, 0.1, 0.1},
+		Resolution: defaultResolution(e.Bounds),
+	}
+}
+
+// NewLinkageSpace returns a Space for an articulated planar linkage: each
+// DOF is an absolute joint angle in [-pi, pi].
+func NewLinkageSpace(e *env.Environment, l Linkage) *Space {
+	d := l.DOF()
+	lo := make(geom.Vec, d)
+	hi := make(geom.Vec, d)
+	for i := 0; i < d; i++ {
+		lo[i], hi[i] = -math.Pi, math.Pi
+	}
+	return &Space{
+		Env:        e,
+		Robot:      l,
+		Bounds:     geom.NewAABB(lo, hi),
+		Resolution: 0.05,
+	}
+}
+
+func defaultResolution(b geom.AABB) float64 {
+	// 1/100 of the workspace diagonal.
+	return b.Extent().Norm() / 100
+}
+
+// Dim returns the C-space dimension.
+func (s *Space) Dim() int { return s.Bounds.Dim() }
+
+// Distance returns the (weighted) Euclidean metric between a and b.
+func (s *Space) Distance(a, b Config) float64 {
+	if s.Weights == nil {
+		return a.Dist(b)
+	}
+	var sum float64
+	for i := range a {
+		d := (a[i] - b[i]) * s.Weights[i]
+		sum += d * d
+	}
+	return math.Sqrt(sum)
+}
+
+// SampleIn draws a uniform configuration whose positional coordinates lie
+// in region (a sub-box of the first region.Dim() C-space dimensions);
+// remaining dimensions are drawn from the full C-space bounds. The sample
+// is not validity-checked.
+func (s *Space) SampleIn(region geom.AABB, r *rng.Stream, c *Counters) Config {
+	q := make(Config, s.Dim())
+	for i := range q {
+		if i < region.Dim() {
+			q[i] = r.Range(region.Lo[i], region.Hi[i])
+		} else {
+			q[i] = r.Range(s.Bounds.Lo[i], s.Bounds.Hi[i])
+		}
+	}
+	if c != nil {
+		c.Samples++
+	}
+	return q
+}
+
+// SampleFreeIn draws uniform configurations in region until one is valid
+// or maxTries is exhausted; ok reports success. Collision work is
+// accumulated into c.
+func (s *Space) SampleFreeIn(region geom.AABB, r *rng.Stream, maxTries int, c *Counters) (Config, bool) {
+	for t := 0; t < maxTries; t++ {
+		q := s.SampleIn(region, r, c)
+		if s.Valid(q, c) {
+			return q, true
+		}
+	}
+	return nil, false
+}
+
+// Valid reports whether q is collision-free, metering work into c.
+func (s *Space) Valid(q Config, c *Counters) bool {
+	free, tests := s.Robot.ConfigFree(s.Env, q)
+	if c != nil {
+		c.CDCalls++
+		c.CDObstacle += int64(tests)
+	}
+	return free
+}
+
+// LocalPlan reports whether the path a→b (straight line, or the steering
+// curve when Steer is set) is valid at the space's resolution. Work (one
+// validity check plus one edge sweep per step) is metered into c. The
+// endpoints are assumed already validated.
+func (s *Space) LocalPlan(a, b Config, c *Counters) bool {
+	if c != nil {
+		c.LPCalls++
+	}
+	var total float64
+	interp := func(t float64) Config { return a.Lerp(b, t) }
+	if s.Steer != nil {
+		total = s.Steer.PathLength(a, b)
+		interp = func(t float64) Config { return s.Steer.Interp(a, b, t*total) }
+	} else {
+		total = s.Distance(a, b)
+	}
+	steps := int(math.Ceil(total / s.Resolution))
+	if steps < 1 {
+		steps = 1
+	}
+	prev := a
+	for i := 1; i <= steps; i++ {
+		q := interp(float64(i) / float64(steps))
+		if c != nil {
+			c.LPSteps++
+		}
+		if !s.Valid(q, c) {
+			return false
+		}
+		free, tests := s.Robot.EdgeFree(s.Env, prev, q)
+		if c != nil {
+			c.CDObstacle += int64(tests)
+		}
+		if !free {
+			return false
+		}
+		prev = q
+	}
+	return true
+}
+
+// Interpolate returns the configuration at fraction t along a→b.
+func (s *Space) Interpolate(a, b Config, t float64) Config {
+	return a.Lerp(b, t)
+}
+
+// StepToward returns the configuration at most stepSize from a toward b —
+// along the straight line (metric distance) or the steering curve (arc
+// length) when Steer is set — and whether it reached b exactly.
+func (s *Space) StepToward(a, b Config, stepSize float64) (Config, bool) {
+	if s.Steer != nil {
+		d := s.Steer.PathLength(a, b)
+		if d <= stepSize {
+			return b.Clone(), true
+		}
+		return s.Steer.Interp(a, b, stepSize), false
+	}
+	d := s.Distance(a, b)
+	if d <= stepSize {
+		return b.Clone(), true
+	}
+	return a.Lerp(b, stepSize/d), false
+}

@@ -1,0 +1,382 @@
+// Package dist simulates a distributed-memory machine executing region
+// tasks under a work-stealing scheduler, in deterministic virtual time.
+//
+// It is the substitute for the paper's STAPL runtime on the Cray XE6 and
+// Opteron cluster: P virtual processors each own a deque of region tasks;
+// a task's cost is whatever work the real planner performs when the task
+// runs (tasks are deterministic, so cost is independent of schedule);
+// steal requests, replies and migrations travel as latency-weighted
+// messages between processors (intra- vs inter-node latency per the
+// machine profile). The simulation is event-driven and fully
+// deterministic given the configuration seed, so strong-scaling sweeps to
+// thousands of virtual processors run on any host.
+package dist
+
+import (
+	"container/heap"
+	"math"
+
+	"parmp/internal/rng"
+	"parmp/internal/steal"
+	"parmp/internal/work"
+)
+
+// Config parameterizes a simulation run.
+type Config struct {
+	// Procs is the number of virtual processors.
+	Procs int
+	// Profile supplies latency and handling constants.
+	Profile work.MachineProfile
+	// Policy selects steal victims; nil disables stealing entirely
+	// (the no-load-balancing and repartitioning-only modes).
+	Policy steal.Policy
+	// StealChunk is the fraction of a victim's pending deque transferred
+	// per successful steal, from the back (default 0.5). At least one
+	// task always transfers, so a vanishing fraction means one task per
+	// steal.
+	StealChunk float64
+	// Seed drives victim randomization.
+	Seed uint64
+	// MaxBackoff caps the exponential retry backoff, as a multiple of the
+	// remote latency (default 16).
+	MaxBackoff float64
+	// MaxRounds bounds how many consecutive unsuccessful victim rounds a
+	// thief tries before giving up for good (0 = retry until global
+	// termination). Bounded retries model schedulers whose idle
+	// processors stop polling, leaving residual imbalance when work is
+	// scarce — the paper's "low probability of finding work" effect.
+	MaxRounds int
+	// Trace, when non-nil, receives simulator events in virtual-time
+	// order (see TraceEvent). For debugging and visualization only.
+	Trace Tracer
+}
+
+func (c Config) stealChunk() float64 {
+	if c.StealChunk <= 0 || c.StealChunk > 1 {
+		return 0.5
+	}
+	return c.StealChunk
+}
+
+// ProcStats reports one virtual processor's execution profile.
+type ProcStats struct {
+	Busy                                      float64 // virtual time spent executing tasks
+	Idle                                      float64 // makespan minus Busy
+	Finish                                    float64 // completion time of the proc's last task
+	TasksLocal                                int     // tasks executed from the original assignment
+	TasksStolen                               int     // tasks executed that were stolen from others
+	StealsIssued, StealsGranted, StealsDenied int
+	TasksLost                                 int // tasks stolen away from this proc
+}
+
+// Report is the outcome of a simulation.
+type Report struct {
+	Makespan   float64
+	Procs      []ProcStats
+	TotalTasks int
+	// ExecutedBy[taskID] is the processor that ultimately ran the task
+	// (ownership transfer makes this differ from the initial owner).
+	ExecutedBy map[int]int
+	// Cost[taskID] is the task's measured virtual-time cost.
+	Cost map[int]float64
+	// Payload[taskID] is the task's reported payload (e.g. roadmap
+	// vertices created), for downstream migration pricing.
+	Payload map[int]int
+	// TerminationCost is the virtual time spent detecting global
+	// termination (token ring; zero when stealing is disabled).
+	TerminationCost float64
+}
+
+// queued is a deque entry.
+type queued struct {
+	task   work.Task
+	stolen bool
+}
+
+// event kinds.
+const (
+	evPop = iota
+	evStealArrive
+	evStealReply
+)
+
+type event struct {
+	t    float64
+	seq  int
+	kind int
+	proc int // target processor of the event
+
+	// steal fields
+	thief, victim int
+	grant         []queued
+}
+
+type evHeap []*event
+
+func (h evHeap) Len() int { return len(h) }
+func (h evHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h evHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *evHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *evHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// sim is the running simulation state.
+type sim struct {
+	cfg    Config
+	events evHeap
+	seq    int
+
+	deque [][]queued
+	busy  []bool
+	stats []ProcStats
+	rngs  []*rng.Stream
+	// attempt counts failed steal rounds per thief since last success.
+	attempt []int
+	// candidates is the remaining victim list of the thief's current round.
+	candidates [][]int
+	// pending holds steal requests that arrived while the victim was
+	// executing a task; they are serviced at the next poll point (task
+	// completion), modelling non-preemptive RMI handling.
+	pending   [][]*event
+	remaining int
+
+	report Report
+}
+
+func (s *sim) schedule(t float64, e *event) {
+	e.t = t
+	e.seq = s.seq
+	s.seq++
+	heap.Push(&s.events, e)
+}
+
+// Run executes the simulation. queues[p] is processor p's initial task
+// assignment, executed front to back; steals take from the back.
+func Run(cfg Config, queues [][]work.Task) Report {
+	if cfg.Procs <= 0 || len(queues) != cfg.Procs {
+		panic("dist: queues must have exactly Procs entries")
+	}
+	s := &sim{
+		cfg:        cfg,
+		deque:      make([][]queued, cfg.Procs),
+		busy:       make([]bool, cfg.Procs),
+		stats:      make([]ProcStats, cfg.Procs),
+		rngs:       make([]*rng.Stream, cfg.Procs),
+		attempt:    make([]int, cfg.Procs),
+		candidates: make([][]int, cfg.Procs),
+		pending:    make([][]*event, cfg.Procs),
+		report: Report{
+			ExecutedBy: map[int]int{},
+			Cost:       map[int]float64{},
+			Payload:    map[int]int{},
+		},
+	}
+	for p := 0; p < cfg.Procs; p++ {
+		s.rngs[p] = rng.Derive(cfg.Seed, uint64(p)+1)
+		for _, t := range queues[p] {
+			s.deque[p] = append(s.deque[p], queued{task: t})
+			s.remaining++
+		}
+	}
+	s.report.TotalTasks = s.remaining
+	for p := 0; p < cfg.Procs; p++ {
+		s.schedule(0, &event{kind: evPop, proc: p})
+	}
+	for s.events.Len() > 0 {
+		e := heap.Pop(&s.events).(*event)
+		switch e.kind {
+		case evPop:
+			s.pop(e)
+		case evStealArrive:
+			s.stealArrive(e)
+		case evStealReply:
+			s.stealReply(e)
+		}
+	}
+	for p := range s.stats {
+		if s.stats[p].Finish > s.report.Makespan {
+			s.report.Makespan = s.stats[p].Finish
+		}
+	}
+	// Work stealing needs distributed termination detection: a processor
+	// with an empty deque cannot distinguish "all done" from "work still
+	// in flight" (the paper's Algorithm 3 outer loop). We charge
+	// tree-based detection waves after global quiescence, priced like
+	// barriers so the overhead grows with log2(P) as in practical
+	// implementations; a serial token ring would scale O(P) and swamp the
+	// stealing benefit at thousands of processors.
+	if cfg.Policy != nil && cfg.Procs > 1 && s.report.TotalTasks > 0 {
+		// Two barrier-equivalent reduction waves confirm quiescence.
+		s.report.TerminationCost = 2 * cfg.Profile.Barrier(cfg.Procs)
+		s.report.Makespan += s.report.TerminationCost
+	}
+	for p := range s.stats {
+		s.stats[p].Idle = s.report.Makespan - s.stats[p].Busy
+	}
+	s.report.Procs = s.stats
+	return s.report
+}
+
+// pop makes processor e.proc take its next task or begin stealing.
+// Task completion is the processor's poll point: steal requests that
+// arrived during the finished task are serviced first.
+func (s *sim) pop(e *event) {
+	p := e.proc
+	s.busy[p] = false
+	if len(s.pending[p]) > 0 {
+		reqs := s.pending[p]
+		s.pending[p] = nil
+		for _, req := range reqs {
+			s.serveSteal(req, e.t)
+		}
+	}
+	if len(s.deque[p]) > 0 {
+		q := s.deque[p][0]
+		s.deque[p] = s.deque[p][1:]
+		s.execute(p, q, e.t)
+		return
+	}
+	s.tryStealRound(p, e.t)
+}
+
+// execute runs a task on p starting at time t.
+func (s *sim) execute(p int, q queued, t float64) {
+	s.busy[p] = true
+	cost, payload := q.task.Run()
+	if cost < 0 || math.IsNaN(cost) {
+		cost = 0
+	}
+	done := t + cost
+	s.stats[p].Busy += cost
+	if done > s.stats[p].Finish {
+		s.stats[p].Finish = done
+	}
+	if q.stolen {
+		s.stats[p].TasksStolen++
+	} else {
+		s.stats[p].TasksLocal++
+	}
+	s.trace(t, "exec", p, -1, q.task.ID)
+	s.report.ExecutedBy[q.task.ID] = p
+	s.report.Cost[q.task.ID] = cost
+	s.report.Payload[q.task.ID] = payload
+	s.remaining--
+	s.attempt[p] = 0
+	s.candidates[p] = nil
+	s.schedule(done, &event{kind: evPop, proc: p})
+}
+
+// tryStealRound starts or continues a steal round for thief p at time t.
+func (s *sim) tryStealRound(p int, t float64) {
+	if s.cfg.Policy == nil || s.remaining == 0 || s.cfg.Procs <= 1 {
+		return // processor retires
+	}
+	if s.cfg.MaxRounds > 0 && s.attempt[p] >= s.cfg.MaxRounds {
+		s.trace(t, "retire", p, -1, -1)
+		return // too many failed rounds: give up
+	}
+	if len(s.candidates[p]) == 0 {
+		s.candidates[p] = s.cfg.Policy.Victims(p, s.cfg.Procs, s.attempt[p], s.rngs[p])
+		if len(s.candidates[p]) == 0 {
+			// Policy has nobody to ask (e.g. mesh corner in a tiny
+			// system); retire.
+			return
+		}
+	}
+	v := s.candidates[p][0]
+	s.candidates[p] = s.candidates[p][1:]
+	s.stats[p].StealsIssued++
+	s.trace(t, "steal-req", p, v, -1)
+	s.schedule(t+s.cfg.Profile.Latency(p, v),
+		&event{kind: evStealArrive, proc: v, thief: p, victim: v})
+}
+
+// stealArrive receives a steal request at the victim. A busy victim
+// (non-preemptively executing a region) queues the request until its next
+// poll point; an idle one serves it immediately.
+func (s *sim) stealArrive(e *event) {
+	v := e.victim
+	if s.busy[v] {
+		s.pending[v] = append(s.pending[v], e)
+		return
+	}
+	s.serveSteal(e, e.t)
+}
+
+// serveSteal answers a steal request at time t. Ownership transfer is not
+// free: the reply carries each stolen region's descriptor and any data
+// already attached to it (its Payload), priced like a migration.
+func (s *sim) serveSteal(e *event, t float64) {
+	v, thief := e.victim, e.thief
+	var grant []queued
+	transfer := 0.0
+	n := len(s.deque[v])
+	if n > 0 {
+		take := int(math.Ceil(float64(n) * s.cfg.stealChunk()))
+		if take < 1 {
+			take = 1
+		}
+		if take > n {
+			take = n
+		}
+		// Steal from the back of the victim's deque.
+		grant = append(grant, s.deque[v][n-take:]...)
+		s.deque[v] = s.deque[v][:n-take]
+		for i := range grant {
+			grant[i].stolen = true
+			transfer += s.cfg.Profile.MigrateFixed +
+				s.cfg.Profile.MigratePerVertex*float64(grant[i].task.Payload)
+		}
+		s.stats[v].TasksLost += take
+	}
+	reply := &event{kind: evStealReply, proc: thief, thief: thief, victim: v, grant: grant}
+	s.schedule(t+s.cfg.Profile.StealHandling+s.cfg.Profile.Latency(v, thief)+transfer, reply)
+}
+
+// stealReply delivers the victim's response to the thief.
+func (s *sim) stealReply(e *event) {
+	p := e.thief
+	if len(e.grant) > 0 {
+		s.stats[p].StealsGranted++
+		s.trace(e.t, "steal-grant", p, e.victim, e.grant[0].task.ID)
+		s.deque[p] = append(s.deque[p], e.grant...)
+		s.attempt[p] = 0
+		s.candidates[p] = nil
+		if !s.busy[p] {
+			s.schedule(e.t, &event{kind: evPop, proc: p})
+		}
+		return
+	}
+	s.stats[p].StealsDenied++
+	s.trace(e.t, "steal-deny", p, e.victim, -1)
+	if s.remaining == 0 {
+		s.trace(e.t, "retire", p, -1, -1)
+		return
+	}
+	if len(s.candidates[p]) > 0 {
+		// Ask the next candidate of this round immediately.
+		s.tryStealRound(p, e.t)
+		return
+	}
+	// Round exhausted: back off exponentially, then start a new round.
+	s.attempt[p]++
+	backoff := s.cfg.Profile.LatencyRemote * math.Pow(2, float64(s.attempt[p]-1))
+	maxB := s.cfg.MaxBackoff
+	if maxB <= 0 {
+		maxB = 16
+	}
+	if lim := s.cfg.Profile.LatencyRemote * maxB; backoff > lim {
+		backoff = lim
+	}
+	s.schedule(e.t+backoff, &event{kind: evPop, proc: p})
+}

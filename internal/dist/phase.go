@@ -1,0 +1,18 @@
+package dist
+
+// StaticPhase models a bulk-synchronous phase with no stealing: each
+// processor executes its assigned costs sequentially; the phase ends at
+// the slowest processor (followed by a barrier, priced by the caller).
+// It returns the phase makespan and the per-processor busy times.
+func StaticPhase(costs [][]float64) (makespan float64, perProc []float64) {
+	perProc = make([]float64, len(costs))
+	for p, cs := range costs {
+		for _, c := range cs {
+			perProc[p] += c
+		}
+		if perProc[p] > makespan {
+			makespan = perProc[p]
+		}
+	}
+	return makespan, perProc
+}

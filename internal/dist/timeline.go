@@ -1,0 +1,44 @@
+package dist
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Timeline renders an ASCII utilization chart from a traced run: one row
+// per processor, '#' where the processor was executing a task and '.'
+// where it was idle or communicating. events must come from a Run with
+// Config.Trace installed; rep supplies task costs and totals.
+func Timeline(events []TraceEvent, rep Report, procs, width int) []string {
+	if width < 1 {
+		width = 1
+	}
+	scale := rep.Makespan / float64(width)
+	if scale <= 0 {
+		scale = 1
+	}
+	rows := make([][]byte, procs)
+	for p := range rows {
+		rows[p] = []byte(strings.Repeat(".", width))
+	}
+	for _, ev := range events {
+		if ev.Kind != "exec" || ev.Proc < 0 || ev.Proc >= procs {
+			continue
+		}
+		from := int(ev.Time / scale)
+		to := int((ev.Time + rep.Cost[ev.Task]) / scale)
+		for i := from; i <= to && i < width; i++ {
+			rows[ev.Proc][i] = '#'
+		}
+	}
+	out := make([]string, procs)
+	for p := range rows {
+		var ps ProcStats
+		if p < len(rep.Procs) {
+			ps = rep.Procs[p]
+		}
+		out[p] = fmt.Sprintf("p%-3d |%s| busy=%.0f local=%d stolen=%d",
+			p, rows[p], ps.Busy, ps.TasksLocal, ps.TasksStolen)
+	}
+	return out
+}

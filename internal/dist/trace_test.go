@@ -1,0 +1,81 @@
+package dist
+
+import (
+	"strings"
+	"testing"
+
+	"parmp/internal/steal"
+)
+
+func TestTraceEventsEmitted(t *testing.T) {
+	rows := [][]float64{{5, 5, 5, 5}, {}}
+	var events []TraceEvent
+	cfg := Config{
+		Procs: 2, Profile: testProfile(), Policy: steal.RandK{K: 1}, Seed: 1,
+		Trace: func(e TraceEvent) { events = append(events, e) },
+	}
+	Run(cfg, fixedTasks(rows))
+	if len(events) == 0 {
+		t.Fatal("no trace events")
+	}
+	kinds := map[string]int{}
+	lastT := -1.0
+	for _, e := range events {
+		kinds[e.Kind]++
+		if e.Time < lastT-1e-9 {
+			t.Fatalf("trace not time-ordered: %v after %v", e.Time, lastT)
+		}
+		lastT = e.Time
+	}
+	if kinds["exec"] != 4 {
+		t.Fatalf("exec events = %d, want 4", kinds["exec"])
+	}
+	if kinds["steal-req"] == 0 {
+		t.Fatal("no steal requests traced")
+	}
+	if kinds["steal-grant"]+kinds["steal-deny"] == 0 {
+		t.Fatal("no steal outcomes traced")
+	}
+}
+
+func TestWriteTrace(t *testing.T) {
+	var sb strings.Builder
+	tr := WriteTrace(&sb)
+	tr(TraceEvent{Time: 1.5, Kind: "exec", Proc: 3, Peer: -1, Task: 7})
+	out := sb.String()
+	for _, want := range []string{"t=1.5", "exec", "proc=3", "task=7"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("trace line %q missing %q", out, want)
+		}
+	}
+}
+
+func TestTraceNilSafe(t *testing.T) {
+	rows := [][]float64{{1}}
+	Run(Config{Procs: 1, Profile: testProfile()}, fixedTasks(rows)) // no panic without Trace
+}
+
+func TestTimeline(t *testing.T) {
+	rows := [][]float64{{10, 10}, {}}
+	var events []TraceEvent
+	rep := Run(Config{
+		Procs: 2, Profile: testProfile(), Policy: steal.RandK{K: 1}, Seed: 1,
+		Trace: func(e TraceEvent) { events = append(events, e) },
+	}, fixedTasks(rows))
+	lines := Timeline(events, rep, 2, 40)
+	if len(lines) != 2 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	if !strings.Contains(lines[0], "#") {
+		t.Fatal("proc 0 should show execution")
+	}
+	for _, l := range lines {
+		if !strings.Contains(l, "busy=") {
+			t.Fatalf("line missing stats: %q", l)
+		}
+	}
+	// Degenerate width clamps.
+	if got := Timeline(events, rep, 2, 0); len(got) != 2 {
+		t.Fatal("zero width should still render")
+	}
+}

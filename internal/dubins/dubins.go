@@ -1,0 +1,257 @@
+// Package dubins computes shortest paths for the Dubins car — a vehicle
+// that moves only forward with a bounded turning radius. Configurations
+// are (x, y, heading).
+//
+// The paper notes RRTs are "particularly well suited for non-holonomic
+// and kinodynamic motion planning problems"; plugging Dubins steering
+// into the planning stack (cspace.Space.Steer) turns the straight-line
+// local planner into a feasible-curve follower, giving the radial RRT a
+// genuinely non-holonomic workload.
+//
+// The construction follows the classical six-word taxonomy (Dubins 1957;
+// formulas after Shkel & Lugovoy 2001): every optimal path is one of
+// LSL, RSR, LSR, RSL, RLR, LRL, where L/R are minimum-radius arcs and S
+// a straight segment.
+package dubins
+
+import (
+	"math"
+)
+
+// Word identifies a Dubins path type.
+type Word int
+
+// The six Dubins words.
+const (
+	LSL Word = iota
+	RSR
+	LSR
+	RSL
+	RLR
+	LRL
+)
+
+// String names the word.
+func (w Word) String() string {
+	switch w {
+	case LSL:
+		return "LSL"
+	case RSR:
+		return "RSR"
+	case LSR:
+		return "LSR"
+	case RSL:
+		return "RSL"
+	case RLR:
+		return "RLR"
+	case LRL:
+		return "LRL"
+	}
+	return "???"
+}
+
+// segmentKinds maps each word to its three motion primitives
+// ('L', 'S', 'R').
+var segmentKinds = [6][3]byte{
+	LSL: {'L', 'S', 'L'},
+	RSR: {'R', 'S', 'R'},
+	LSR: {'L', 'S', 'R'},
+	RSL: {'R', 'S', 'L'},
+	RLR: {'R', 'L', 'R'},
+	LRL: {'L', 'R', 'L'},
+}
+
+// Path is a Dubins path from Start to an implied end configuration.
+type Path struct {
+	Start  [3]float64 // x, y, heading
+	Radius float64
+	Word   Word
+	// Seg holds the three normalized segment lengths (arcs in radians,
+	// the straight segment in units of Radius).
+	Seg [3]float64
+}
+
+// Length returns the path's total length in workspace units.
+func (p Path) Length() float64 {
+	return (p.Seg[0] + p.Seg[1] + p.Seg[2]) * p.Radius
+}
+
+func mod2pi(x float64) float64 {
+	x = math.Mod(x, 2*math.Pi)
+	if x < 0 {
+		x += 2 * math.Pi
+	}
+	return x
+}
+
+type triple struct {
+	t, p, q float64
+	ok      bool
+}
+
+func lsl(a, b, d float64) triple {
+	sa, ca := math.Sincos(a)
+	sb, cb := math.Sincos(b)
+	psq := 2 + d*d - 2*math.Cos(a-b) + 2*d*(sa-sb)
+	if psq < 0 {
+		return triple{}
+	}
+	tmp := math.Atan2(cb-ca, d+sa-sb)
+	return triple{mod2pi(-a + tmp), math.Sqrt(psq), mod2pi(b - tmp), true}
+}
+
+func rsr(a, b, d float64) triple {
+	sa, ca := math.Sincos(a)
+	sb, cb := math.Sincos(b)
+	psq := 2 + d*d - 2*math.Cos(a-b) + 2*d*(sb-sa)
+	if psq < 0 {
+		return triple{}
+	}
+	tmp := math.Atan2(ca-cb, d-sa+sb)
+	return triple{mod2pi(a - tmp), math.Sqrt(psq), mod2pi(-b + tmp), true}
+}
+
+func lsr(a, b, d float64) triple {
+	sa, ca := math.Sincos(a)
+	sb, cb := math.Sincos(b)
+	psq := -2 + d*d + 2*math.Cos(a-b) + 2*d*(sa+sb)
+	if psq < 0 {
+		return triple{}
+	}
+	p := math.Sqrt(psq)
+	tmp := math.Atan2(-ca-cb, d+sa+sb) - math.Atan2(-2, p)
+	return triple{mod2pi(-a + tmp), p, mod2pi(-mod2pi(b) + tmp), true}
+}
+
+func rsl(a, b, d float64) triple {
+	sa, ca := math.Sincos(a)
+	sb, cb := math.Sincos(b)
+	psq := -2 + d*d + 2*math.Cos(a-b) - 2*d*(sa+sb)
+	if psq < 0 {
+		return triple{}
+	}
+	p := math.Sqrt(psq)
+	tmp := math.Atan2(ca+cb, d-sa-sb) - math.Atan2(2, p)
+	return triple{mod2pi(a - tmp), p, mod2pi(b - tmp), true}
+}
+
+func rlr(a, b, d float64) triple {
+	sa, ca := math.Sincos(a)
+	sb, cb := math.Sincos(b)
+	tmp := (6 - d*d + 2*math.Cos(a-b) + 2*d*(sa-sb)) / 8
+	if math.Abs(tmp) > 1 {
+		return triple{}
+	}
+	p := mod2pi(2*math.Pi - math.Acos(tmp))
+	t := mod2pi(a - math.Atan2(ca-cb, d-sa+sb) + p/2)
+	q := mod2pi(a - b - t + p)
+	_ = ca
+	_ = cb
+	return triple{t, p, q, true}
+}
+
+func lrl(a, b, d float64) triple {
+	sa, ca := math.Sincos(a)
+	sb, cb := math.Sincos(b)
+	tmp := (6 - d*d + 2*math.Cos(a-b) + 2*d*(sb-sa)) / 8
+	if math.Abs(tmp) > 1 {
+		return triple{}
+	}
+	p := mod2pi(2*math.Pi - math.Acos(tmp))
+	t := mod2pi(-a + math.Atan2(-ca+cb, d+sa-sb) + p/2)
+	q := mod2pi(mod2pi(b) - a - t + p)
+	return triple{t, p, q, true}
+}
+
+var solvers = [6]func(a, b, d float64) triple{lsl, rsr, lsr, rsl, rlr, lrl}
+
+// Shortest returns the minimum-length Dubins path from (x0, y0, th0) to
+// (x1, y1, th1) with the given turning radius. ok is false only for a
+// non-positive radius.
+func Shortest(x0, y0, th0, x1, y1, th1, radius float64) (Path, bool) {
+	if radius <= 0 {
+		return Path{}, false
+	}
+	dx, dy := x1-x0, y1-y0
+	bigD := math.Hypot(dx, dy)
+	d := bigD / radius
+	phi := math.Atan2(dy, dx)
+	a := mod2pi(th0 - phi)
+	b := mod2pi(th1 - phi)
+
+	best := Path{Start: [3]float64{x0, y0, th0}, Radius: radius}
+	bestLen := math.Inf(1)
+	found := false
+	for w, solve := range solvers {
+		tr := solve(a, b, d)
+		if !tr.ok {
+			continue
+		}
+		l := tr.t + tr.p + tr.q
+		if l < bestLen {
+			bestLen = l
+			best.Word = Word(w)
+			best.Seg = [3]float64{tr.t, tr.p, tr.q}
+			found = true
+		}
+	}
+	if !found {
+		// Degenerate inputs (NaN); should not happen for finite configs.
+		return Path{}, false
+	}
+	return best, true
+}
+
+// step advances a configuration by normalized length s (units of Radius)
+// along primitive kind.
+func step(q [3]float64, kind byte, s float64) [3]float64 {
+	sin, cos := math.Sincos(q[2])
+	switch kind {
+	case 'S':
+		return [3]float64{q[0] + s*cos, q[1] + s*sin, q[2]}
+	case 'L':
+		return [3]float64{
+			q[0] + math.Sin(q[2]+s) - sin,
+			q[1] - math.Cos(q[2]+s) + cos,
+			q[2] + s,
+		}
+	case 'R':
+		return [3]float64{
+			q[0] - math.Sin(q[2]-s) + sin,
+			q[1] + math.Cos(q[2]-s) - cos,
+			q[2] - s,
+		}
+	}
+	return q
+}
+
+// At returns the configuration at arc length s (workspace units) along
+// the path, clamped to [0, Length].
+func (p Path) At(s float64) (x, y, th float64) {
+	if s < 0 {
+		s = 0
+	}
+	total := p.Length()
+	if s > total {
+		s = total
+	}
+	// Work in normalized units with a unit-radius frame centred on Start.
+	sn := s / p.Radius
+	q := [3]float64{0, 0, p.Start[2]}
+	kinds := segmentKinds[p.Word]
+	for i := 0; i < 3; i++ {
+		if sn <= 0 {
+			break
+		}
+		take := p.Seg[i]
+		if take > sn {
+			take = sn
+		}
+		q = step(q, kinds[i], take)
+		sn -= take
+	}
+	return p.Start[0] + q[0]*p.Radius, p.Start[1] + q[1]*p.Radius, mod2pi(q[2])
+}
+
+// End returns the path's terminal configuration.
+func (p Path) End() (x, y, th float64) { return p.At(p.Length()) }

@@ -1,0 +1,159 @@
+package dubins
+
+import (
+	"math"
+	"testing"
+
+	"parmp/internal/rng"
+)
+
+func angleDiff(a, b float64) float64 {
+	d := math.Abs(mod2pi(a) - mod2pi(b))
+	if d > math.Pi {
+		d = 2*math.Pi - d
+	}
+	return d
+}
+
+func TestStraightLineCase(t *testing.T) {
+	p, ok := Shortest(0, 0, 0, 5, 0, 0, 1)
+	if !ok {
+		t.Fatal("no path")
+	}
+	if math.Abs(p.Length()-5) > 1e-9 {
+		t.Fatalf("aligned path length = %v, want 5", p.Length())
+	}
+	x, y, th := p.End()
+	if math.Abs(x-5) > 1e-9 || math.Abs(y) > 1e-9 || angleDiff(th, 0) > 1e-9 {
+		t.Fatalf("end = (%v,%v,%v)", x, y, th)
+	}
+}
+
+func TestEndpointsReachedRandom(t *testing.T) {
+	r := rng.New(1)
+	for trial := 0; trial < 500; trial++ {
+		x0, y0 := r.Range(-5, 5), r.Range(-5, 5)
+		x1, y1 := r.Range(-5, 5), r.Range(-5, 5)
+		th0, th1 := r.Range(0, 2*math.Pi), r.Range(0, 2*math.Pi)
+		rho := r.Range(0.2, 2)
+		p, ok := Shortest(x0, y0, th0, x1, y1, th1, rho)
+		if !ok {
+			t.Fatalf("trial %d: no path", trial)
+		}
+		x, y, th := p.End()
+		if math.Abs(x-x1) > 1e-6 || math.Abs(y-y1) > 1e-6 {
+			t.Fatalf("trial %d (%s): end (%v,%v) != (%v,%v)", trial, p.Word, x, y, x1, y1)
+		}
+		if angleDiff(th, th1) > 1e-6 {
+			t.Fatalf("trial %d (%s): heading %v != %v", trial, p.Word, th, th1)
+		}
+	}
+}
+
+func TestLengthLowerBound(t *testing.T) {
+	r := rng.New(2)
+	for trial := 0; trial < 300; trial++ {
+		x1, y1 := r.Range(-5, 5), r.Range(-5, 5)
+		th0, th1 := r.Range(0, 2*math.Pi), r.Range(0, 2*math.Pi)
+		rho := r.Range(0.2, 1.5)
+		p, ok := Shortest(0, 0, th0, x1, y1, th1, rho)
+		if !ok {
+			t.Fatal("no path")
+		}
+		euclid := math.Hypot(x1, y1)
+		if p.Length() < euclid-1e-9 {
+			t.Fatalf("trial %d: length %v below euclidean %v", trial, p.Length(), euclid)
+		}
+		// Generous upper bound: straight distance + two full circles.
+		if p.Length() > euclid+4*math.Pi*rho+1e-9 {
+			t.Fatalf("trial %d: length %v implausibly long", trial, p.Length())
+		}
+	}
+}
+
+func TestPathMonotoneSampling(t *testing.T) {
+	// Successive samples along the path are at most ds apart (the car
+	// moves at unit speed along arc length).
+	p, ok := Shortest(0, 0, 0, 1, 2, math.Pi/2, 0.5)
+	if !ok {
+		t.Fatal("no path")
+	}
+	total := p.Length()
+	const n = 200
+	px, py, _ := p.At(0)
+	if math.Abs(px) > 1e-9 || math.Abs(py) > 1e-9 {
+		t.Fatal("At(0) must be the start")
+	}
+	for i := 1; i <= n; i++ {
+		s := total * float64(i) / n
+		x, y, _ := p.At(s)
+		ds := math.Hypot(x-px, y-py)
+		if ds > total/n+1e-9 {
+			t.Fatalf("sample %d jumped %v > %v", i, ds, total/n)
+		}
+		px, py = x, y
+	}
+}
+
+func TestClampAndWordNames(t *testing.T) {
+	p, _ := Shortest(0, 0, 0, 2, 1, 1, 0.7)
+	x0, y0, _ := p.At(-5)
+	if math.Abs(x0) > 1e-9 || math.Abs(y0) > 1e-9 {
+		t.Fatal("negative s should clamp to start")
+	}
+	xe, ye, _ := p.At(1e9)
+	ex, ey, _ := p.End()
+	if xe != ex || ye != ey {
+		t.Fatal("overlong s should clamp to end")
+	}
+	for w := LSL; w <= LRL; w++ {
+		if w.String() == "???" {
+			t.Fatalf("word %d unnamed", w)
+		}
+	}
+	if Word(99).String() != "???" {
+		t.Fatal("unknown word should print ???")
+	}
+}
+
+func TestInvalidRadius(t *testing.T) {
+	if _, ok := Shortest(0, 0, 0, 1, 1, 0, 0); ok {
+		t.Fatal("zero radius should fail")
+	}
+	if _, ok := Shortest(0, 0, 0, 1, 1, 0, -1); ok {
+		t.Fatal("negative radius should fail")
+	}
+}
+
+func TestAllWordsReachable(t *testing.T) {
+	// Sweep configurations and record which optimal words appear; the
+	// four CSC words must all occur (CCC words need close quarters).
+	r := rng.New(3)
+	seen := map[Word]bool{}
+	for trial := 0; trial < 3000; trial++ {
+		p, ok := Shortest(0, 0, r.Range(0, 2*math.Pi),
+			r.Range(-3, 3), r.Range(-3, 3), r.Range(0, 2*math.Pi), 1)
+		if ok {
+			seen[p.Word] = true
+		}
+	}
+	for _, w := range []Word{LSL, RSR, LSR, RSL} {
+		if !seen[w] {
+			t.Fatalf("word %s never optimal across sweep", w)
+		}
+	}
+}
+
+func TestTightTurnUsesCCC(t *testing.T) {
+	// Start and goal close together facing the same way but offset: a
+	// CCC word is typically optimal when d < 4 rho. Just require the
+	// solver finds SOME valid path and the end matches.
+	p, ok := Shortest(0, 0, 0, 0.1, 0.3, math.Pi, 1)
+	if !ok {
+		t.Fatal("no path for tight manoeuvre")
+	}
+	x, y, th := p.End()
+	if math.Abs(x-0.1) > 1e-6 || math.Abs(y-0.3) > 1e-6 || angleDiff(th, math.Pi) > 1e-6 {
+		t.Fatalf("tight end = (%v,%v,%v) word=%s", x, y, th, p.Word)
+	}
+}

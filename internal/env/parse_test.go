@@ -1,0 +1,104 @@
+package env
+
+import (
+	"strings"
+	"testing"
+
+	"parmp/internal/geom"
+)
+
+const sample3D = `
+# a test scene
+name test-scene
+bounds 0 0 0 1 1 1
+box 0.2 0.2 0.2 0.4 0.4 0.4
+sphere 0.7 0.7 0.7 0.1
+`
+
+func TestParse3D(t *testing.T) {
+	e, err := Parse(strings.NewReader(sample3D))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Name != "test-scene" || e.Dim() != 3 || len(e.Obstacles) != 2 {
+		t.Fatalf("parsed: %s dim=%d obstacles=%d", e.Name, e.Dim(), len(e.Obstacles))
+	}
+	if e.PointFree(geom.V(0.3, 0.3, 0.3)) {
+		t.Fatal("box interior should be blocked")
+	}
+	if e.PointFree(geom.V(0.7, 0.7, 0.75)) {
+		t.Fatal("sphere interior should be blocked")
+	}
+	if !e.PointFree(geom.V(0.05, 0.05, 0.05)) {
+		t.Fatal("corner should be free")
+	}
+}
+
+func TestParse2DAndSwappedBoxCorners(t *testing.T) {
+	src := "bounds 0 0 2 2\nbox 1.5 1.5 0.5 0.5\n"
+	e, err := Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Dim() != 2 {
+		t.Fatalf("dim = %d", e.Dim())
+	}
+	if e.PointFree(geom.V(1, 1)) {
+		t.Fatal("box (with swapped corners) should block its interior")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"box 0 0 1 1\n",                      // obstacle before bounds
+		"bounds 0 0 1\n",                     // wrong arity
+		"bounds 1 1 0 0\n",                   // degenerate
+		"bounds 0 0 1 1\nsphere 0.5 0.5 0\n", // non-positive radius
+		"bounds 0 0 1 1\nwarp 1 2\n",         // unknown directive
+		"bounds 0 0 1 1\nbox a b c d\n",      // non-numeric
+		"",                                   // missing bounds
+		"name\n",                             // name arity
+	}
+	for i, src := range cases {
+		if _, err := Parse(strings.NewReader(src)); err == nil {
+			t.Fatalf("case %d should fail: %q", i, src)
+		}
+	}
+}
+
+func TestWriteParseRoundTrip(t *testing.T) {
+	orig := MedCube()
+	orig.Obstacles = append(orig.Obstacles, SphereObstacle{Center: geom.V(0.1, 0.1, 0.1), Radius: 0.05})
+	var sb strings.Builder
+	if err := Write(&sb, orig); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Parse(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != orig.Name || len(back.Obstacles) != len(orig.Obstacles) {
+		t.Fatalf("round trip: %s %d obstacles", back.Name, len(back.Obstacles))
+	}
+	// Same blocked fraction (MC with same seed).
+	a := orig.BlockedFraction(50000, 3)
+	b := back.BlockedFraction(50000, 3)
+	if a != b {
+		t.Fatalf("blocked fractions differ: %v vs %v", a, b)
+	}
+}
+
+func TestWriteRejectsUnknownObstacle(t *testing.T) {
+	e := &Environment{Bounds: unitBox(2), Obstacles: []Obstacle{fakeObstacle{}}}
+	var sb strings.Builder
+	if err := Write(&sb, e); err == nil {
+		t.Fatal("unknown obstacle type should fail")
+	}
+}
+
+type fakeObstacle struct{}
+
+func (fakeObstacle) Contains(geom.Vec) bool         { return false }
+func (fakeObstacle) Bounds() geom.AABB              { return unitBox(2) }
+func (fakeObstacle) SegmentHits(a, b geom.Vec) bool { return false }
+func (fakeObstacle) Volume() float64                { return 0 }

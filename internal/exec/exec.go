@@ -1,0 +1,210 @@
+// Package exec is the real shared-memory counterpart of the simulated
+// machine in internal/dist: a goroutine-based work-stealing executor that
+// runs region tasks on actual OS threads, using the same victim-selection
+// policies (steal.Policy) as the simulator.
+//
+// Use it when planning for real (the library's normal mode on a multicore
+// host); use internal/dist when reproducing the paper's strong-scaling
+// figures with thousands of virtual processors.
+package exec
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"parmp/internal/rng"
+	"parmp/internal/steal"
+	"parmp/internal/work"
+)
+
+// Config parameterizes a run.
+type Config struct {
+	// Workers is the number of goroutines (default GOMAXPROCS).
+	Workers int
+	// Policy selects steal victims; nil disables stealing (workers only
+	// drain their own queues).
+	Policy steal.Policy
+	// Seed drives victim randomization.
+	Seed uint64
+	// StealChunk is the fraction of a victim's pending queue taken per
+	// steal (default 0.5).
+	StealChunk float64
+}
+
+func (c Config) workers() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+func (c Config) stealChunk() float64 {
+	if c.StealChunk <= 0 || c.StealChunk > 1 {
+		return 0.5
+	}
+	return c.StealChunk
+}
+
+// WorkerStats reports one worker's execution profile.
+type WorkerStats struct {
+	TasksLocal  int
+	TasksStolen int
+	StealsOK    int
+	StealsFail  int
+	Busy        time.Duration
+}
+
+// Report is the outcome of a run.
+type Report struct {
+	Wall    time.Duration
+	Workers []WorkerStats
+	// ExecutedBy[taskID] is the worker that ran the task.
+	ExecutedBy map[int]int
+}
+
+// queued tags tasks with their provenance.
+type queued struct {
+	task   work.Task
+	stolen bool
+}
+
+// deque is a mutex-protected double-ended task queue: the owner pops from
+// the front, thieves take a chunk from the back.
+type deque struct {
+	mu    sync.Mutex
+	items []queued
+}
+
+func (d *deque) popFront() (queued, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.items) == 0 {
+		return queued{}, false
+	}
+	q := d.items[0]
+	d.items = d.items[1:]
+	return q, true
+}
+
+func (d *deque) stealBack(frac float64) []queued {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	n := len(d.items)
+	if n == 0 {
+		return nil
+	}
+	take := int(float64(n) * frac)
+	if take < 1 {
+		take = 1
+	}
+	grant := make([]queued, take)
+	copy(grant, d.items[n-take:])
+	d.items = d.items[:n-take]
+	for i := range grant {
+		grant[i].stolen = true
+	}
+	return grant
+}
+
+func (d *deque) pushBack(qs []queued) {
+	d.mu.Lock()
+	d.items = append(d.items, qs...)
+	d.mu.Unlock()
+}
+
+// Run executes the per-worker task queues to completion and returns the
+// execution profile. Task closures run concurrently; they must be safe
+// to run in parallel with each other (region tasks are: each touches only
+// its own region's data).
+func Run(cfg Config, queues [][]work.Task) Report {
+	w := cfg.workers()
+	if len(queues) != w {
+		// Re-shard: distribute the given queues round-robin over workers.
+		resharded := make([][]work.Task, w)
+		i := 0
+		for _, q := range queues {
+			for _, t := range q {
+				resharded[i%w] = append(resharded[i%w], t)
+				i++
+			}
+		}
+		queues = resharded
+	}
+
+	deques := make([]*deque, w)
+	var remaining int64
+	for i := 0; i < w; i++ {
+		deques[i] = &deque{}
+		for _, t := range queues[i] {
+			deques[i].items = append(deques[i].items, queued{task: t})
+			remaining++
+		}
+	}
+
+	stats := make([]WorkerStats, w)
+	executedBy := make([]map[int]int, w)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for id := 0; id < w; id++ {
+		id := id
+		executedBy[id] = map[int]int{}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r := rng.Derive(cfg.Seed, uint64(id)+1)
+			attempt := 0
+			for atomic.LoadInt64(&remaining) > 0 {
+				if q, ok := deques[id].popFront(); ok {
+					t0 := time.Now()
+					q.task.Run()
+					stats[id].Busy += time.Since(t0)
+					executedBy[id][q.task.ID] = id
+					if q.stolen {
+						stats[id].TasksStolen++
+					} else {
+						stats[id].TasksLocal++
+					}
+					atomic.AddInt64(&remaining, -1)
+					attempt = 0
+					continue
+				}
+				if cfg.Policy == nil || w == 1 {
+					return
+				}
+				stole := false
+				for _, v := range cfg.Policy.Victims(id, w, attempt, r) {
+					if grant := deques[v].stealBack(cfg.stealChunk()); len(grant) > 0 {
+						deques[id].pushBack(grant)
+						stats[id].StealsOK++
+						stole = true
+						break
+					}
+					stats[id].StealsFail++
+				}
+				if stole {
+					attempt = 0
+					continue
+				}
+				attempt++
+				// Nothing stealable right now: yield and re-check; the
+				// remaining counter bounds the loop.
+				runtime.Gosched()
+			}
+		}()
+	}
+	wg.Wait()
+
+	rep := Report{
+		Wall:       time.Since(start),
+		Workers:    stats,
+		ExecutedBy: map[int]int{},
+	}
+	for id := range executedBy {
+		for task, worker := range executedBy[id] {
+			rep.ExecutedBy[task] = worker
+		}
+	}
+	return rep
+}

@@ -1,0 +1,362 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"parmp/internal/metrics"
+)
+
+// tiny returns a minimal scale so the whole figure set runs in seconds.
+func tiny() Scale {
+	return Scale{
+		Name:             "tiny",
+		ModelProcs:       []int{2, 4, 8},
+		ModelImpProcs:    []int{4, 8},
+		ModelGrid:        8,
+		PRMProcs:         []int{4, 8},
+		PRMHighProcs:     []int{8, 16},
+		ProfileProcs:     8,
+		RemoteProcs:      8,
+		Fig9Procs:        [2]int{4, 16},
+		OpteronProcs:     []int{4, 8},
+		RRTProcs:         []int{2, 4},
+		PRMRegions:       64,
+		PRMHighRegions:   128,
+		SamplesPerRegion: 16,
+		RRTRegions:       32,
+		NodesPerRegion:   6,
+		Seed:             7,
+	}
+}
+
+func TestScaleByName(t *testing.T) {
+	if sc, ok := ScaleByName("quick"); !ok || sc.Name != "quick" {
+		t.Fatal("quick scale lookup failed")
+	}
+	if sc, ok := ScaleByName("full"); !ok || sc.Name != "full" {
+		t.Fatal("full scale lookup failed")
+	}
+	if _, ok := ScaleByName("huge"); ok {
+		t.Fatal("unknown scale should fail")
+	}
+}
+
+func TestFig4aShape(t *testing.T) {
+	tb := Fig4a(tiny())
+	if len(tb.XS) != 3 || len(tb.Columns) != 4 {
+		t.Fatalf("shape: %d rows %d cols", len(tb.XS), len(tb.Columns))
+	}
+	naive := tb.Column("model-imbalance")
+	best := tb.Column("model-improvement")
+	for i := range naive {
+		if best[i] > naive[i]+1e-9 {
+			t.Fatalf("row %d: best CV %v above naive %v", i, best[i], naive[i])
+		}
+	}
+	// Experimental imbalance should track the model within a loose factor.
+	expCV := tb.Column("experimental-imbalance")
+	for i := range expCV {
+		if naive[i] > 0.05 && expCV[i] <= 0 {
+			t.Fatalf("row %d: experiment shows no imbalance while model does", i)
+		}
+	}
+}
+
+func TestFig4bShape(t *testing.T) {
+	tb := Fig4b(tiny())
+	theo := tb.Column("theoretical-pct")
+	exp := tb.Column("experimental-pct")
+	run := tb.Column("runtime-pct")
+	for i := range theo {
+		if theo[i] < 0 || theo[i] > 100 || exp[i] < 0 || exp[i] > 100 || run[i] < 0 || run[i] > 100 {
+			t.Fatalf("row %d: percentages out of range: %v %v %v", i, theo[i], exp[i], run[i])
+		}
+	}
+	// At low proc counts improvement must be genuinely positive.
+	if theo[0] <= 0 || exp[0] <= 0 {
+		t.Fatalf("first row should show improvement: theo=%v exp=%v", theo[0], exp[0])
+	}
+}
+
+func TestFig5aShapes(t *testing.T) {
+	tb := Fig5a(tiny())
+	noLB := tb.Column("without-lb")
+	rp := tb.Column("repartitioning")
+	hybrid := tb.Column("hybrid-ws")
+	for i := range noLB {
+		// Load balancing should never be dramatically worse than the
+		// baseline in the imbalanced med-cube.
+		if rp[i] > noLB[i]*1.1 {
+			t.Fatalf("row %d: repartitioning %v much worse than noLB %v", i, rp[i], noLB[i])
+		}
+		if hybrid[i] > noLB[i]*1.2 {
+			t.Fatalf("row %d: hybrid %v much worse than noLB %v", i, hybrid[i], noLB[i])
+		}
+	}
+	// At the lowest processor count repartitioning must win clearly.
+	if rp[0] >= noLB[0] {
+		t.Fatalf("repartitioning should beat noLB at low P: %v vs %v", rp[0], noLB[0])
+	}
+}
+
+func TestFig5bCVDrops(t *testing.T) {
+	tb := Fig5b(tiny())
+	before := tb.Column("before-repartitioning")
+	after := tb.Column("after-repartitioning")
+	for i := range before {
+		if after[i] > before[i]+1e-9 {
+			t.Fatalf("row %d: CV after %v above before %v", i, after[i], before[i])
+		}
+	}
+	if before[0] <= 0 {
+		t.Fatal("med-cube should show imbalance before repartitioning")
+	}
+}
+
+func TestFig5cProfile(t *testing.T) {
+	sc := tiny()
+	tb := Fig5c(sc)
+	if len(tb.XS) != sc.ProfileProcs {
+		t.Fatalf("rows = %d, want %d", len(tb.XS), sc.ProfileProcs)
+	}
+	noLB := tb.Column("without-lb")
+	rp := tb.Column("repartitioning")
+	ideal := tb.Column("ideal")
+	// Profiles are sorted descending; spread of noLB must exceed spread
+	// of repartitioned; ideal is flat.
+	if noLB[0]-noLB[len(noLB)-1] <= rp[0]-rp[len(rp)-1] {
+		t.Fatalf("repartitioning should flatten the profile: noLB spread %v, rp spread %v",
+			noLB[0]-noLB[len(noLB)-1], rp[0]-rp[len(rp)-1])
+	}
+	for i := 1; i < len(ideal); i++ {
+		if ideal[i] != ideal[0] {
+			t.Fatal("ideal profile must be flat")
+		}
+	}
+}
+
+func TestFig6HighScale(t *testing.T) {
+	tb := Fig6(tiny())
+	noLB := tb.Column("without-lb")
+	rp := tb.Column("repartitioning")
+	if rp[0] >= noLB[0] {
+		t.Fatalf("repartitioning should win at %v procs: %v vs %v", tb.XS[0], rp[0], noLB[0])
+	}
+}
+
+func TestFig7aBreakdown(t *testing.T) {
+	tb := Fig7a(tiny())
+	if len(tb.XS) != 4 {
+		t.Fatalf("rows = %d, want 4 strategies", len(tb.XS))
+	}
+	nc := tb.Column("node-connection")
+	// Node connection dominates the baseline run (paper: ~90%).
+	rc := tb.Column("region-connection")
+	other := tb.Column("other")
+	frac := nc[0] / (nc[0] + rc[0] + other[0])
+	if frac < 0.5 {
+		t.Fatalf("node connection should dominate the no-LB run, got fraction %v", frac)
+	}
+	// Load-balanced rows should cut node connection vs row 0 (no-lb).
+	if nc[1] >= nc[0] {
+		t.Fatalf("repartitioning should cut node connection: %v vs %v", nc[1], nc[0])
+	}
+}
+
+func TestFig7bRemoteAccesses(t *testing.T) {
+	tb := Fig7b(tiny())
+	region := tb.Column("region-graph")
+	roadmap := tb.Column("roadmap-graph")
+	// Row 0 = no-lb, row 1 = repartitioning: repartitioning increases
+	// remote accesses (paper Fig 7(b)).
+	if region[1] <= region[0] {
+		t.Fatalf("repartitioning should raise region-graph remote accesses: %v vs %v", region[1], region[0])
+	}
+	if roadmap[1] <= roadmap[0] {
+		t.Fatalf("repartitioning should raise roadmap remote accesses: %v vs %v", roadmap[1], roadmap[0])
+	}
+}
+
+func TestFig8ThreeEnvironments(t *testing.T) {
+	tables := Fig8(tiny())
+	if len(tables) != 3 {
+		t.Fatalf("tables = %d", len(tables))
+	}
+	// med-cube: repartitioning wins at low P. free: nothing loses badly.
+	med := tables[0]
+	if med.Column("repartitioning")[0] >= med.Column("without-lb")[0] {
+		t.Fatal("med-cube repartitioning should win")
+	}
+	free := tables[2]
+	noLB := free.Column("without-lb")
+	for _, col := range []string{"repartitioning", "hybrid-ws", "rand-8-ws"} {
+		vals := free.Column(col)
+		for i := range vals {
+			if vals[i] > noLB[i]*1.35 {
+				t.Fatalf("free env: %s row %d overhead too high: %v vs %v", col, i, vals[i], noLB[i])
+			}
+		}
+	}
+}
+
+func TestFig9TaskDistribution(t *testing.T) {
+	tables := Fig9(tiny())
+	if len(tables) != 2 {
+		t.Fatalf("tables = %d", len(tables))
+	}
+	for ti, tb := range tables {
+		stolen := tb.Column("stolen")
+		local := tb.Column("non-stolen")
+		totalStolen, totalLocal := metrics.Sum(stolen), metrics.Sum(local)
+		if totalLocal <= 0 {
+			t.Fatalf("table %d: no local tasks", ti)
+		}
+		if totalStolen < 0 {
+			t.Fatalf("table %d: negative stolen count", ti)
+		}
+	}
+	// Paper: "at higher processor counts ... few processors are able to
+	// find work once they have exhausted their local regions" — the
+	// per-processor count of executed stolen tasks shrinks under strong
+	// scaling (Fig 9(b) vs 9(a)).
+	perProcLow := metrics.Mean(tables[0].Column("stolen"))
+	perProcHigh := metrics.Mean(tables[1].Column("stolen"))
+	if perProcHigh > perProcLow {
+		t.Fatalf("stolen tasks per proc should shrink with P: low=%v high=%v", perProcLow, perProcHigh)
+	}
+}
+
+func TestFig10RRT(t *testing.T) {
+	tables := Fig10(tiny())
+	if len(tables) != 3 {
+		t.Fatalf("tables = %d", len(tables))
+	}
+	mixed := tables[0]
+	noLB := mixed.Column("without-lb")
+	diff := mixed.Column("diffusive-ws")
+	// In the heavily blocked mixed env, diffusive stealing should help at
+	// low P (paper: 2.0x at 32 cores).
+	if diff[0] >= noLB[0] {
+		t.Fatalf("diffusive should beat noLB in mixed at low P: %v vs %v", diff[0], noLB[0])
+	}
+	// Free environment: no strategy catastrophically worse.
+	free := tables[2]
+	freeNoLB := free.Column("without-lb")
+	for _, col := range []string{"hybrid-ws", "rand-8-ws", "diffusive-ws"} {
+		vals := free.Column(col)
+		for i := range vals {
+			if vals[i] > freeNoLB[i]*1.35 {
+				t.Fatalf("free env %s row %d overhead: %v vs %v", col, i, vals[i], freeNoLB[i])
+			}
+		}
+	}
+}
+
+func TestByNameCoversAll(t *testing.T) {
+	sc := tiny()
+	for _, id := range Names() {
+		if id == "all" {
+			continue
+		}
+		tables, ok := ByName(id, sc)
+		if !ok || len(tables) == 0 {
+			t.Fatalf("ByName(%q) failed", id)
+		}
+		for _, tb := range tables {
+			if tb.Title == "" || len(tb.XS) == 0 {
+				t.Fatalf("%s: empty table", id)
+			}
+			lower := strings.ToLower(tb.Title)
+			if !strings.Contains(lower, "fig") && !strings.Contains(lower, "ablation") {
+				t.Fatalf("%s: title %q does not name a figure or ablation", id, tb.Title)
+			}
+		}
+	}
+	if _, ok := ByName("fig99", sc); ok {
+		t.Fatal("unknown experiment should fail")
+	}
+}
+
+func TestAblationDecompositionGranularityBound(t *testing.T) {
+	tb := AblationDecomposition(tiny())
+	noLB := tb.Column("without-lb")
+	rp := tb.Column("repartitioning")
+	// At 1 region/proc no balancer can improve anything.
+	if rp[0] < noLB[0]*0.99 {
+		t.Fatalf("1 region/proc should be unbalanceable: %v vs %v", rp[0], noLB[0])
+	}
+	// At the largest decomposition repartitioning must win.
+	last := len(noLB) - 1
+	if rp[last] >= noLB[last] {
+		t.Fatalf("high decomposition should benefit: %v vs %v", rp[last], noLB[last])
+	}
+}
+
+func TestAblationPartitionerTradeoff(t *testing.T) {
+	tb := AblationPartitioner(tiny())
+	nc := tb.Column("node-connection")
+	rc := tb.Column("region-connection")
+	cut := tb.Column("edge-cut")
+	// LPT (row 1) balances at least as well but cuts more edges.
+	if nc[1] > nc[0]*1.05 {
+		t.Fatalf("LPT node connection should not be much worse: %v vs %v", nc[1], nc[0])
+	}
+	if cut[1] <= cut[0] {
+		t.Fatalf("LPT should cut more edges: %v vs %v", cut[1], cut[0])
+	}
+	if rc[1] <= rc[0] {
+		t.Fatalf("LPT should pay more region connection: %v vs %v", rc[1], rc[0])
+	}
+}
+
+func TestAblationVictimPolicyAccounting(t *testing.T) {
+	tb := AblationVictimPolicy(tiny())
+	issued := tb.Column("steals-issued")
+	granted := tb.Column("steals-granted")
+	denied := tb.Column("steals-denied")
+	for i := range issued {
+		if issued[i] < granted[i]+denied[i] {
+			t.Fatalf("row %d: issued %v < granted %v + denied %v", i, issued[i], granted[i], denied[i])
+		}
+		if granted[i] <= 0 {
+			t.Fatalf("row %d: no steals granted on an imbalanced workload", i)
+		}
+	}
+}
+
+func TestAblationStealChunkRuns(t *testing.T) {
+	tb := AblationStealChunk(tiny())
+	for _, col := range tb.Columns {
+		for i, v := range tb.Column(col) {
+			if v <= 0 {
+				t.Fatalf("%s row %d: non-positive time", col, i)
+			}
+		}
+	}
+}
+
+func TestAblationWeightsShape(t *testing.T) {
+	tb := AblationWeights(tiny())
+	times := tb.Column("node-connection-time")
+	if times[1] >= times[0] {
+		t.Fatalf("measured-weight repartitioning should beat baseline: %v vs %v", times[1], times[0])
+	}
+	if times[2] != times[0] {
+		t.Fatal("uniform-weight rebalance must be a no-op")
+	}
+}
+
+func TestAblationRRTStar(t *testing.T) {
+	tb := AblationRRTStar(tiny())
+	noLB := tb.Column("no-lb-time")
+	// RRT* costs strictly more than plain RRT for the same node budget.
+	if noLB[1] <= noLB[0] {
+		t.Fatalf("RRT* should cost more: %v vs %v", noLB[1], noLB[0])
+	}
+	for _, v := range tb.Column("steal-speedup") {
+		if v <= 0 {
+			t.Fatal("speedup must be positive")
+		}
+	}
+}

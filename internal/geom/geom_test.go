@@ -1,0 +1,341 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"parmp/internal/rng"
+)
+
+func TestVecArithmetic(t *testing.T) {
+	v := V(1, 2, 3)
+	w := V(4, 5, 6)
+	if got := v.Add(w); !got.Equal(V(5, 7, 9), 0) {
+		t.Fatalf("Add = %v", got)
+	}
+	if got := w.Sub(v); !got.Equal(V(3, 3, 3), 0) {
+		t.Fatalf("Sub = %v", got)
+	}
+	if got := v.Scale(2); !got.Equal(V(2, 4, 6), 0) {
+		t.Fatalf("Scale = %v", got)
+	}
+	if got := v.Dot(w); got != 32 {
+		t.Fatalf("Dot = %v", got)
+	}
+}
+
+func TestVecNormDist(t *testing.T) {
+	v := V(3, 4)
+	if v.Norm() != 5 {
+		t.Fatalf("Norm = %v", v.Norm())
+	}
+	if v.Dist(V(0, 0)) != 5 {
+		t.Fatalf("Dist = %v", v.Dist(V(0, 0)))
+	}
+	if u := v.Unit(); math.Abs(u.Norm()-1) > 1e-12 {
+		t.Fatalf("Unit norm = %v", u.Norm())
+	}
+	z := V(0, 0)
+	if !z.Unit().Equal(z, 0) {
+		t.Fatal("Unit of zero vector should be zero")
+	}
+}
+
+func TestVecLerpEndpoints(t *testing.T) {
+	f := func(a, b float64) bool {
+		a, b = math.Mod(a, 1e6), math.Mod(b, 1e6)
+		if math.IsNaN(a) || math.IsNaN(b) {
+			a, b = 0, 0
+		}
+		v, w := V(a, b), V(b, a)
+		return v.Lerp(w, 0).Equal(v, 1e-6) && v.Lerp(w, 1).Equal(w, 1e-6)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCross(t *testing.T) {
+	got := V(1, 0, 0).Cross(V(0, 1, 0))
+	if !got.Equal(V(0, 0, 1), 1e-12) {
+		t.Fatalf("Cross = %v", got)
+	}
+	// Anti-commutativity property.
+	f := func(a, b, c, d, e, g float64) bool {
+		u, v := V(a, b, c), V(d, e, g)
+		return u.Cross(v).Equal(v.Cross(u).Scale(-1), 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAABBContains(t *testing.T) {
+	b := Box2(0, 0, 1, 1)
+	if !b.Contains(V(0.5, 0.5)) || !b.Contains(V(0, 0)) || !b.Contains(V(1, 1)) {
+		t.Fatal("boundary/interior points should be contained")
+	}
+	if b.Contains(V(1.01, 0.5)) || b.Contains(V(-0.01, 0.5)) {
+		t.Fatal("outside points should not be contained")
+	}
+	if b.ContainsOpen(V(0, 0.5)) {
+		t.Fatal("boundary not strictly inside")
+	}
+}
+
+func TestAABBVolumeCenter(t *testing.T) {
+	b := Box3(0, 0, 0, 2, 3, 4)
+	if b.Volume() != 24 {
+		t.Fatalf("Volume = %v", b.Volume())
+	}
+	if !b.Center().Equal(V(1, 1.5, 2), 1e-12) {
+		t.Fatalf("Center = %v", b.Center())
+	}
+	if !b.Extent().Equal(V(2, 3, 4), 1e-12) {
+		t.Fatalf("Extent = %v", b.Extent())
+	}
+}
+
+func TestAABBIntersection(t *testing.T) {
+	a := Box2(0, 0, 2, 2)
+	b := Box2(1, 1, 3, 3)
+	if !a.Intersects(b) {
+		t.Fatal("overlapping boxes should intersect")
+	}
+	inter, ok := a.Intersection(b)
+	if !ok || inter.Volume() != 1 {
+		t.Fatalf("Intersection = %v ok=%v", inter, ok)
+	}
+	if got := a.IntersectionVolume(b); got != 1 {
+		t.Fatalf("IntersectionVolume = %v", got)
+	}
+	c := Box2(5, 5, 6, 6)
+	if a.Intersects(c) {
+		t.Fatal("disjoint boxes should not intersect")
+	}
+	if a.IntersectionVolume(c) != 0 {
+		t.Fatal("disjoint intersection volume should be 0")
+	}
+}
+
+func TestAABBIntersectionVolumeSymmetric(t *testing.T) {
+	f := func(x0, y0, x1, y1 float64) bool {
+		lo := V(math.Min(x0, x1), math.Min(y0, y1))
+		hi := V(math.Max(x0, x1), math.Max(y0, y1))
+		a := NewAABB(lo, hi)
+		b := Box2(-1, -1, 1, 1)
+		return math.Abs(a.IntersectionVolume(b)-b.IntersectionVolume(a)) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAABBExpandClamp(t *testing.T) {
+	b := Box2(0, 0, 1, 1)
+	e := b.Expand(0.5)
+	if !e.Lo.Equal(V(-0.5, -0.5), 1e-12) || !e.Hi.Equal(V(1.5, 1.5), 1e-12) {
+		t.Fatalf("Expand = %v", e)
+	}
+	s := b.Expand(-1) // over-shrink collapses to center
+	if !s.Lo.Equal(V(0.5, 0.5), 1e-12) || !s.Hi.Equal(V(0.5, 0.5), 1e-12) {
+		t.Fatalf("over-shrink = %v", s)
+	}
+	if got := b.Clamp(V(5, -5)); !got.Equal(V(1, 0), 1e-12) {
+		t.Fatalf("Clamp = %v", got)
+	}
+}
+
+func TestAABBDistanceTo(t *testing.T) {
+	b := Box2(0, 0, 1, 1)
+	if b.DistanceTo(V(0.5, 0.5)) != 0 {
+		t.Fatal("inside distance should be 0")
+	}
+	if d := b.DistanceTo(V(2, 1)); math.Abs(d-1) > 1e-12 {
+		t.Fatalf("edge distance = %v", d)
+	}
+	if d := b.DistanceTo(V(2, 2)); math.Abs(d-math.Sqrt2) > 1e-12 {
+		t.Fatalf("corner distance = %v", d)
+	}
+}
+
+func TestSegmentIntersects(t *testing.T) {
+	b := Box2(1, 1, 2, 2)
+	cases := []struct {
+		a, c Vec
+		want bool
+	}{
+		{V(0, 0), V(3, 3), true},         // diagonal through
+		{V(0, 0), V(0.5, 0.5), false},    // stops short
+		{V(1.5, 0), V(1.5, 3), true},     // vertical through
+		{V(0, 0), V(3, 0), false},        // passes below
+		{V(1.5, 1.5), V(1.6, 1.6), true}, // fully inside
+		{V(0, 1), V(1, 1), true},         // touches corner edge
+	}
+	for i, c := range cases {
+		if got := b.SegmentIntersects(c.a, c.c); got != c.want {
+			t.Fatalf("case %d: SegmentIntersects(%v,%v) = %v, want %v", i, c.a, c.c, got, c.want)
+		}
+	}
+}
+
+func TestRayEnter(t *testing.T) {
+	b := Box2(1, -1, 2, 1)
+	tEnter, ok := b.RayEnter(V(0, 0), V(1, 0))
+	if !ok || math.Abs(tEnter-1) > 1e-12 {
+		t.Fatalf("RayEnter = %v ok=%v", tEnter, ok)
+	}
+	if _, ok := b.RayEnter(V(0, 0), V(-1, 0)); ok {
+		t.Fatal("ray pointing away should miss")
+	}
+	tEnter, ok = b.RayEnter(V(1.5, 0), V(1, 0))
+	if !ok || tEnter != 0 {
+		t.Fatalf("ray starting inside: t=%v ok=%v", tEnter, ok)
+	}
+}
+
+func TestQuatRotate(t *testing.T) {
+	q := QuatFromAxisAngle(V(0, 0, 1), math.Pi/2)
+	got := q.Rotate(V(1, 0, 0))
+	if !got.Equal(V(0, 1, 0), 1e-12) {
+		t.Fatalf("Rotate = %v", got)
+	}
+}
+
+func TestQuatComposition(t *testing.T) {
+	q1 := QuatFromAxisAngle(V(0, 0, 1), math.Pi/2)
+	q2 := QuatFromAxisAngle(V(1, 0, 0), math.Pi/2)
+	v := V(0, 1, 0)
+	seq := q1.Rotate(q2.Rotate(v))
+	comp := q1.Mul(q2).Rotate(v)
+	if !seq.Equal(comp, 1e-12) {
+		t.Fatalf("composition mismatch: %v vs %v", seq, comp)
+	}
+}
+
+func TestQuatConjInverse(t *testing.T) {
+	q := QuatFromEuler(0.3, -0.7, 1.1)
+	v := V(1, 2, 3)
+	back := q.Conj().Rotate(q.Rotate(v))
+	if !back.Equal(v, 1e-12) {
+		t.Fatalf("conjugate did not invert: %v", back)
+	}
+}
+
+func TestQuatRotationPreservesNorm(t *testing.T) {
+	clamp := func(x float64) float64 {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return 0
+		}
+		return math.Mod(x, 100)
+	}
+	f := func(roll, pitch, yaw, x, y, z float64) bool {
+		q := QuatFromEuler(clamp(roll), clamp(pitch), clamp(yaw))
+		v := V(clamp(x), clamp(y), clamp(z))
+		return math.Abs(q.Rotate(v).Norm()-v.Norm()) < 1e-6*(1+v.Norm())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTransformApplyCompose(t *testing.T) {
+	a := Transform{R: QuatFromAxisAngle(V(0, 0, 1), math.Pi/2), T: V(1, 0, 0)}
+	b := Transform{R: QuatIdentity, T: V(0, 1, 0)}
+	p := V(1, 0, 0)
+	seq := a.Apply(b.Apply(p))
+	comp := a.Compose(b).Apply(p)
+	if !seq.Equal(comp, 1e-12) {
+		t.Fatalf("compose mismatch: %v vs %v", seq, comp)
+	}
+}
+
+func TestSampleOnSphereUnit(t *testing.T) {
+	r := rng.New(1)
+	for d := 1; d <= 6; d++ {
+		for i := 0; i < 200; i++ {
+			p := SampleOnSphere(d, r)
+			if math.Abs(p.Norm()-1) > 1e-9 {
+				t.Fatalf("d=%d sample norm %v != 1", d, p.Norm())
+			}
+		}
+	}
+}
+
+func TestSampleInBallInside(t *testing.T) {
+	r := rng.New(2)
+	for i := 0; i < 1000; i++ {
+		p := SampleInBall(3, r)
+		if p.Norm() > 1+1e-12 {
+			t.Fatalf("ball sample outside: %v", p.Norm())
+		}
+	}
+}
+
+func TestSampleOnSphereMeanNearZero(t *testing.T) {
+	r := rng.New(3)
+	mean := NewVec(3)
+	const n = 20000
+	for i := 0; i < n; i++ {
+		mean = mean.Add(SampleOnSphere(3, r))
+	}
+	mean = mean.Scale(1.0 / n)
+	if mean.Norm() > 0.02 {
+		t.Fatalf("sphere sample mean %v not near origin", mean)
+	}
+}
+
+func TestFibonacciSphere(t *testing.T) {
+	pts := FibonacciSphere(64)
+	if len(pts) != 64 {
+		t.Fatalf("len = %d", len(pts))
+	}
+	for _, p := range pts {
+		if math.Abs(p.Norm()-1) > 1e-9 {
+			t.Fatalf("fibonacci point norm %v", p.Norm())
+		}
+	}
+	// Distinctness.
+	for i := range pts {
+		for j := i + 1; j < len(pts); j++ {
+			if pts[i].Equal(pts[j], 1e-9) {
+				t.Fatalf("points %d and %d coincide", i, j)
+			}
+		}
+	}
+}
+
+func TestCirclePoints(t *testing.T) {
+	pts := CirclePoints(4, 0)
+	want := []Vec{V(1, 0), V(0, 1), V(-1, 0), V(0, -1)}
+	for i := range pts {
+		if !pts[i].Equal(want[i], 1e-12) {
+			t.Fatalf("point %d = %v, want %v", i, pts[i], want[i])
+		}
+	}
+}
+
+func TestAngleBetween(t *testing.T) {
+	if a := AngleBetween(V(1, 0), V(0, 1)); math.Abs(a-math.Pi/2) > 1e-12 {
+		t.Fatalf("angle = %v", a)
+	}
+	if a := AngleBetween(V(1, 0), V(1, 0)); a != 0 {
+		t.Fatalf("self angle = %v", a)
+	}
+	if a := AngleBetween(V(1, 0), V(-2, 0)); math.Abs(a-math.Pi) > 1e-12 {
+		t.Fatalf("opposite angle = %v", a)
+	}
+	if a := AngleBetween(V(0, 0), V(1, 0)); a != 0 {
+		t.Fatalf("zero-vector angle = %v", a)
+	}
+}
+
+func TestNewAABBPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("inverted AABB should panic")
+		}
+	}()
+	NewAABB(V(1, 0), V(0, 1))
+}

@@ -1,0 +1,82 @@
+package geom
+
+import (
+	"math"
+
+	"parmp/internal/rng"
+)
+
+// SampleOnSphere returns a uniformly distributed point on the surface of
+// the unit (d-1)-sphere embedded in d dimensions, using normalized
+// Gaussian coordinates. It panics for d < 1.
+func SampleOnSphere(d int, r *rng.Stream) Vec {
+	if d < 1 {
+		panic("geom: SampleOnSphere requires d >= 1")
+	}
+	if d == 1 {
+		if r.Float64() < 0.5 {
+			return V(-1)
+		}
+		return V(1)
+	}
+	for {
+		v := make(Vec, d)
+		var n2 float64
+		for i := range v {
+			v[i] = r.NormFloat64()
+			n2 += v[i] * v[i]
+		}
+		if n2 > 1e-20 {
+			return v.Scale(1 / math.Sqrt(n2))
+		}
+	}
+}
+
+// SampleInBall returns a uniformly distributed point inside the unit
+// d-ball, via surface sample scaled by U^(1/d).
+func SampleInBall(d int, r *rng.Stream) Vec {
+	s := SampleOnSphere(d, r)
+	return s.Scale(math.Pow(r.Float64(), 1/float64(d)))
+}
+
+// FibonacciSphere returns n nearly-uniform deterministic points on the
+// 2-sphere in 3D (the Fibonacci lattice). Useful for reproducible radial
+// subdivisions independent of a random stream.
+func FibonacciSphere(n int) []Vec {
+	pts := make([]Vec, n)
+	golden := math.Pi * (3 - math.Sqrt(5))
+	for i := 0; i < n; i++ {
+		y := 1 - 2*(float64(i)+0.5)/float64(n)
+		r := math.Sqrt(1 - y*y)
+		th := golden * float64(i)
+		pts[i] = V(r*math.Cos(th), y, r*math.Sin(th))
+	}
+	return pts
+}
+
+// CirclePoints returns n evenly spaced unit vectors in 2D starting at
+// angle phase.
+func CirclePoints(n int, phase float64) []Vec {
+	pts := make([]Vec, n)
+	for i := 0; i < n; i++ {
+		a := phase + 2*math.Pi*float64(i)/float64(n)
+		pts[i] = V(math.Cos(a), math.Sin(a))
+	}
+	return pts
+}
+
+// AngleBetween returns the angle in radians between unit-or-not vectors
+// u and v, clamped for numeric safety.
+func AngleBetween(u, v Vec) float64 {
+	nu, nv := u.Norm(), v.Norm()
+	if nu == 0 || nv == 0 {
+		return 0
+	}
+	c := u.Dot(v) / (nu * nv)
+	if c > 1 {
+		c = 1
+	} else if c < -1 {
+		c = -1
+	}
+	return math.Acos(c)
+}

@@ -1,0 +1,57 @@
+package graph
+
+import "container/heap"
+
+// AStar returns the minimum-weight path from a to b guided by an
+// admissible heuristic h (a lower bound on remaining cost). With a nil or
+// zero heuristic it degenerates to Dijkstra. ok is false when b is
+// unreachable. Edge weights must be non-negative.
+func (g *Graph[V]) AStar(a, b ID, h func(ID) float64) (path []ID, dist float64, ok bool) {
+	n := len(g.adj)
+	if int(a) >= n || int(b) >= n {
+		return nil, 0, false
+	}
+	if h == nil {
+		h = func(ID) float64 { return 0 }
+	}
+	prev := make([]ID, n)
+	gScore := make([]float64, n)
+	closed := make([]bool, n)
+	for i := range prev {
+		prev[i] = InvalidID
+		gScore[i] = -1
+	}
+	gScore[a] = 0
+	q := &pq{{id: a, dist: h(a)}}
+	for q.Len() > 0 {
+		it := heap.Pop(q).(pqItem)
+		if closed[it.id] {
+			continue
+		}
+		closed[it.id] = true
+		if it.id == b {
+			break
+		}
+		for _, e := range g.adj[it.id] {
+			ng := gScore[it.id] + e.Weight
+			if gScore[e.To] < 0 || ng < gScore[e.To] {
+				gScore[e.To] = ng
+				prev[e.To] = it.id
+				heap.Push(q, pqItem{id: e.To, dist: ng + h(e.To)})
+			}
+		}
+	}
+	if !closed[b] {
+		return nil, 0, false
+	}
+	for cur := b; cur != InvalidID; cur = prev[cur] {
+		path = append(path, cur)
+		if cur == a {
+			break
+		}
+	}
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	return path, gScore[b], true
+}

@@ -1,0 +1,101 @@
+package graph
+
+import (
+	"math"
+	"testing"
+
+	"parmp/internal/rng"
+)
+
+func TestAStarMatchesDijkstra(t *testing.T) {
+	// With a zero heuristic, A* must match ShortestPath exactly on random
+	// weighted graphs.
+	r := rng.New(21)
+	for trial := 0; trial < 40; trial++ {
+		n := 2 + r.Intn(40)
+		g := New[int](n)
+		for i := 0; i < n; i++ {
+			g.AddVertex(i)
+		}
+		for i := 0; i < n*3; i++ {
+			g.AddEdge(ID(r.Intn(n)), ID(r.Intn(n)), r.Float64()*10)
+		}
+		a, b := ID(r.Intn(n)), ID(r.Intn(n))
+		dPath, dDist, dOK := g.ShortestPath(a, b)
+		aPath, aDist, aOK := g.AStar(a, b, nil)
+		if dOK != aOK {
+			t.Fatalf("trial %d: reachability mismatch", trial)
+		}
+		if dOK {
+			if math.Abs(dDist-aDist) > 1e-9 {
+				t.Fatalf("trial %d: dist %v vs %v", trial, dDist, aDist)
+			}
+			if len(dPath) == 0 || len(aPath) == 0 {
+				t.Fatalf("trial %d: empty path", trial)
+			}
+			if aPath[0] != a || aPath[len(aPath)-1] != b {
+				t.Fatalf("trial %d: endpoints wrong: %v", trial, aPath)
+			}
+		}
+	}
+}
+
+func TestAStarWithConsistentHeuristic(t *testing.T) {
+	// Grid graph with Manhattan-distance heuristic: admissible and
+	// consistent, so A* must return the optimal path and expand no more
+	// than Dijkstra (we just check optimality).
+	const w, h = 8, 8
+	g := New[[2]int](w * h)
+	id := func(x, y int) ID { return ID(y*w + x) }
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			g.AddVertex([2]int{x, y})
+		}
+	}
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			if x+1 < w {
+				g.AddEdge(id(x, y), id(x+1, y), 1)
+			}
+			if y+1 < h {
+				g.AddEdge(id(x, y), id(x, y+1), 1)
+			}
+		}
+	}
+	goal := [2]int{7, 7}
+	heur := func(v ID) float64 {
+		c := g.Vertex(v)
+		return math.Abs(float64(c[0]-goal[0])) + math.Abs(float64(c[1]-goal[1]))
+	}
+	path, dist, ok := g.AStar(id(0, 0), id(7, 7), heur)
+	if !ok || dist != 14 {
+		t.Fatalf("dist = %v ok = %v", dist, ok)
+	}
+	if len(path) != 15 {
+		t.Fatalf("path length = %d", len(path))
+	}
+	// Consecutive path vertices must be grid neighbours.
+	for i := 0; i+1 < len(path); i++ {
+		if !g.HasEdge(path[i], path[i+1]) {
+			t.Fatal("path uses non-edge")
+		}
+	}
+}
+
+func TestAStarUnreachableAndSelf(t *testing.T) {
+	g := New[int](3)
+	g.AddVertex(0)
+	g.AddVertex(1)
+	g.AddVertex(2)
+	g.AddEdge(0, 1, 1)
+	if _, _, ok := g.AStar(0, 2, nil); ok {
+		t.Fatal("unreachable should fail")
+	}
+	path, dist, ok := g.AStar(1, 1, nil)
+	if !ok || dist != 0 || len(path) != 1 {
+		t.Fatalf("self path = %v dist=%v", path, dist)
+	}
+	if _, _, ok := g.AStar(0, 99, nil); ok {
+		t.Fatal("out-of-range target should fail")
+	}
+}

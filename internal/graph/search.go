@@ -1,0 +1,111 @@
+package graph
+
+import "container/heap"
+
+// BFS traverses g from start, calling visit for each reachable vertex in
+// breadth-first order. Traversal stops early if visit returns false.
+func (g *Graph[V]) BFS(start ID, visit func(ID) bool) {
+	if int(start) >= len(g.adj) {
+		return
+	}
+	seen := make([]bool, len(g.adj))
+	queue := []ID{start}
+	seen[start] = true
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if !visit(cur) {
+			return
+		}
+		for _, e := range g.adj[cur] {
+			if !seen[e.To] {
+				seen[e.To] = true
+				queue = append(queue, e.To)
+			}
+		}
+	}
+}
+
+// ConnectedComponents returns a component label per vertex and the number
+// of components.
+func (g *Graph[V]) ConnectedComponents() (labels []int, count int) {
+	labels = make([]int, len(g.adj))
+	for i := range labels {
+		labels[i] = -1
+	}
+	for v := range g.adj {
+		if labels[v] != -1 {
+			continue
+		}
+		g.BFS(ID(v), func(id ID) bool {
+			labels[id] = count
+			return true
+		})
+		count++
+	}
+	return labels, count
+}
+
+// pqItem is a priority-queue entry for Dijkstra.
+type pqItem struct {
+	id   ID
+	dist float64
+}
+
+type pq []pqItem
+
+func (q pq) Len() int           { return len(q) }
+func (q pq) Less(i, j int) bool { return q[i].dist < q[j].dist }
+func (q pq) Swap(i, j int)      { q[i], q[j] = q[j], q[i] }
+func (q *pq) Push(x any)        { *q = append(*q, x.(pqItem)) }
+func (q *pq) Pop() any          { old := *q; n := len(old); it := old[n-1]; *q = old[:n-1]; return it }
+
+// ShortestPath returns the minimum-weight path from a to b and its total
+// weight using Dijkstra's algorithm. ok is false when b is unreachable.
+// Edge weights must be non-negative.
+func (g *Graph[V]) ShortestPath(a, b ID) (path []ID, dist float64, ok bool) {
+	n := len(g.adj)
+	if int(a) >= n || int(b) >= n {
+		return nil, 0, false
+	}
+	const unvisited = -2
+	prev := make([]ID, n)
+	seen := make([]bool, n)
+	best := make([]float64, n)
+	for i := range prev {
+		prev[i] = unvisited
+		best[i] = -1
+	}
+	q := &pq{{id: a, dist: 0}}
+	best[a] = 0
+	prev[a] = InvalidID
+	for q.Len() > 0 {
+		it := heap.Pop(q).(pqItem)
+		if seen[it.id] {
+			continue
+		}
+		seen[it.id] = true
+		if it.id == b {
+			break
+		}
+		for _, e := range g.adj[it.id] {
+			nd := it.dist + e.Weight
+			if best[e.To] < 0 || nd < best[e.To] {
+				best[e.To] = nd
+				prev[e.To] = it.id
+				heap.Push(q, pqItem{id: e.To, dist: nd})
+			}
+		}
+	}
+	if !seen[b] {
+		return nil, 0, false
+	}
+	for cur := b; cur != InvalidID; cur = prev[cur] {
+		path = append(path, cur)
+	}
+	// Reverse in place.
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	return path, best[b], true
+}

@@ -1,0 +1,39 @@
+package knn
+
+import (
+	"sort"
+
+	"parmp/internal/geom"
+)
+
+// BruteNearest returns up to k nearest neighbours of q among pts by
+// exhaustive scan, closest first. It is the reference implementation the
+// kd-tree is validated against, and the fallback for tiny point sets where
+// tree construction is not worth it.
+func BruteNearest(pts []geom.Vec, q geom.Vec, k int) []Result {
+	return BruteNearestExcluding(pts, q, k, nil)
+}
+
+// BruteNearestExcluding is BruteNearest with an index filter.
+func BruteNearestExcluding(pts []geom.Vec, q geom.Vec, k int, exclude func(int) bool) []Result {
+	if k <= 0 {
+		return nil
+	}
+	res := make([]Result, 0, len(pts))
+	for i, p := range pts {
+		if exclude != nil && exclude(i) {
+			continue
+		}
+		res = append(res, Result{Index: i, Dist2: q.Dist2(p)})
+	}
+	sort.Slice(res, func(i, j int) bool {
+		if res[i].Dist2 != res[j].Dist2 {
+			return res[i].Dist2 < res[j].Dist2
+		}
+		return res[i].Index < res[j].Index
+	})
+	if len(res) > k {
+		res = res[:k]
+	}
+	return res
+}

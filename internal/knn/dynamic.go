@@ -1,0 +1,69 @@
+package knn
+
+import (
+	"sort"
+
+	"parmp/internal/geom"
+)
+
+// Dynamic is a nearest-neighbour index for growing point sets: a kd-tree
+// over the bulk of the points plus a linear-scanned pending buffer.
+// Inserts are O(1) amortized; when the buffer outgrows a fraction of the
+// tree the structure rebuilds. This is the standard technique for
+// incremental planners (RRT trees) whose point sets only ever grow.
+type Dynamic struct {
+	pts     []geom.Vec
+	tree    *KDTree
+	treeLen int // how many of pts the tree covers
+}
+
+// NewDynamic returns an empty index.
+func NewDynamic() *Dynamic { return &Dynamic{} }
+
+// Len returns the number of indexed points.
+func (d *Dynamic) Len() int { return len(d.pts) }
+
+// Add inserts p and returns its index.
+func (d *Dynamic) Add(p geom.Vec) int {
+	d.pts = append(d.pts, p)
+	pending := len(d.pts) - d.treeLen
+	if pending > 32 && pending > d.treeLen/2 {
+		d.rebuild()
+	}
+	return len(d.pts) - 1
+}
+
+func (d *Dynamic) rebuild() {
+	d.tree = Build(d.pts[:len(d.pts):len(d.pts)])
+	d.treeLen = len(d.pts)
+}
+
+// Nearest returns up to k nearest neighbours of q, closest first, along
+// with the number of distance evaluations performed.
+func (d *Dynamic) Nearest(q geom.Vec, k int) ([]Result, int) {
+	if k <= 0 || len(d.pts) == 0 {
+		return nil, 0
+	}
+	var out []Result
+	evals := 0
+	if d.tree != nil {
+		hits, e := d.tree.Nearest(q, k)
+		out = append(out, hits...)
+		evals += e
+	}
+	// Pending buffer: linear scan.
+	for i := d.treeLen; i < len(d.pts); i++ {
+		out = append(out, Result{Index: i, Dist2: q.Dist2(d.pts[i])})
+		evals++
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Dist2 != out[b].Dist2 {
+			return out[a].Dist2 < out[b].Dist2
+		}
+		return out[a].Index < out[b].Index
+	})
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out, evals
+}

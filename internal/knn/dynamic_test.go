@@ -1,0 +1,87 @@
+package knn
+
+import (
+	"math"
+	"testing"
+
+	"parmp/internal/geom"
+	"parmp/internal/rng"
+)
+
+func TestDynamicMatchesBruteUnderGrowth(t *testing.T) {
+	r := rng.New(31)
+	d := NewDynamic()
+	var pts []geom.Vec
+	for i := 0; i < 500; i++ {
+		p := geom.V(r.Float64(), r.Float64(), r.Float64())
+		idx := d.Add(p)
+		if idx != i {
+			t.Fatalf("Add returned %d, want %d", idx, i)
+		}
+		pts = append(pts, p)
+		if i%37 != 0 {
+			continue
+		}
+		q := geom.V(r.Float64(), r.Float64(), r.Float64())
+		got, _ := d.Nearest(q, 5)
+		want := BruteNearest(pts, q, 5)
+		if len(got) != len(want) {
+			t.Fatalf("step %d: %d hits vs %d", i, len(got), len(want))
+		}
+		for j := range got {
+			if math.Abs(got[j].Dist2-want[j].Dist2) > 1e-12 {
+				t.Fatalf("step %d rank %d: %v vs %v", i, j, got[j], want[j])
+			}
+		}
+	}
+	if d.Len() != 500 {
+		t.Fatalf("Len = %d", d.Len())
+	}
+}
+
+func TestDynamicEmptyAndZeroK(t *testing.T) {
+	d := NewDynamic()
+	if out, _ := d.Nearest(geom.V(0, 0), 3); out != nil {
+		t.Fatal("empty index should return nil")
+	}
+	d.Add(geom.V(1, 1))
+	if out, _ := d.Nearest(geom.V(0, 0), 0); out != nil {
+		t.Fatal("k=0 should return nil")
+	}
+}
+
+func TestDynamicRebuildBoundary(t *testing.T) {
+	// Exactly the rebuild boundary: results stay correct across it.
+	r := rng.New(32)
+	d := NewDynamic()
+	var pts []geom.Vec
+	for i := 0; i < 100; i++ {
+		p := geom.V(r.Float64(), r.Float64())
+		d.Add(p)
+		pts = append(pts, p)
+	}
+	q := geom.V(0.5, 0.5)
+	got, _ := d.Nearest(q, 100)
+	if len(got) != 100 {
+		t.Fatalf("expected all 100 points, got %d", len(got))
+	}
+	want := BruteNearest(pts, q, 100)
+	for i := range got {
+		if math.Abs(got[i].Dist2-want[i].Dist2) > 1e-12 {
+			t.Fatalf("rank %d mismatch", i)
+		}
+	}
+}
+
+func BenchmarkDynamicGrowAndQuery(b *testing.B) {
+	r := rng.New(1)
+	for i := 0; i < b.N; i++ {
+		d := NewDynamic()
+		for j := 0; j < 500; j++ {
+			d.Add(geom.V(r.Float64(), r.Float64(), r.Float64()))
+			if j%10 == 0 {
+				d.Nearest(geom.V(0.5, 0.5, 0.5), 1)
+			}
+		}
+	}
+}

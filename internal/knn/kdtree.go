@@ -1,0 +1,165 @@
+// Package knn provides k-nearest-neighbour search over point sets: a
+// kd-tree for the planners' connection phases and a brute-force reference
+// used for cross-validation in tests.
+//
+// Restricting connection attempts to nearby samples is what makes the
+// subdivision approach local; the kNN structure is rebuilt per region so
+// queries never leave the owning processor.
+package knn
+
+import (
+	"container/heap"
+	"sort"
+
+	"parmp/internal/geom"
+)
+
+// Result is one neighbour hit.
+type Result struct {
+	Index int     // index into the point set supplied at build time
+	Dist2 float64 // squared Euclidean distance to the query
+}
+
+// KDTree is a static kd-tree over d-dimensional points.
+type KDTree struct {
+	pts   []geom.Vec
+	index []int // permutation of original indices, tree order
+	nodes []kdNode
+	dim   int
+}
+
+type kdNode struct {
+	axis        int
+	left, right int // node indices, -1 for leaf children
+	point       int // position into index
+}
+
+// Build constructs a kd-tree over pts. The tree keeps a reference to the
+// point slice; callers must not mutate it afterwards.
+func Build(pts []geom.Vec) *KDTree {
+	t := &KDTree{pts: pts}
+	if len(pts) == 0 {
+		return t
+	}
+	t.dim = len(pts[0])
+	t.index = make([]int, len(pts))
+	for i := range t.index {
+		t.index[i] = i
+	}
+	t.nodes = make([]kdNode, 0, len(pts))
+	t.build(0, len(pts), 0)
+	return t
+}
+
+// build recursively arranges index[lo:hi) and returns the node id.
+func (t *KDTree) build(lo, hi, depth int) int {
+	if lo >= hi {
+		return -1
+	}
+	axis := depth % t.dim
+	mid := (lo + hi) / 2
+	// Median split via full sort of the sub-slice: O(n log^2 n) total,
+	// fine for per-region point counts.
+	sub := t.index[lo:hi]
+	sort.Slice(sub, func(i, j int) bool {
+		return t.pts[sub[i]][axis] < t.pts[sub[j]][axis]
+	})
+	id := len(t.nodes)
+	t.nodes = append(t.nodes, kdNode{axis: axis, point: mid, left: -1, right: -1})
+	left := t.build(lo, mid, depth+1)
+	right := t.build(mid+1, hi, depth+1)
+	t.nodes[id].left = left
+	t.nodes[id].right = right
+	return id
+}
+
+// Len returns the number of indexed points.
+func (t *KDTree) Len() int { return len(t.pts) }
+
+// maxHeap of results ordered by Dist2 (largest on top).
+type maxHeap []Result
+
+func (h maxHeap) Len() int           { return len(h) }
+func (h maxHeap) Less(i, j int) bool { return h[i].Dist2 > h[j].Dist2 }
+func (h maxHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *maxHeap) Push(x any)        { *h = append(*h, x.(Result)) }
+func (h *maxHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// Nearest returns up to k nearest neighbours of q, closest first, along
+// with the number of distance evaluations performed (for work metering).
+func (t *KDTree) Nearest(q geom.Vec, k int) ([]Result, int) {
+	if k <= 0 || len(t.pts) == 0 {
+		return nil, 0
+	}
+	h := make(maxHeap, 0, k+1)
+	evals := 0
+	var visit func(node int)
+	visit = func(node int) {
+		if node < 0 {
+			return
+		}
+		n := t.nodes[node]
+		pi := t.index[n.point]
+		d2 := q.Dist2(t.pts[pi])
+		evals++
+		if len(h) < k {
+			heap.Push(&h, Result{Index: pi, Dist2: d2})
+		} else if d2 < h[0].Dist2 {
+			h[0] = Result{Index: pi, Dist2: d2}
+			heap.Fix(&h, 0)
+		}
+		delta := q[n.axis] - t.pts[pi][n.axis]
+		near, far := n.left, n.right
+		if delta > 0 {
+			near, far = n.right, n.left
+		}
+		visit(near)
+		// Prune the far side if the splitting plane is farther than the
+		// current kth-best distance.
+		if len(h) < k || delta*delta < h[0].Dist2 {
+			visit(far)
+		}
+	}
+	visit(0)
+	out := make([]Result, len(h))
+	for i := len(h) - 1; i >= 0; i-- {
+		out[i] = heap.Pop(&h).(Result)
+	}
+	return out, evals
+}
+
+// NearestExcluding behaves like Nearest but skips any index for which
+// exclude returns true (e.g. the query point itself).
+func (t *KDTree) NearestExcluding(q geom.Vec, k int, exclude func(int) bool) ([]Result, int) {
+	if k <= 0 || len(t.pts) == 0 {
+		return nil, 0
+	}
+	res, evals := t.Nearest(q, k+countExcludable(t, exclude, k))
+	out := res[:0]
+	for _, r := range res {
+		if exclude != nil && exclude(r.Index) {
+			continue
+		}
+		out = append(out, r)
+		if len(out) == k {
+			break
+		}
+	}
+	return out, evals
+}
+
+// countExcludable bounds how many extra hits to request: in planner usage
+// exclude matches exactly one point (the query itself), so one extra is
+// sufficient; a nil exclude needs none.
+func countExcludable(_ *KDTree, exclude func(int) bool, _ int) int {
+	if exclude == nil {
+		return 0
+	}
+	return 1
+}

@@ -1,0 +1,71 @@
+package knn
+
+import (
+	"sort"
+
+	"parmp/internal/geom"
+)
+
+// Radius returns all points within distance radius of q, closest first,
+// along with the number of distance evaluations performed. It is the
+// connection primitive for radius-based roadmap variants (PRM*-style
+// neighbourhoods).
+func (t *KDTree) Radius(q geom.Vec, radius float64) ([]Result, int) {
+	if len(t.pts) == 0 || radius < 0 {
+		return nil, 0
+	}
+	r2 := radius * radius
+	var out []Result
+	evals := 0
+	var visit func(node int)
+	visit = func(node int) {
+		if node < 0 {
+			return
+		}
+		n := t.nodes[node]
+		pi := t.index[n.point]
+		d2 := q.Dist2(t.pts[pi])
+		evals++
+		if d2 <= r2 {
+			out = append(out, Result{Index: pi, Dist2: d2})
+		}
+		delta := q[n.axis] - t.pts[pi][n.axis]
+		near, far := n.left, n.right
+		if delta > 0 {
+			near, far = n.right, n.left
+		}
+		visit(near)
+		if delta*delta <= r2 {
+			visit(far)
+		}
+	}
+	visit(0)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Dist2 != out[j].Dist2 {
+			return out[i].Dist2 < out[j].Dist2
+		}
+		return out[i].Index < out[j].Index
+	})
+	return out, evals
+}
+
+// BruteRadius is the exhaustive reference for Radius.
+func BruteRadius(pts []geom.Vec, q geom.Vec, radius float64) []Result {
+	if radius < 0 {
+		return nil
+	}
+	r2 := radius * radius
+	var out []Result
+	for i, p := range pts {
+		if d2 := q.Dist2(p); d2 <= r2 {
+			out = append(out, Result{Index: i, Dist2: d2})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Dist2 != out[j].Dist2 {
+			return out[i].Dist2 < out[j].Dist2
+		}
+		return out[i].Index < out[j].Index
+	})
+	return out
+}

@@ -1,0 +1,66 @@
+package metrics
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"io"
+	"strconv"
+)
+
+// WriteCSV emits the table as CSV: a header row (x label + columns) then
+// one row per sweep point. Notes are not included.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := append([]string{t.XLabel}, t.Columns...)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for i, x := range t.XS {
+		row := make([]string, 0, len(t.Rows[i])+1)
+		row = append(row, strconv.FormatFloat(x, 'g', -1, 64))
+		for _, v := range t.Rows[i] {
+			row = append(row, strconv.FormatFloat(v, 'g', -1, 64))
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// tableJSON is the stable JSON shape for a Table.
+type tableJSON struct {
+	Title   string      `json:"title"`
+	XLabel  string      `json:"xLabel"`
+	Columns []string    `json:"columns"`
+	XS      []float64   `json:"xs"`
+	Rows    [][]float64 `json:"rows"`
+	Notes   []string    `json:"notes,omitempty"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (t *Table) MarshalJSON() ([]byte, error) {
+	return json.Marshal(tableJSON{
+		Title: t.Title, XLabel: t.XLabel, Columns: t.Columns,
+		XS: t.XS, Rows: t.Rows, Notes: t.Notes,
+	})
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (t *Table) UnmarshalJSON(data []byte) error {
+	var tj tableJSON
+	if err := json.Unmarshal(data, &tj); err != nil {
+		return err
+	}
+	t.Title, t.XLabel, t.Columns = tj.Title, tj.XLabel, tj.Columns
+	t.XS, t.Rows, t.Notes = tj.XS, tj.Rows, tj.Notes
+	return nil
+}
+
+// WriteJSON emits the table as indented JSON.
+func (t *Table) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(t)
+}

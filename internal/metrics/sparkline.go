@@ -1,0 +1,62 @@
+package metrics
+
+import "strings"
+
+// sparkTicks are the eight block characters used for sparklines.
+var sparkTicks = []rune("▁▂▃▄▅▆▇█")
+
+// Sparkline renders xs as a compact unicode bar string, scaling to the
+// data range. Empty input yields an empty string.
+func Sparkline(xs []float64) string {
+	if len(xs) == 0 {
+		return ""
+	}
+	lo, hi := Min(xs), Max(xs)
+	var b strings.Builder
+	for _, x := range xs {
+		idx := 0
+		if hi > lo {
+			idx = int(float64(len(sparkTicks)-1) * (x - lo) / (hi - lo))
+		}
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(sparkTicks) {
+			idx = len(sparkTicks) - 1
+		}
+		b.WriteRune(sparkTicks[idx])
+	}
+	return b.String()
+}
+
+// BarChart renders xs as horizontal ASCII bars with labels, width columns
+// wide at the longest bar. Useful for load profiles in terminal reports.
+func BarChart(labels []string, xs []float64, width int) []string {
+	if width < 1 {
+		width = 40
+	}
+	hi := Max(xs)
+	out := make([]string, len(xs))
+	for i, x := range xs {
+		n := 0
+		if hi > 0 {
+			n = int(float64(width) * x / hi)
+		}
+		if n < 0 {
+			n = 0
+		}
+		label := ""
+		if i < len(labels) {
+			label = labels[i]
+		}
+		out[i] = padRight(label, 10) + " " + strings.Repeat("█", n)
+	}
+	return out
+}
+
+func padRight(s string, n int) string {
+	if len(s) >= n {
+		return s[:n]
+	}
+	return s + strings.Repeat(" ", n-len(s))
+}

@@ -1,0 +1,96 @@
+package model
+
+import (
+	"math"
+	"testing"
+
+	"parmp/internal/metrics"
+)
+
+func TestVFreeSumsToFreeArea(t *testing.T) {
+	m := Model{Blocked: 0.25, Grid: 16}
+	w := m.VFree()
+	if len(w) != 256 {
+		t.Fatalf("len = %d", len(w))
+	}
+	if got := metrics.Sum(w); math.Abs(got-0.75) > 1e-9 {
+		t.Fatalf("total VFree = %v, want 0.75", got)
+	}
+	// Corner regions are fully free; the obstacle spans [0.25,0.75]^2 so
+	// central regions are fully blocked.
+	cell := 1.0 / 16 / 16
+	if math.Abs(w[0]-cell) > 1e-12 {
+		t.Fatalf("corner region VFree = %v, want %v", w[0], cell)
+	}
+	// Region at grid coord (8,8): core [0.5,0.5625]x[0.5,0.5625] inside
+	// the obstacle.
+	center := 8*16 + 8
+	if w[center] != 0 {
+		t.Fatalf("central region VFree = %v, want 0", w[center])
+	}
+}
+
+func TestNaiveCVPositiveAndBestLower(t *testing.T) {
+	m := Model{Blocked: 0.25, Grid: 32}
+	for _, p := range []int{2, 4, 8, 16, 32} {
+		naive := m.NaiveCV(p)
+		best := m.BestCV(p)
+		if p > 2 && naive <= 0 {
+			t.Fatalf("p=%d: naive CV = %v, expected imbalance", p, naive)
+		}
+		if best > naive+1e-12 {
+			t.Fatalf("p=%d: best CV %v exceeds naive %v", p, best, naive)
+		}
+	}
+}
+
+func TestBestCVNearZeroForManyRegions(t *testing.T) {
+	// With 1024 regions over 8 procs, greedy LPT should balance V_free
+	// almost perfectly.
+	m := Model{Blocked: 0.25, Grid: 32}
+	if cv := m.BestCV(8); cv > 0.01 {
+		t.Fatalf("best CV = %v, expected near zero", cv)
+	}
+}
+
+func TestImprovementDecaysWithProcs(t *testing.T) {
+	// The paper: "the best possible distribution of regions to processors
+	// for higher core counts shows less benefit" — at 128 cores on a
+	// 256-region model "there is no better distribution of load possible".
+	// The effect is a granularity limit: once each processor holds only a
+	// couple of regions, greedy cannot beat the naive mapping.
+	m := Model{Blocked: 0.25, Grid: 16}
+	low := m.TheoreticalImprovement(4)
+	high := m.TheoreticalImprovement(128)
+	if low <= 0 {
+		t.Fatalf("improvement at 4 procs = %v, expected positive", low)
+	}
+	if high >= low {
+		t.Fatalf("improvement should decay: %v at 4p vs %v at 128p", low, high)
+	}
+	if high != 0 {
+		t.Fatalf("at 128 procs over 256 regions no improvement should remain, got %v", high)
+	}
+}
+
+func TestNoObstacleNoImbalance(t *testing.T) {
+	m := Model{Blocked: 0, Grid: 16}
+	if cv := m.NaiveCV(4); cv > 1e-9 {
+		t.Fatalf("free model naive CV = %v", cv)
+	}
+	if imp := m.TheoreticalImprovement(4); imp != 0 {
+		t.Fatalf("free model improvement = %v", imp)
+	}
+}
+
+func TestLoadsConserveVolume(t *testing.T) {
+	m := Model{Blocked: 0.25, Grid: 16}
+	for _, p := range []int{2, 5, 8} {
+		if got := metrics.Sum(m.NaiveLoads(p)); math.Abs(got-0.75) > 1e-9 {
+			t.Fatalf("naive loads sum %v", got)
+		}
+		if got := metrics.Sum(m.BestLoads(p)); math.Abs(got-0.75) > 1e-9 {
+			t.Fatalf("best loads sum %v", got)
+		}
+	}
+}

@@ -1,0 +1,62 @@
+package prm
+
+import (
+	"fmt"
+
+	"parmp/internal/cspace"
+	"parmp/internal/rng"
+)
+
+// QueryStats summarizes a multi-query evaluation of a roadmap — the
+// operational quality measure for a planner: how often random feasible
+// queries succeed and how long the returned paths are.
+type QueryStats struct {
+	Attempted, Solved int
+	// AvgLength is the mean metric length of solved paths.
+	AvgLength float64
+	// AvgWaypoints is the mean waypoint count of solved paths.
+	AvgWaypoints float64
+	Work         cspace.Counters
+}
+
+// SuccessRate returns Solved/Attempted (0 for no attempts).
+func (q QueryStats) SuccessRate() float64 {
+	if q.Attempted == 0 {
+		return 0
+	}
+	return float64(q.Solved) / float64(q.Attempted)
+}
+
+// String renders the stats on one line.
+func (q QueryStats) String() string {
+	return fmt.Sprintf("queries=%d solved=%d (%.0f%%) avg-length=%.3f avg-waypoints=%.1f",
+		q.Attempted, q.Solved, 100*q.SuccessRate(), q.AvgLength, q.AvgWaypoints)
+}
+
+// EvaluateQueries draws n random valid start/goal pairs and answers each
+// with Query(k nearest attachments), reporting aggregate success and path
+// quality. Deterministic given the stream.
+func EvaluateQueries(s *cspace.Space, m *Roadmap, n, k int, r *rng.Stream) QueryStats {
+	var stats QueryStats
+	var totalLen, totalWp float64
+	for i := 0; i < n; i++ {
+		start, ok1 := s.SampleFreeIn(s.Bounds, r, 50, &stats.Work)
+		goal, ok2 := s.SampleFreeIn(s.Bounds, r, 50, &stats.Work)
+		if !ok1 || !ok2 {
+			continue
+		}
+		stats.Attempted++
+		path, ok := Query(s, m, start, goal, k, &stats.Work)
+		if !ok {
+			continue
+		}
+		stats.Solved++
+		totalLen += cspace.PathLength(s, path)
+		totalWp += float64(len(path))
+	}
+	if stats.Solved > 0 {
+		stats.AvgLength = totalLen / float64(stats.Solved)
+		stats.AvgWaypoints = totalWp / float64(stats.Solved)
+	}
+	return stats
+}

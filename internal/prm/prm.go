@@ -1,0 +1,282 @@
+// Package prm implements the sequential Probabilistic Roadmap Method
+// (Kavraki et al., 1996) used inside each subdivision region, plus the
+// roadmap data type and query answering.
+//
+// The parallel driver in internal/core invokes BuildRegion once per
+// region (Algorithm 1, line 8) and ConnectBoundary for each adjacent
+// region pair (lines 10–12). All collision and nearest-neighbour work is
+// metered through cspace.Counters so the load-balancing layers can charge
+// virtual processors for the work actually performed.
+package prm
+
+import (
+	"parmp/internal/cspace"
+	"parmp/internal/geom"
+	"parmp/internal/graph"
+	"parmp/internal/knn"
+	"parmp/internal/rng"
+)
+
+// Node is a roadmap vertex: a free configuration tagged with the region
+// that produced it.
+type Node struct {
+	Q      cspace.Config
+	Region int
+}
+
+// Roadmap is a graph over free configurations; edge weights are metric
+// distances.
+type Roadmap struct {
+	G *graph.Graph[Node]
+}
+
+// NewRoadmap returns an empty roadmap.
+func NewRoadmap() *Roadmap {
+	return &Roadmap{G: graph.New[Node](0)}
+}
+
+// AddNode appends a roadmap vertex.
+func (m *Roadmap) AddNode(n Node) graph.ID { return m.G.AddVertex(n) }
+
+// NumNodes returns the vertex count.
+func (m *Roadmap) NumNodes() int { return m.G.NumVertices() }
+
+// NumEdges returns the edge count.
+func (m *Roadmap) NumEdges() int { return m.G.NumEdges() }
+
+// Params configures the sequential PRM planner.
+type Params struct {
+	// SamplesPerRegion is the number of sampling attempts per region;
+	// valid configurations among them become roadmap nodes.
+	SamplesPerRegion int
+	// K is the number of nearest neighbours per connection attempt.
+	K int
+	// MaxTries bounds sampling attempts per requested sample (default 20)
+	// for SampleFreeIn-style callers.
+	MaxTries int
+	// Sampler generates candidates (default uniform). Narrow-passage
+	// samplers (Gaussian, bridge) concentrate nodes where connectivity is
+	// hard, at higher collision cost per attempt.
+	Sampler cspace.Sampler
+}
+
+func (p Params) sampler() cspace.Sampler {
+	if p.Sampler == nil {
+		return cspace.UniformSampler{}
+	}
+	return p.Sampler
+}
+
+func (p Params) maxTries() int {
+	if p.MaxTries <= 0 {
+		return 20
+	}
+	return p.MaxTries
+}
+
+// RegionResult is the product of planning one region.
+type RegionResult struct {
+	Nodes []Node          // free configurations generated in the region
+	Edges [][2]int        // local indices into Nodes
+	Work  cspace.Counters // work performed, for load accounting
+}
+
+// SampleRegion draws p.SamplesPerRegion uniform configurations in box and
+// keeps the valid ones — the cheap first sub-phase whose per-region node
+// counts are the paper's repartitioning weight for PRM. Fixed-attempt
+// sampling makes a region's node count proportional to its free volume,
+// which is the load model the paper's theoretical analysis assumes ("the
+// total load that the region will experience is proportional to V_free").
+func SampleRegion(s *cspace.Space, box geom.AABB, regionID int, p Params, r *rng.Stream) ([]Node, cspace.Counters) {
+	var work cspace.Counters
+	sampler := p.sampler()
+	nodes := make([]Node, 0, p.SamplesPerRegion)
+	for i := 0; i < p.SamplesPerRegion; i++ {
+		q, ok := sampler.Sample(s, box, r, &work)
+		if ok {
+			nodes = append(nodes, Node{Q: q, Region: regionID})
+		}
+	}
+	return nodes, work
+}
+
+// ConnectRegion connects each node to its K nearest neighbours within the
+// region with the local planner — the expensive sub-phase ("the most time
+// consuming phase of the entire computation", ~90 % of total execution in
+// the paper's breakdown). Every k-nearest pair is attempted exactly once
+// (the paper's PRM attempts all k-nearest connections; no
+// connected-component shortcut).
+func ConnectRegion(s *cspace.Space, nodes []Node, p Params) ([][2]int, cspace.Counters) {
+	var work cspace.Counters
+	if len(nodes) < 2 {
+		return nil, work
+	}
+	pts := make([]geom.Vec, len(nodes))
+	for i, n := range nodes {
+		pts[i] = n.Q
+	}
+	tree := knn.Build(pts)
+	seen := map[[2]int]bool{}
+	var edges [][2]int
+	for i := range pts {
+		k := p.K
+		if k > len(pts)-1 {
+			k = len(pts) - 1
+		}
+		hits, evals := tree.NearestExcluding(pts[i], k, func(j int) bool { return j == i })
+		work.KNNQueries++
+		work.KNNEvals += int64(evals)
+		for _, h := range hits {
+			a, b := i, h.Index
+			if a > b {
+				a, b = b, a
+			}
+			key := [2]int{a, b}
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			if s.LocalPlan(pts[a], pts[b], &work) {
+				edges = append(edges, key)
+			}
+		}
+	}
+	return edges, work
+}
+
+// BuildRegion runs sequential PRM restricted to box (the region's
+// expanded sampling volume): SampleRegion followed by ConnectRegion.
+// Deterministic given the stream.
+func BuildRegion(s *cspace.Space, box geom.AABB, regionID int, p Params, r *rng.Stream) RegionResult {
+	var res RegionResult
+	res.Nodes, res.Work = SampleRegion(s, box, regionID, p, r)
+	edges, connectWork := ConnectRegion(s, res.Nodes, p)
+	res.Edges = edges
+	res.Work.Add(connectWork)
+	return res
+}
+
+// BoundaryResult is the product of connecting two adjacent regions.
+type BoundaryResult struct {
+	// Edges are (index into a's nodes, index into b's nodes) pairs that
+	// were successfully connected.
+	Edges [][2]int
+	Work  cspace.Counters
+	// Attempts is the number of cross-region connection attempts, each of
+	// which is a remote access when the regions live on different
+	// processors.
+	Attempts int
+}
+
+// ConnectBoundary attempts connections between the roadmaps of two
+// adjacent regions: the maxSources nodes of region a closest to region
+// b's roadmap (the boundary frontier — only samples near the shared
+// boundary participate, which is what the inter-region overlap exists
+// for) each try the local planner against their k nearest nodes in b.
+// maxSources <= 0 uses every node of a.
+func ConnectBoundary(s *cspace.Space, aNodes, bNodes []Node, k, maxSources int) BoundaryResult {
+	var res BoundaryResult
+	if len(aNodes) == 0 || len(bNodes) == 0 {
+		return res
+	}
+	bPts := make([]geom.Vec, len(bNodes))
+	for i, n := range bNodes {
+		bPts[i] = n.Q
+	}
+	tree := knn.Build(bPts)
+	if k <= 0 {
+		k = 1
+	}
+
+	// Frontier selection: a's nodes nearest to the centroid of b.
+	sources := make([]int, 0, len(aNodes))
+	if maxSources > 0 && maxSources < len(aNodes) {
+		centroid := make(geom.Vec, len(bPts[0]))
+		for _, p := range bPts {
+			centroid = centroid.Add(p)
+		}
+		centroid = centroid.Scale(1 / float64(len(bPts)))
+		aPts := make([]geom.Vec, len(aNodes))
+		for i, n := range aNodes {
+			aPts[i] = n.Q
+		}
+		hits := knn.BruteNearest(aPts, centroid, maxSources)
+		res.Work.KNNQueries++
+		res.Work.KNNEvals += int64(len(aPts))
+		for _, h := range hits {
+			sources = append(sources, h.Index)
+		}
+	} else {
+		for i := range aNodes {
+			sources = append(sources, i)
+		}
+	}
+
+	for _, i := range sources {
+		hits, evals := tree.Nearest(aNodes[i].Q, k)
+		res.Work.KNNQueries++
+		res.Work.KNNEvals += int64(evals)
+		for _, h := range hits {
+			res.Attempts++
+			if s.LocalPlan(aNodes[i].Q, bNodes[h.Index].Q, &res.Work) {
+				res.Edges = append(res.Edges, [2]int{i, h.Index})
+				break // one bridge per source node suffices
+			}
+		}
+	}
+	return res
+}
+
+// Query connects start and goal to the roadmap (each to its k nearest
+// nodes) and extracts a shortest path. It returns the configuration
+// sequence including start and goal, and ok=false if no path exists.
+// The roadmap is left unchanged: the transient attachment vertices are
+// removed before returning, so repeated querying is side-effect free.
+func Query(s *cspace.Space, m *Roadmap, start, goal cspace.Config, k int, c *cspace.Counters) ([]cspace.Config, bool) {
+	if !s.Valid(start, c) || !s.Valid(goal, c) {
+		return nil, false
+	}
+	pts := make([]geom.Vec, m.NumNodes())
+	for i := 0; i < m.NumNodes(); i++ {
+		pts[i] = m.G.Vertex(graph.ID(i)).Q
+	}
+	tree := knn.Build(pts)
+
+	attach := func(q cspace.Config) (graph.ID, bool) {
+		id := m.G.AddVertex(Node{Q: q, Region: -1})
+		hits, evals := tree.Nearest(q, k)
+		if c != nil {
+			c.KNNQueries++
+			c.KNNEvals += int64(evals)
+		}
+		connected := false
+		for _, h := range hits {
+			if s.LocalPlan(q, pts[h.Index], c) {
+				m.G.AddEdge(id, graph.ID(h.Index), s.Distance(q, pts[h.Index]))
+				connected = true
+			}
+		}
+		return id, connected
+	}
+
+	sid, okS := attach(start)
+	gid, okG := attach(goal)
+	// Remove the transient vertices before returning (goal first: it was
+	// added last).
+	defer func() {
+		m.G.RemoveLastVertex()
+		m.G.RemoveLastVertex()
+	}()
+	if !okS || !okG {
+		return nil, false
+	}
+	ids, _, ok := m.G.ShortestPath(sid, gid)
+	if !ok {
+		return nil, false
+	}
+	path := make([]cspace.Config, len(ids))
+	for i, id := range ids {
+		path[i] = m.G.Vertex(id).Q.Clone()
+	}
+	return path, true
+}

@@ -1,0 +1,53 @@
+package prm
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"parmp/internal/graph"
+)
+
+// wireRoadmap is the flat on-wire representation of a Roadmap.
+type wireRoadmap struct {
+	Nodes []Node
+	Edges []wireEdge
+}
+
+type wireEdge struct {
+	A, B   int
+	Weight float64
+}
+
+// Save writes the roadmap to w in a self-contained binary format (gob).
+// Roadmaps are expensive to build; persisting them lets many queries
+// amortize one construction.
+func (m *Roadmap) Save(w io.Writer) error {
+	wr := wireRoadmap{Nodes: make([]Node, m.NumNodes())}
+	for i := 0; i < m.NumNodes(); i++ {
+		wr.Nodes[i] = m.G.Vertex(graph.ID(i))
+	}
+	m.G.ForEachEdge(func(a, b graph.ID, weight float64) {
+		wr.Edges = append(wr.Edges, wireEdge{A: int(a), B: int(b), Weight: weight})
+	})
+	return gob.NewEncoder(w).Encode(wr)
+}
+
+// Load reads a roadmap previously written by Save.
+func Load(r io.Reader) (*Roadmap, error) {
+	var wr wireRoadmap
+	if err := gob.NewDecoder(r).Decode(&wr); err != nil {
+		return nil, fmt.Errorf("prm: decode roadmap: %w", err)
+	}
+	m := NewRoadmap()
+	for _, n := range wr.Nodes {
+		m.AddNode(n)
+	}
+	for _, e := range wr.Edges {
+		if e.A < 0 || e.B < 0 || e.A >= m.NumNodes() || e.B >= m.NumNodes() {
+			return nil, fmt.Errorf("prm: edge (%d,%d) out of range", e.A, e.B)
+		}
+		m.G.AddEdge(graph.ID(e.A), graph.ID(e.B), e.Weight)
+	}
+	return m, nil
+}

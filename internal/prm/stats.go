@@ -1,0 +1,55 @@
+package prm
+
+import (
+	"fmt"
+
+	"parmp/internal/graph"
+)
+
+// Stats summarizes roadmap quality: connectivity is what decides whether
+// queries succeed, and the component structure shows whether the
+// subdivision's region-connection phase actually stitched the regional
+// roadmaps together.
+type Stats struct {
+	Nodes, Edges int
+	// Components is the number of connected components; LargestComponent
+	// the node count of the biggest one.
+	Components       int
+	LargestComponent int
+	// IsolatedNodes counts degree-0 vertices.
+	IsolatedNodes int
+	// AvgDegree is mean vertex degree.
+	AvgDegree float64
+}
+
+// ComputeStats analyses the roadmap.
+func ComputeStats(m *Roadmap) Stats {
+	s := Stats{Nodes: m.NumNodes(), Edges: m.NumEdges()}
+	if s.Nodes == 0 {
+		return s
+	}
+	labels, count := m.G.ConnectedComponents()
+	s.Components = count
+	sizes := make([]int, count)
+	for _, l := range labels {
+		sizes[l]++
+	}
+	for _, sz := range sizes {
+		if sz > s.LargestComponent {
+			s.LargestComponent = sz
+		}
+	}
+	for i := 0; i < s.Nodes; i++ {
+		if m.G.Degree(graph.ID(i)) == 0 {
+			s.IsolatedNodes++
+		}
+	}
+	s.AvgDegree = 2 * float64(s.Edges) / float64(s.Nodes)
+	return s
+}
+
+// String renders the stats on one line.
+func (s Stats) String() string {
+	return fmt.Sprintf("nodes=%d edges=%d components=%d largest=%d isolated=%d avg-degree=%.2f",
+		s.Nodes, s.Edges, s.Components, s.LargestComponent, s.IsolatedNodes, s.AvgDegree)
+}

@@ -1,0 +1,84 @@
+package prm
+
+import (
+	"strings"
+	"testing"
+
+	"parmp/internal/cspace"
+	"parmp/internal/env"
+	"parmp/internal/geom"
+	"parmp/internal/graph"
+	"parmp/internal/rng"
+)
+
+func TestComputeStatsEmpty(t *testing.T) {
+	s := ComputeStats(NewRoadmap())
+	if s.Nodes != 0 || s.Components != 0 {
+		t.Fatalf("empty stats = %+v", s)
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	m := NewRoadmap()
+	a := m.AddNode(Node{Q: geom.V(0, 0)})
+	b := m.AddNode(Node{Q: geom.V(1, 0)})
+	c := m.AddNode(Node{Q: geom.V(2, 0)})
+	m.AddNode(Node{Q: geom.V(9, 9)}) // isolated
+	m.G.AddEdge(a, b, 1)
+	m.G.AddEdge(b, c, 1)
+	s := ComputeStats(m)
+	if s.Nodes != 4 || s.Edges != 2 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if s.Components != 2 || s.LargestComponent != 3 {
+		t.Fatalf("components = %+v", s)
+	}
+	if s.IsolatedNodes != 1 {
+		t.Fatalf("isolated = %d", s.IsolatedNodes)
+	}
+	if s.AvgDegree != 1 {
+		t.Fatalf("avg degree = %v", s.AvgDegree)
+	}
+	if !strings.Contains(s.String(), "components=2") {
+		t.Fatal("String missing fields")
+	}
+}
+
+func TestEvaluateQueries(t *testing.T) {
+	s := cspaceFree()
+	res := BuildRegion(s, s.Bounds, 0, Params{SamplesPerRegion: 80, K: 8}, rng.New(1))
+	m := NewRoadmap()
+	ids := make([]graph.ID, len(res.Nodes))
+	for i, n := range res.Nodes {
+		ids[i] = m.AddNode(n)
+	}
+	for _, e := range res.Edges {
+		m.G.AddEdge(ids[e[0]], ids[e[1]], s.Distance(res.Nodes[e[0]].Q, res.Nodes[e[1]].Q))
+	}
+	stats := EvaluateQueries(s, m, 20, 6, rng.New(2))
+	if stats.Attempted != 20 {
+		t.Fatalf("attempted = %d", stats.Attempted)
+	}
+	if stats.SuccessRate() < 0.8 {
+		t.Fatalf("free-space success rate = %v, want high", stats.SuccessRate())
+	}
+	if stats.AvgLength <= 0 || stats.AvgWaypoints < 2 {
+		t.Fatalf("path quality stats: %+v", stats)
+	}
+	if stats.String() == "" {
+		t.Fatal("empty String")
+	}
+}
+
+func TestEvaluateQueriesEmptyRoadmap(t *testing.T) {
+	s := cspaceFree()
+	stats := EvaluateQueries(s, NewRoadmap(), 5, 3, rng.New(3))
+	if stats.Solved != 0 {
+		t.Fatal("empty roadmap cannot solve queries")
+	}
+	if stats.SuccessRate() != 0 {
+		t.Fatal("success rate should be 0")
+	}
+}
+
+func cspaceFree() *cspace.Space { return cspace.NewPointSpace(env.Free()) }

@@ -1,0 +1,149 @@
+package region
+
+import (
+	"sort"
+
+	"parmp/internal/env"
+	"parmp/internal/geom"
+	"parmp/internal/graph"
+)
+
+// AdaptiveSpec configures adaptive grid subdivision: start from a coarse
+// uniform grid and recursively split cells that straddle obstacle
+// boundaries. The paper identifies granularity as the lower bound on
+// achievable balance ("the size of the biggest quanta of work establishes
+// a lower bound"); adaptive refinement spends granularity where the
+// workload is heterogeneous instead of everywhere.
+type AdaptiveSpec struct {
+	// Base is the coarse starting grid.
+	Base GridSpec
+	// MaxDepth bounds recursive splits per cell (default 2).
+	MaxDepth int
+	// MinFree and MaxFree delimit the "interesting" band: cells whose
+	// free-volume fraction is strictly between them get refined.
+	// Defaults: 0.02 and 0.98.
+	MinFree, MaxFree float64
+	// MCSamples per cell for free-volume estimation in environments
+	// without exact accounting (default 512).
+	MCSamples int
+}
+
+func (a AdaptiveSpec) maxDepth() int {
+	if a.MaxDepth <= 0 {
+		return 2
+	}
+	return a.MaxDepth
+}
+
+func (a AdaptiveSpec) band() (lo, hi float64) {
+	lo, hi = a.MinFree, a.MaxFree
+	if lo <= 0 {
+		lo = 0.02
+	}
+	if hi <= 0 || hi >= 1 {
+		hi = 0.98
+	}
+	return lo, hi
+}
+
+// AdaptiveGrid subdivides e's workspace: uniform base cells, then cells
+// whose free fraction lies strictly inside (MinFree, MaxFree) are split
+// in half along their longest axis, recursively up to MaxDepth. Region
+// adjacency is rebuilt from face overlap, so the region graph stays
+// consistent across refinement levels.
+func AdaptiveGrid(e *env.Environment, spec AdaptiveSpec) *Graph {
+	base := UniformGrid(e.Bounds, spec.Base)
+	lo, hi := spec.band()
+
+	type cell struct {
+		box   geom.AABB
+		depth int
+	}
+	var leaves []geom.AABB
+	stack := make([]cell, 0, base.NumRegions())
+	for _, r := range base.Regions() {
+		stack = append(stack, cell{box: r.Core})
+	}
+	for len(stack) > 0 {
+		c := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		frac := freeFraction(e, c.box, spec.MCSamples)
+		if c.depth < spec.maxDepth() && frac > lo && frac < hi {
+			a, b := splitLongest(c.box)
+			stack = append(stack, cell{box: a, depth: c.depth + 1}, cell{box: b, depth: c.depth + 1})
+			continue
+		}
+		leaves = append(leaves, c.box)
+	}
+
+	// Deterministic region IDs: sort leaves lexicographically by corner.
+	sort.Slice(leaves, func(i, j int) bool {
+		for d := 0; d < leaves[i].Dim(); d++ {
+			if leaves[i].Lo[d] != leaves[j].Lo[d] {
+				return leaves[i].Lo[d] < leaves[j].Lo[d]
+			}
+		}
+		return leaves[i].Volume() < leaves[j].Volume()
+	})
+
+	g := graph.New[*Region](len(leaves))
+	for i, box := range leaves {
+		g.AddVertex(&Region{ID: i, Kind: KindBox, Box: box, Core: box})
+	}
+	// Face adjacency: boxes that touch with positive overlap area.
+	for i := range leaves {
+		for j := i + 1; j < len(leaves); j++ {
+			if boxesAdjacent(leaves[i], leaves[j]) {
+				g.AddEdge(graph.ID(i), graph.ID(j), 1)
+			}
+		}
+	}
+	return &Graph{G: g, Owner: make([]int, len(leaves))}
+}
+
+// freeFraction estimates the free fraction of box.
+func freeFraction(e *env.Environment, box geom.AABB, mc int) float64 {
+	v := box.Volume()
+	if v == 0 {
+		return 0
+	}
+	if mc <= 0 {
+		mc = 512
+	}
+	return e.FreeVolumeIn(box, mc, 0x5eed) / v
+}
+
+// splitLongest halves box along its longest axis.
+func splitLongest(box geom.AABB) (geom.AABB, geom.AABB) {
+	ext := box.Extent()
+	axis := 0
+	for d := 1; d < len(ext); d++ {
+		if ext[d] > ext[axis] {
+			axis = d
+		}
+	}
+	mid := 0.5 * (box.Lo[axis] + box.Hi[axis])
+	aHi := box.Hi.Clone()
+	aHi[axis] = mid
+	bLo := box.Lo.Clone()
+	bLo[axis] = mid
+	return geom.AABB{Lo: box.Lo.Clone(), Hi: aHi}, geom.AABB{Lo: bLo, Hi: box.Hi.Clone()}
+}
+
+// boxesAdjacent reports whether two boxes share a face with positive
+// overlap measure (touching along exactly one axis, overlapping on the
+// others).
+func boxesAdjacent(a, b geom.AABB) bool {
+	touch := 0
+	for d := 0; d < a.Dim(); d++ {
+		lo := maxf(a.Lo[d], b.Lo[d])
+		hi := minf(a.Hi[d], b.Hi[d])
+		switch {
+		case lo > hi+1e-12:
+			return false // separated
+		case hi-lo <= 1e-12:
+			touch++ // touching plane on this axis
+		}
+	}
+	return touch == 1
+}

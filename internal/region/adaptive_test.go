@@ -1,0 +1,107 @@
+package region
+
+import (
+	"math"
+	"testing"
+
+	"parmp/internal/env"
+	"parmp/internal/geom"
+)
+
+func TestAdaptiveGridRefinesBoundaryCells(t *testing.T) {
+	// A 5x5 base grid does NOT align with the obstacle edges at
+	// 0.25/0.75, so boundary cells straddle and must split.
+	e := env.Model2D(0.25)
+	spec := AdaptiveSpec{Base: GridSpec{Cells: []int{5, 5}}, MaxDepth: 2}
+	rg := AdaptiveGrid(e, spec)
+	if rg.NumRegions() <= 25 {
+		t.Fatalf("regions = %d, expected refinement beyond 25", rg.NumRegions())
+	}
+	// Leaves tile the workspace exactly.
+	var total float64
+	for _, r := range rg.Regions() {
+		total += r.Core.Volume()
+	}
+	if math.Abs(total-1) > 1e-9 {
+		t.Fatalf("leaves cover %v, want 1", total)
+	}
+	// Leaves are pairwise disjoint.
+	regs := rg.Regions()
+	for i := range regs {
+		for j := i + 1; j < len(regs); j++ {
+			if regs[i].Core.IntersectionVolume(regs[j].Core) > 1e-12 {
+				t.Fatalf("leaves %d and %d overlap", i, j)
+			}
+		}
+	}
+}
+
+func TestAdaptiveGridFreeEnvironmentStaysCoarse(t *testing.T) {
+	e := env.Free()
+	spec := AdaptiveSpec{Base: GridSpec{Cells: []int{3, 3, 3}}, MaxDepth: 3}
+	rg := AdaptiveGrid(e, spec)
+	if rg.NumRegions() != 27 {
+		t.Fatalf("free environment should not refine: %d regions", rg.NumRegions())
+	}
+}
+
+func TestAdaptiveGridAdjacencyConnected(t *testing.T) {
+	e := env.Model2D(0.25)
+	rg := AdaptiveGrid(e, AdaptiveSpec{Base: GridSpec{Cells: []int{5, 5}}, MaxDepth: 2})
+	// The region graph over a box tiling must be connected.
+	labels, count := rg.G.ConnectedComponents()
+	if count != 1 {
+		t.Fatalf("region graph has %d components; labels=%v", count, labels)
+	}
+	// Every edge must join genuinely adjacent boxes.
+	rg.ForEachAdjacentPair(func(a, b int) {
+		if !boxesAdjacent(rg.Region(a).Core, rg.Region(b).Core) {
+			t.Fatalf("edge (%d,%d) joins non-adjacent boxes", a, b)
+		}
+	})
+}
+
+func TestAdaptiveGridDeterministic(t *testing.T) {
+	e := env.MedCube()
+	spec := AdaptiveSpec{Base: GridSpec{Cells: []int{3, 3, 3}}, MaxDepth: 1}
+	a := AdaptiveGrid(e, spec)
+	b := AdaptiveGrid(e, spec)
+	if a.NumRegions() != b.NumRegions() {
+		t.Fatal("adaptive grid not deterministic")
+	}
+	for i := 0; i < a.NumRegions(); i++ {
+		if !a.Region(i).Core.Lo.Equal(b.Region(i).Core.Lo, 0) {
+			t.Fatalf("region %d differs between runs", i)
+		}
+	}
+}
+
+func TestSplitLongest(t *testing.T) {
+	box := geom.Box2(0, 0, 4, 1)
+	a, b := splitLongest(box)
+	if a.Hi[0] != 2 || b.Lo[0] != 2 {
+		t.Fatalf("split = %v %v", a, b)
+	}
+	if math.Abs(a.Volume()+b.Volume()-box.Volume()) > 1e-12 {
+		t.Fatal("split loses volume")
+	}
+}
+
+func TestBoxesAdjacent(t *testing.T) {
+	a := geom.Box2(0, 0, 1, 1)
+	cases := []struct {
+		b    geom.AABB
+		want bool
+	}{
+		{geom.Box2(1, 0, 2, 1), true},          // shares full right face
+		{geom.Box2(1, 0.5, 2, 1.5), true},      // partial face overlap
+		{geom.Box2(1, 1, 2, 2), false},         // corner touch only
+		{geom.Box2(2, 0, 3, 1), false},         // separated
+		{geom.Box2(0.5, 0.5, 1.5, 1.5), false}, // overlapping volumes
+	}
+	for i, c := range cases {
+		if got := boxesAdjacent(a, c.b); got != c.want {
+			t.Fatalf("case %d: boxesAdjacent = %v, want %v", i, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,159 @@
+package region
+
+import (
+	"fmt"
+
+	"parmp/internal/geom"
+	"parmp/internal/graph"
+)
+
+// GridSpec describes a uniform grid subdivision of the positional C-space
+// dimensions (Algorithm 1, line 2 of the paper).
+type GridSpec struct {
+	// Cells per dimension; len(Cells) determines how many leading C-space
+	// dimensions are subdivided (x, y[, z] for typical workspaces).
+	Cells []int
+	// Overlap expands each region's sampling box by this fraction of the
+	// cell extent on every side, so boundary samples can connect across
+	// regions ("some user-defined overlap is allowed between regions").
+	Overlap float64
+}
+
+// NumRegions returns the total cell count of the spec.
+func (s GridSpec) NumRegions() int {
+	n := 1
+	for _, c := range s.Cells {
+		n *= c
+	}
+	return n
+}
+
+// SplitEvenly returns a GridSpec subdividing dims dimensions into at least
+// n total regions, keeping per-dimension counts as equal as possible.
+func SplitEvenly(dims, n int, overlap float64) GridSpec {
+	cells := make([]int, dims)
+	for i := range cells {
+		cells[i] = 1
+	}
+	for total := 1; total < n; {
+		// Grow the smallest dimension.
+		mi := 0
+		for i := 1; i < dims; i++ {
+			if cells[i] < cells[mi] {
+				mi = i
+			}
+		}
+		cells[mi]++
+		total = 1
+		for _, c := range cells {
+			total *= c
+		}
+	}
+	return GridSpec{Cells: cells, Overlap: overlap}
+}
+
+// UniformGrid subdivides bounds into the spec's cells and builds the
+// region graph with edges between face-adjacent cells. Region IDs are
+// row-major over the grid coordinates.
+func UniformGrid(bounds geom.AABB, spec GridSpec) *Graph {
+	dims := len(spec.Cells)
+	if dims == 0 || dims > bounds.Dim() {
+		panic(fmt.Sprintf("region: grid dims %d incompatible with bounds dim %d", dims, bounds.Dim()))
+	}
+	n := spec.NumRegions()
+	g := graph.New[*Region](n)
+	strides := make([]int, dims)
+	stride := 1
+	for i := dims - 1; i >= 0; i-- {
+		strides[i] = stride
+		stride *= spec.Cells[i]
+	}
+	cellExtent := make([]float64, dims)
+	for i := 0; i < dims; i++ {
+		cellExtent[i] = (bounds.Hi[i] - bounds.Lo[i]) / float64(spec.Cells[i])
+	}
+
+	coord := make([]int, dims)
+	for id := 0; id < n; id++ {
+		// Decode row-major id into grid coordinates.
+		rem := id
+		for i := 0; i < dims; i++ {
+			coord[i] = rem / strides[i]
+			rem %= strides[i]
+		}
+		lo := make(geom.Vec, dims)
+		hi := make(geom.Vec, dims)
+		for i := 0; i < dims; i++ {
+			lo[i] = bounds.Lo[i] + float64(coord[i])*cellExtent[i]
+			hi[i] = lo[i] + cellExtent[i]
+		}
+		core := geom.NewAABB(lo, hi)
+		// Expand by overlap, clamped to the global bounds.
+		box := core
+		if spec.Overlap > 0 {
+			elo := make(geom.Vec, dims)
+			ehi := make(geom.Vec, dims)
+			for i := 0; i < dims; i++ {
+				m := spec.Overlap * cellExtent[i]
+				elo[i] = maxf(bounds.Lo[i], lo[i]-m)
+				ehi[i] = minf(bounds.Hi[i], hi[i]+m)
+			}
+			box = geom.NewAABB(elo, ehi)
+		}
+		r := &Region{
+			ID:        id,
+			Kind:      KindBox,
+			Box:       box,
+			Core:      core,
+			GridCoord: append([]int(nil), coord...),
+		}
+		g.AddVertex(r)
+	}
+
+	// Face adjacency: +1 along each dimension.
+	for id := 0; id < n; id++ {
+		rem := id
+		for i := 0; i < dims; i++ {
+			coord[i] = rem / strides[i]
+			rem %= strides[i]
+		}
+		for i := 0; i < dims; i++ {
+			if coord[i]+1 < spec.Cells[i] {
+				g.AddEdge(graph.ID(id), graph.ID(id+strides[i]), 1)
+			}
+		}
+	}
+
+	return &Graph{G: g, Owner: make([]int, n)}
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minf(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// NaiveColumnPartition assigns regions to p processors by contiguous
+// blocks of the leading grid dimension ("a 1D partitioning of the region
+// mesh [assigning] a balanced number of region columns to processors") —
+// the paper's baseline mapping. It works for any region count by blocking
+// contiguous ID ranges, which coincides with column blocks for row-major
+// grids.
+func NaiveColumnPartition(rg *Graph, p int) {
+	n := rg.NumRegions()
+	for i := 0; i < n; i++ {
+		owner := i * p / n
+		if owner >= p {
+			owner = p - 1
+		}
+		rg.Owner[i] = owner
+	}
+}

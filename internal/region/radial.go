@@ -1,0 +1,135 @@
+package region
+
+import (
+	"math"
+
+	"parmp/internal/geom"
+	"parmp/internal/graph"
+	"parmp/internal/knn"
+	"parmp/internal/rng"
+)
+
+// RadialSpec describes a uniform radial subdivision (Algorithm 2 of the
+// paper): Nr points sampled on the surface of a sphere about the tree
+// root, each defining a conical region; the region graph joins each region
+// to its K nearest neighbours on the sphere.
+type RadialSpec struct {
+	// Regions is Nr, the number of conical regions.
+	Regions int
+	// K is the number of adjacent regions per region in the region graph.
+	K int
+	// Radius of the subdivision sphere.
+	Radius float64
+	// Deterministic selects evenly spread deterministic surface points
+	// (Fibonacci lattice in 3D, evenly spaced angles in 2D) instead of
+	// random sampling. Random sampling matches the paper; deterministic
+	// points make unit tests reproducible across spec changes.
+	Deterministic bool
+	// OverlapAngle widens each cone's half-angle by this many radians so
+	// branches "can explore part of the space in adjacent regions".
+	OverlapAngle float64
+}
+
+// RadialSubdivision builds the cone regions and their k-NN region graph
+// around apex (the tree root configuration's positional part).
+func RadialSubdivision(apex geom.Vec, spec RadialSpec, r *rng.Stream) *Graph {
+	d := apex.Dim()
+	n := spec.Regions
+	dirs := make([]geom.Vec, n)
+	switch {
+	case spec.Deterministic && d == 3:
+		copy(dirs, geom.FibonacciSphere(n))
+	case spec.Deterministic && d == 2:
+		copy(dirs, geom.CirclePoints(n, 0))
+	default:
+		for i := range dirs {
+			dirs[i] = geom.SampleOnSphere(d, r)
+		}
+	}
+
+	// The natural half-angle for n cones covering the sphere: solid angle
+	// per region. For simplicity use the mean angular spacing estimate
+	// theta ≈ acos(1 - 2/n) in 3D and pi/n in 2D, generalized via the
+	// nearest-direction angle computed below.
+	g := graph.New[*Region](n)
+	for i, dir := range dirs {
+		g.AddVertex(&Region{
+			ID:     i,
+			Kind:   KindCone,
+			Ray:    dir,
+			Apex:   apex.Clone(),
+			Radius: spec.Radius,
+		})
+	}
+
+	// k-NN on the sphere: Euclidean distance between unit vectors is
+	// monotone in angle, so a kd-tree over the direction points works.
+	tree := knn.Build(dirs)
+	k := spec.K
+	if k >= n {
+		k = n - 1
+	}
+	for i := range dirs {
+		res, _ := tree.NearestExcluding(dirs[i], k, func(j int) bool { return j == i })
+		nearestAngle := math.Pi
+		for _, hit := range res {
+			g.AddEdge(graph.ID(i), graph.ID(hit.Index), 1)
+			a := geom.AngleBetween(dirs[i], dirs[hit.Index])
+			if a < nearestAngle {
+				nearestAngle = a
+			}
+		}
+		reg := g.Vertex(graph.ID(i))
+		reg.HalfAngle = nearestAngle + spec.OverlapAngle
+		if reg.HalfAngle <= 0 || n == 1 {
+			reg.HalfAngle = math.Pi
+		}
+	}
+
+	return &Graph{G: g, Owner: make([]int, n)}
+}
+
+// InCone reports whether point p lies within region r's cone (apex at
+// r.Apex, axis r.Ray, half-angle r.HalfAngle) and within its radius.
+func InCone(r *Region, p geom.Vec) bool {
+	v := p.Sub(r.Apex)
+	d := v.Norm()
+	if d > r.Radius {
+		return false
+	}
+	if d == 0 {
+		return true
+	}
+	return geom.AngleBetween(v, r.Ray) <= r.HalfAngle
+}
+
+// ConeTarget returns the biasing target for region r: the point at the
+// cone axis on the sphere surface (q_i in Algorithm 2).
+func ConeTarget(r *Region) geom.Vec {
+	return r.Apex.Add(r.Ray.Scale(r.Radius))
+}
+
+// SampleInCone draws a point uniformly-ish inside region r's cone by
+// rejection from the enclosing ball sector: a direction within HalfAngle
+// of the axis and a radius r^(1/d)-distributed. The direction is produced
+// by perturbing the axis and re-normalizing, which concentrates slightly
+// toward the axis — acceptable for RRT biasing (the paper's growth is
+// biased toward the region target anyway).
+func SampleInCone(reg *Region, r *rng.Stream) geom.Vec {
+	d := reg.Apex.Dim()
+	for tries := 0; tries < 64; tries++ {
+		dir := geom.SampleOnSphere(d, r)
+		if geom.AngleBetween(dir, reg.Ray) > reg.HalfAngle {
+			// Blend toward the axis instead of rejecting forever for
+			// narrow cones.
+			blend := r.Float64()
+			dir = reg.Ray.Scale(1 - blend).Add(dir.Scale(blend * math.Sin(reg.HalfAngle))).Unit()
+		}
+		if geom.AngleBetween(dir, reg.Ray) <= reg.HalfAngle {
+			rad := reg.Radius * math.Pow(r.Float64(), 1/float64(d))
+			return reg.Apex.Add(dir.Scale(rad))
+		}
+	}
+	// Fall back to the axis.
+	return reg.Apex.Add(reg.Ray.Scale(reg.Radius * r.Float64()))
+}

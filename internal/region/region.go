@@ -1,0 +1,141 @@
+// Package region implements the spatial subdivision layer: uniform grid
+// subdivision of the C-space for PRM (Jacobs et al., ICRA 2012) and
+// uniform radial subdivision for RRT (Jacobs et al., ICRA 2013), plus the
+// region graph that records adjacency between regions.
+//
+// Regions are the quanta of work for all load-balancing strategies: the
+// problem is deliberately over-decomposed (regions ≫ processors) so both
+// work stealing and repartitioning have enough granularity to balance.
+package region
+
+import (
+	"fmt"
+
+	"parmp/internal/geom"
+	"parmp/internal/graph"
+)
+
+// Kind discriminates grid boxes from radial cones.
+type Kind int
+
+const (
+	// KindBox is a grid-subdivision region (an AABB of C-space).
+	KindBox Kind = iota
+	// KindCone is a radial-subdivision region (a cone about a ray).
+	KindCone
+)
+
+// Region is one quantum of planning work.
+type Region struct {
+	ID   int
+	Kind Kind
+
+	// Box is the sampling volume for KindBox regions (already expanded by
+	// any overlap margin). Core holds the unexpanded cell.
+	Box  geom.AABB
+	Core geom.AABB
+
+	// Ray is the unit direction defining a KindCone region; Apex its
+	// origin (the tree root); Radius the subdivision sphere radius;
+	// HalfAngle the cone's angular reach used for biased sampling.
+	Ray       geom.Vec
+	Apex      geom.Vec
+	Radius    float64
+	HalfAngle float64
+
+	// GridCoord is the integer cell coordinate for KindBox regions.
+	GridCoord []int
+
+	// Weight is the load estimate attached by a weighting pass
+	// (repartitioning input). Zero until estimated.
+	Weight float64
+}
+
+// String identifies the region.
+func (r *Region) String() string {
+	if r.Kind == KindBox {
+		return fmt.Sprintf("region#%d box %v", r.ID, r.Core)
+	}
+	return fmt.Sprintf("region#%d cone dir=%v", r.ID, r.Ray)
+}
+
+// Graph is a region graph: vertices are regions, edges join adjacent
+// regions between which roadmap connections will be attempted.
+type Graph struct {
+	G *graph.Graph[*Region]
+	// Owner[i] is the processor currently owning region i. Populated by
+	// the initial partition and updated by migration.
+	Owner []int
+}
+
+// NumRegions returns the number of regions.
+func (rg *Graph) NumRegions() int { return rg.G.NumVertices() }
+
+// Region returns region i.
+func (rg *Graph) Region(i int) *Region { return rg.G.Vertex(graph.ID(i)) }
+
+// Regions returns all regions in ID order.
+func (rg *Graph) Regions() []*Region {
+	out := make([]*Region, rg.NumRegions())
+	for i := range out {
+		out[i] = rg.Region(i)
+	}
+	return out
+}
+
+// Adjacent returns the IDs of regions adjacent to i.
+func (rg *Graph) Adjacent(i int) []int {
+	edges := rg.G.Neighbors(graph.ID(i))
+	out := make([]int, len(edges))
+	for j, e := range edges {
+		out[j] = int(e.To)
+	}
+	return out
+}
+
+// ForEachAdjacentPair calls fn for every region adjacency (a < b).
+func (rg *Graph) ForEachAdjacentPair(fn func(a, b int)) {
+	rg.G.ForEachEdge(func(a, b graph.ID, _ float64) { fn(int(a), int(b)) })
+}
+
+// EdgeCut returns the number of region-graph edges whose endpoints are
+// owned by different processors under the current Owner assignment — the
+// quantity that drives remote accesses during the region-connection phase.
+func (rg *Graph) EdgeCut() int {
+	cut := 0
+	rg.G.ForEachEdge(func(a, b graph.ID, _ float64) {
+		if rg.Owner[a] != rg.Owner[b] {
+			cut++
+		}
+	})
+	return cut
+}
+
+// SetWeights stores w[i] into each region's Weight. len(w) must equal the
+// region count.
+func (rg *Graph) SetWeights(w []float64) {
+	if len(w) != rg.NumRegions() {
+		panic("region: weight vector length mismatch")
+	}
+	for i, v := range w {
+		rg.Region(i).Weight = v
+	}
+}
+
+// Weights returns a copy of all region weights in ID order.
+func (rg *Graph) Weights() []float64 {
+	w := make([]float64, rg.NumRegions())
+	for i := range w {
+		w[i] = rg.Region(i).Weight
+	}
+	return w
+}
+
+// LoadPerProcessor sums region weights per owner over p processors.
+func (rg *Graph) LoadPerProcessor(p int) []float64 {
+	load := make([]float64, p)
+	for i := 0; i < rg.NumRegions(); i++ {
+		load[rg.Owner[i]] += rg.Region(i).Weight
+	}
+	return load
+}

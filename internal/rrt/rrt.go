@@ -1,0 +1,172 @@
+// Package rrt implements the sequential Rapidly-exploring Random Tree
+// (LaValle & Kuffner, 2001) used inside each radial-subdivision region.
+//
+// Each region grows a branch rooted at the shared root configuration,
+// biased toward the region's target point on the subdivision sphere
+// (Algorithm 2 of the paper, lines 10–12). Growth is constrained to the
+// region's cone (plus overlap), and all collision work is metered through
+// cspace.Counters for load accounting.
+package rrt
+
+import (
+	"math"
+
+	"parmp/internal/cspace"
+	"parmp/internal/geom"
+	"parmp/internal/knn"
+	"parmp/internal/region"
+	"parmp/internal/rng"
+)
+
+// Node is a tree vertex: configuration plus parent index (-1 for root).
+type Node struct {
+	Q      cspace.Config
+	Parent int
+	Region int
+}
+
+// Tree is an RRT branch: nodes[0] is the root.
+type Tree struct {
+	Nodes []Node
+}
+
+// NewTree returns a tree containing only root.
+func NewTree(root cspace.Config, regionID int) *Tree {
+	return &Tree{Nodes: []Node{{Q: root.Clone(), Parent: -1, Region: regionID}}}
+}
+
+// Len returns the node count.
+func (t *Tree) Len() int { return len(t.Nodes) }
+
+// PathToRoot returns the node indices from node i back to the root.
+func (t *Tree) PathToRoot(i int) []int {
+	var path []int
+	for ; i >= 0; i = t.Nodes[i].Parent {
+		path = append(path, i)
+	}
+	return path
+}
+
+// Params configures region RRT growth.
+type Params struct {
+	// Nodes is the target number of tree nodes to grow in the region.
+	Nodes int
+	// Step is Δq, the maximum extension step in metric distance.
+	Step float64
+	// GoalBias is the probability of sampling the region's cone target
+	// instead of a uniform point in the cone.
+	GoalBias float64
+	// MaxIters bounds expansion iterations (default 20 × Nodes).
+	MaxIters int
+}
+
+func (p Params) maxIters() int {
+	if p.MaxIters > 0 {
+		return p.MaxIters
+	}
+	return 20 * p.Nodes
+}
+
+// Result is the product of growing one region branch.
+type Result struct {
+	Tree *Tree
+	Work cspace.Counters
+	// Iters is the number of expansion iterations consumed.
+	Iters int
+}
+
+// GrowRegion grows an RRT branch inside reg: sample in the cone (biased
+// toward the cone target), extend the nearest tree node by at most Step,
+// keep the new node if the extension is collision-free and stays inside
+// the (overlap-widened) cone.
+//
+// The returned work counters reflect the actual collision effort, which
+// varies strongly with the obstacle density in the cone's direction —
+// exactly the dynamic, hard-to-estimate workload the paper describes for
+// radial RRT.
+func GrowRegion(s *cspace.Space, reg *region.Region, p Params, r *rng.Stream) Result {
+	res := Result{Tree: NewTree(reg.Apex, reg.ID)}
+	target := region.ConeTarget(reg)
+	// Brute-force nearest neighbour: the tree is rebuilt incrementally and
+	// stays small per region; metering matches kd usage elsewhere.
+	for res.Iters = 0; res.Iters < p.maxIters() && res.Tree.Len() < p.Nodes; res.Iters++ {
+		var qRand cspace.Config
+		if r.Float64() < p.GoalBias {
+			qRand = target.Clone()
+		} else {
+			qRand = region.SampleInCone(reg, r)
+		}
+		// Nearest node in the branch under the space's weighted metric
+		// (angular DOFs are down-weighted so spatial exploration is not
+		// dominated by heading differences).
+		nearIdx := 0
+		bestD := math.Inf(1)
+		for i, n := range res.Tree.Nodes {
+			if d := s.Distance(n.Q, qRand); d < bestD {
+				bestD = d
+				nearIdx = i
+			}
+		}
+		res.Work.KNNQueries++
+		res.Work.KNNEvals += int64(res.Tree.Len())
+		qNear := res.Tree.Nodes[nearIdx].Q
+
+		qNew, _ := s.StepToward(qNear, qRand, p.Step)
+		res.Work.Samples++
+		if !s.Bounds.Contains(qNew) {
+			continue
+		}
+		// Stay within the region (cone plus overlap). Steered spaces are
+		// exempt: a feasible curve's first step generally does not move
+		// toward the sample, so the cone acts as a sampling bias only
+		// ("some overlap between regions is allowed so branches can
+		// explore part of the space in adjacent regions").
+		if s.Steer == nil && !region.InCone(reg, qNew[:reg.Apex.Dim()]) {
+			continue
+		}
+		if !s.Valid(qNew, &res.Work) {
+			continue
+		}
+		if !s.LocalPlan(qNear, qNew, &res.Work) {
+			continue
+		}
+		res.Tree.Nodes = append(res.Tree.Nodes, Node{Q: qNew, Parent: nearIdx, Region: reg.ID})
+	}
+	return res
+}
+
+// Connect attempts to join two region branches: for each frontier node of
+// a (up to kFrontier nodes nearest to b's cone target), try a local plan
+// to the nearest nodes of b. It returns the first successful bridging pair
+// (index in a, index in b) and ok.
+func Connect(s *cspace.Space, a, b *Tree, bTarget geom.Vec, kFrontier int, c *cspace.Counters) (int, int, bool) {
+	if a.Len() == 0 || b.Len() == 0 {
+		return 0, 0, false
+	}
+	aPts := make([]geom.Vec, a.Len())
+	for i, n := range a.Nodes {
+		aPts[i] = n.Q
+	}
+	bPts := make([]geom.Vec, b.Len())
+	for i, n := range b.Nodes {
+		bPts[i] = n.Q
+	}
+	// Frontier of a: nodes nearest to b's territory.
+	frontier := knn.BruteNearest(aPts, bTarget, kFrontier)
+	bTree := knn.Build(bPts)
+	if c != nil {
+		c.KNNQueries += int64(1 + len(frontier))
+	}
+	for _, f := range frontier {
+		hits, evals := bTree.Nearest(aPts[f.Index], 3)
+		if c != nil {
+			c.KNNEvals += int64(evals)
+		}
+		for _, h := range hits {
+			if s.LocalPlan(aPts[f.Index], bPts[h.Index], c) {
+				return f.Index, h.Index, true
+			}
+		}
+	}
+	return 0, 0, false
+}

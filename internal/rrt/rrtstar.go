@@ -1,0 +1,144 @@
+package rrt
+
+import (
+	"math"
+
+	"parmp/internal/cspace"
+	"parmp/internal/geom"
+	"parmp/internal/knn"
+	"parmp/internal/region"
+	"parmp/internal/rng"
+)
+
+// StarTree is an RRT* branch: like Tree but with path costs maintained
+// per node so rewiring can improve them.
+type StarTree struct {
+	Nodes []Node
+	Cost  []float64 // cost-to-root per node
+}
+
+// Len returns the node count.
+func (t *StarTree) Len() int { return len(t.Nodes) }
+
+// StarParams configures region RRT* growth.
+type StarParams struct {
+	Params
+	// RewireRadius is the neighbourhood radius for choose-parent and
+	// rewiring. Zero defaults to 3 x Step.
+	RewireRadius float64
+}
+
+func (p StarParams) rewireRadius() float64 {
+	if p.RewireRadius > 0 {
+		return p.RewireRadius
+	}
+	return 3 * p.Step
+}
+
+// StarResult is the product of growing one RRT* region branch.
+type StarResult struct {
+	Tree    *StarTree
+	Work    cspace.Counters
+	Iters   int
+	Rewires int // parent changes applied by the rewiring step
+}
+
+// GrowRegionStar grows an asymptotically-optimal RRT* branch inside reg
+// (Karaman & Frazzoli 2011; the GPU-parallelized variant is Bialkowski et
+// al. 2011, cited by the paper). It extends like GrowRegion but chooses
+// the lowest-cost parent in the rewire neighbourhood and rewires
+// neighbours through the new node when that shortens their path to the
+// root. The extra local planning makes region costs even more
+// heterogeneous, which is why it is interesting for load balancing.
+func GrowRegionStar(s *cspace.Space, reg *region.Region, p StarParams, r *rng.Stream) StarResult {
+	res := StarResult{Tree: &StarTree{
+		Nodes: []Node{{Q: reg.Apex.Clone(), Parent: -1, Region: reg.ID}},
+		Cost:  []float64{0},
+	}}
+	target := region.ConeTarget(reg)
+	radius := p.rewireRadius()
+	for res.Iters = 0; res.Iters < p.maxIters() && res.Tree.Len() < p.Nodes; res.Iters++ {
+		var qRand cspace.Config
+		if r.Float64() < p.GoalBias {
+			qRand = target.Clone()
+		} else {
+			qRand = region.SampleInCone(reg, r)
+		}
+		pts := make([]geom.Vec, res.Tree.Len())
+		nearIdx := 0
+		bestNear := math.Inf(1)
+		for i, n := range res.Tree.Nodes {
+			pts[i] = n.Q
+			if d := s.Distance(n.Q, qRand); d < bestNear {
+				bestNear = d
+				nearIdx = i
+			}
+		}
+		res.Work.KNNQueries++
+		res.Work.KNNEvals += int64(len(pts))
+		qNew, _ := s.StepToward(res.Tree.Nodes[nearIdx].Q, qRand, p.Step)
+		res.Work.Samples++
+		if !s.Bounds.Contains(qNew) || !region.InCone(reg, qNew[:reg.Apex.Dim()]) {
+			continue
+		}
+		if !s.Valid(qNew, &res.Work) {
+			continue
+		}
+
+		// Choose-parent: the neighbour minimizing cost-to-root + edge.
+		neighbours := knn.BruteRadius(pts, qNew, radius)
+		res.Work.KNNEvals += int64(len(pts))
+		bestParent := -1
+		bestCost := math.Inf(1)
+		if s.LocalPlan(res.Tree.Nodes[nearIdx].Q, qNew, &res.Work) {
+			bestParent = nearIdx
+			bestCost = res.Tree.Cost[nearIdx] + s.Distance(res.Tree.Nodes[nearIdx].Q, qNew)
+		}
+		for _, nb := range neighbours {
+			if nb.Index == nearIdx {
+				continue
+			}
+			cand := res.Tree.Cost[nb.Index] + s.Distance(res.Tree.Nodes[nb.Index].Q, qNew)
+			if cand >= bestCost {
+				continue
+			}
+			if s.LocalPlan(res.Tree.Nodes[nb.Index].Q, qNew, &res.Work) {
+				bestParent = nb.Index
+				bestCost = cand
+			}
+		}
+		if bestParent < 0 {
+			continue
+		}
+		newIdx := res.Tree.Len()
+		res.Tree.Nodes = append(res.Tree.Nodes, Node{Q: qNew, Parent: bestParent, Region: reg.ID})
+		res.Tree.Cost = append(res.Tree.Cost, bestCost)
+
+		// Rewire: route neighbours through the new node when cheaper.
+		for _, nb := range neighbours {
+			through := bestCost + s.Distance(qNew, res.Tree.Nodes[nb.Index].Q)
+			if through >= res.Tree.Cost[nb.Index] {
+				continue
+			}
+			if s.LocalPlan(qNew, res.Tree.Nodes[nb.Index].Q, &res.Work) {
+				res.Tree.Nodes[nb.Index].Parent = newIdx
+				delta := res.Tree.Cost[nb.Index] - through
+				res.Tree.Cost[nb.Index] = through
+				res.Rewires++
+				propagateCostDrop(res.Tree, nb.Index, delta)
+			}
+		}
+	}
+	return res
+}
+
+// propagateCostDrop pushes a cost reduction at node idx down to its
+// descendants.
+func propagateCostDrop(t *StarTree, idx int, delta float64) {
+	for i := range t.Nodes {
+		if t.Nodes[i].Parent == idx {
+			t.Cost[i] -= delta
+			propagateCostDrop(t, i, delta)
+		}
+	}
+}

@@ -1,0 +1,186 @@
+package steal
+
+import (
+	"testing"
+	"testing/quick"
+
+	"parmp/internal/rng"
+)
+
+func TestRandKProperties(t *testing.T) {
+	r := rng.New(1)
+	p := RandK{K: 8}
+	for trial := 0; trial < 100; trial++ {
+		thief := trial % 16
+		vs := p.Victims(thief, 16, 0, r)
+		if len(vs) != 8 {
+			t.Fatalf("got %d victims, want 8", len(vs))
+		}
+		seen := map[int]bool{}
+		for _, v := range vs {
+			if v == thief {
+				t.Fatal("thief chose itself")
+			}
+			if v < 0 || v >= 16 {
+				t.Fatalf("victim %d out of range", v)
+			}
+			if seen[v] {
+				t.Fatal("duplicate victim")
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestRandKSmallSystems(t *testing.T) {
+	r := rng.New(2)
+	p := RandK{K: 8}
+	if vs := p.Victims(0, 1, 0, r); vs != nil {
+		t.Fatal("single proc has no victims")
+	}
+	vs := p.Victims(0, 4, 0, r)
+	if len(vs) != 3 {
+		t.Fatalf("K capped: got %d, want 3", len(vs))
+	}
+}
+
+func TestMeshDims(t *testing.T) {
+	cases := []struct{ procs, rows, cols int }{
+		{1, 1, 1}, {2, 1, 2}, {4, 2, 2}, {6, 2, 3}, {12, 3, 4},
+		{16, 4, 4}, {96, 9, 11}, {256, 16, 16},
+	}
+	for _, c := range cases {
+		r, co := MeshDims(c.procs)
+		if r != c.rows || co != c.cols {
+			t.Errorf("MeshDims(%d) = (%d,%d), want (%d,%d)", c.procs, r, co, c.rows, c.cols)
+		}
+		if r*co < c.procs {
+			t.Errorf("MeshDims(%d) too small", c.procs)
+		}
+	}
+}
+
+func TestMeshDimsCoverProperty(t *testing.T) {
+	f := func(n uint16) bool {
+		procs := int(n%5000) + 1
+		r, c := MeshDims(procs)
+		return r*c >= procs && r >= 1 && c >= r && (r-1)*c < procs
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeshNeighborsSymmetric(t *testing.T) {
+	for _, procs := range []int{4, 7, 16, 96} {
+		for p := 0; p < procs; p++ {
+			for _, q := range MeshNeighbors(p, procs) {
+				found := false
+				for _, back := range MeshNeighbors(q, procs) {
+					if back == p {
+						found = true
+					}
+				}
+				if !found {
+					t.Fatalf("procs=%d: neighbor relation not symmetric (%d->%d)", procs, p, q)
+				}
+			}
+		}
+	}
+}
+
+func TestMeshNeighborsCounts(t *testing.T) {
+	// 4x4 mesh: corners have 2, edges 3, interior 4.
+	if got := len(MeshNeighbors(0, 16)); got != 2 {
+		t.Fatalf("corner neighbors = %d", got)
+	}
+	if got := len(MeshNeighbors(1, 16)); got != 3 {
+		t.Fatalf("edge neighbors = %d", got)
+	}
+	if got := len(MeshNeighbors(5, 16)); got != 4 {
+		t.Fatalf("interior neighbors = %d", got)
+	}
+}
+
+func TestDiffusiveUsesNeighbors(t *testing.T) {
+	r := rng.New(3)
+	vs := Diffusive{}.Victims(5, 16, 0, r)
+	want := map[int]bool{1: true, 4: true, 6: true, 9: true}
+	if len(vs) != 4 {
+		t.Fatalf("victims = %v", vs)
+	}
+	for _, v := range vs {
+		if !want[v] {
+			t.Fatalf("unexpected victim %d", v)
+		}
+	}
+}
+
+func TestDiffusiveRotation(t *testing.T) {
+	r := rng.New(4)
+	a := Diffusive{}.Victims(5, 16, 0, r)
+	b := Diffusive{}.Victims(5, 16, 1, r)
+	if a[0] == b[0] {
+		t.Fatal("rotation should change first victim")
+	}
+}
+
+func TestHybridEscalates(t *testing.T) {
+	r := rng.New(5)
+	p := Hybrid{K: 8}
+	first := p.Victims(5, 64, 0, r)
+	// Round 0 is diffusive: all victims are mesh neighbours.
+	neigh := map[int]bool{}
+	for _, n := range MeshNeighbors(5, 64) {
+		neigh[n] = true
+	}
+	for _, v := range first {
+		if !neigh[v] {
+			t.Fatalf("round 0 victim %d is not a neighbour", v)
+		}
+	}
+	// Round 1 is random: should produce K victims.
+	second := p.Victims(5, 64, 1, r)
+	if len(second) != 8 {
+		t.Fatalf("fallback round gave %d victims", len(second))
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"diffusive", "hybrid", "rand-8"} {
+		p, ok := ByName(name)
+		if !ok || p == nil {
+			t.Fatalf("ByName(%q) failed", name)
+		}
+	}
+	if p, _ := ByName("rand-8"); p.Name() != "rand-8" {
+		t.Fatalf("Name = %q", p.Name())
+	}
+	if p, _ := ByName("hybrid"); p.Name() != "hybrid" {
+		t.Fatalf("Name = %q", p.Name())
+	}
+	if _, ok := ByName("magic"); ok {
+		t.Fatal("unknown policy should fail")
+	}
+}
+
+func TestPolicyNeverReturnsThief(t *testing.T) {
+	r := rng.New(6)
+	pols := []Policy{RandK{K: 8}, Diffusive{}, Hybrid{K: 8}}
+	for _, pol := range pols {
+		for procs := 2; procs <= 40; procs += 7 {
+			for thief := 0; thief < procs; thief++ {
+				for attempt := 0; attempt < 3; attempt++ {
+					for _, v := range pol.Victims(thief, procs, attempt, r) {
+						if v == thief {
+							t.Fatalf("%s returned the thief", pol.Name())
+						}
+						if v < 0 || v >= procs {
+							t.Fatalf("%s victim out of range", pol.Name())
+						}
+					}
+				}
+			}
+		}
+	}
+}
