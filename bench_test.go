@@ -12,6 +12,8 @@ package parmp
 // reproduced SHAPE are visible, not just wall-clock changes.
 
 import (
+	"fmt"
+	"runtime"
 	"testing"
 
 	"parmp/internal/experiments"
@@ -172,6 +174,35 @@ func BenchmarkPlanPRM(b *testing.B) {
 		if _, err := PlanPRM(space, opts); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkHostPipeline measures the wall-clock effect of running the
+// heavy planner phases (PRM sampling, node connection, region connection)
+// through the host executor: HostWorkers=1 executes every region closure
+// sequentially during the virtual-time replay, HostWorkers=GOMAXPROCS
+// pre-executes them concurrently. Virtual-time results are identical;
+// only wall clock changes.
+func BenchmarkHostPipeline(b *testing.B) {
+	space := NewPointSpace(EnvironmentByName("med-cube"))
+	base := Options{
+		Procs: 16, Regions: 256, SamplesPerRegion: 12, ConnectK: 8,
+		Strategy: Repartition, Seed: 1,
+	}
+	hws := []int{1}
+	if n := runtime.GOMAXPROCS(0); n > 1 {
+		hws = append(hws, n)
+	}
+	for _, hw := range hws {
+		opts := base
+		opts.HostWorkers = hw
+		b.Run(fmt.Sprintf("hostworkers=%d", hw), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := PlanPRM(space, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

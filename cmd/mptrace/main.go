@@ -71,7 +71,7 @@ func main() {
 
 	var events []dist.TraceEvent
 	rep := dist.Run(dist.Config{
-		Procs:   *procs,
+		Workers: *procs,
 		Profile: work.Hopper(),
 		Policy:  policy,
 		Seed:    7,

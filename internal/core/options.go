@@ -22,6 +22,7 @@ import (
 	"fmt"
 
 	"parmp/internal/cspace"
+	"parmp/internal/sched"
 	"parmp/internal/steal"
 	"parmp/internal/work"
 )
@@ -93,6 +94,11 @@ type Options struct {
 	// raise it toward 0.5 for classic steal-half behaviour (see the
 	// ablation benchmarks).
 	StealChunk float64
+	// MaxRounds bounds how many consecutive unsuccessful victim rounds a
+	// thief tries before giving up for good (default 4, the paper's
+	// bounded-retry behaviour; set negative for unbounded retries until
+	// global termination). Sweepable for ablations.
+	MaxRounds int
 
 	// Profile and Cost define the virtual machine.
 	Profile work.MachineProfile
@@ -101,13 +107,21 @@ type Options struct {
 	// Seed makes the run deterministic.
 	Seed uint64
 
-	// HostWorkers > 1 executes the region planning closures concurrently
-	// on that many OS goroutines before the virtual-time replay, using
-	// the real work-stealing executor (internal/exec). Results and the
-	// reported virtual times are bit-identical to the sequential run —
-	// region tasks are deterministic and memoized — so this is purely a
-	// wall-clock accelerator on multicore hosts.
+	// HostWorkers > 1 executes every heavy phase's region closures
+	// (PRM sampling, node connection, region connection; RRT branch
+	// growth and connection) concurrently on that many OS goroutines
+	// before the virtual-time replay, using the real work-stealing
+	// executor (internal/exec). Results and the reported virtual times
+	// are bit-identical to the sequential run — region tasks are
+	// deterministic and memoized — so this is purely a wall-clock
+	// accelerator on multicore hosts.
 	HostWorkers int
+
+	// Runtime overrides the scheduler backend executing the virtual-time
+	// phases (nil = the discrete-event simulator in internal/dist). Any
+	// sched.Runtime — including a future network-distributed backend —
+	// plugs in here without the planners changing.
+	Runtime sched.Runtime
 
 	// PRM parameters.
 	SamplesPerRegion int
@@ -182,7 +196,19 @@ func (o Options) Defaults() Options {
 	if o.StealChunk <= 0 {
 		o.StealChunk = 1e-9 // one region per steal
 	}
+	if o.MaxRounds == 0 {
+		o.MaxRounds = 4
+	}
 	return o
+}
+
+// maxRounds maps the Options convention (0 = default 4, negative =
+// unbounded) onto the runtime convention (0 = unbounded).
+func (o Options) maxRounds() int {
+	if o.MaxRounds < 0 {
+		return 0
+	}
+	return o.MaxRounds
 }
 
 // Validate reports configuration errors.

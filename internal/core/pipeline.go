@@ -1,0 +1,211 @@
+package core
+
+import (
+	"sync"
+
+	"parmp/internal/dist"
+	"parmp/internal/exec"
+	"parmp/internal/region"
+	"parmp/internal/repart"
+	"parmp/internal/sched"
+	"parmp/internal/steal"
+	"parmp/internal/work"
+)
+
+// Phase seed salts keep victim randomization independent across the
+// pipeline's stealable phases (and across PRM vs RRT).
+const (
+	saltPRMConstruct = 0x9e37
+	saltRRTConstruct = 0x51ab
+)
+
+// phaseSpec describes one pipeline phase as a first-class record: named
+// per-processor task queues plus the steal policy governing execution.
+// A nil policy makes the phase bulk-synchronous (each processor drains
+// its own queue; the phase ends at the slowest one).
+type phaseSpec struct {
+	name   string
+	queues [][]work.Task
+	policy steal.Policy
+	salt   uint64
+}
+
+// pipeline executes planner phases through the scheduler runtime layer:
+// every heavy phase runs once, concurrently, on the host executor (when
+// Options.HostWorkers > 1), and then replays deterministically on the
+// virtual-time runtime for the paper's load-balance accounting. Results
+// and virtual times are bit-identical to a sequential run because region
+// tasks are deterministic and memoized.
+type pipeline struct {
+	opts Options
+	vt   sched.Runtime // virtual-time backend (default: the DES in internal/dist)
+	host sched.Runtime // real-goroutine backend for the host pre-pass
+}
+
+func newPipeline(opts Options) *pipeline {
+	vt := opts.Runtime
+	if vt == nil {
+		vt = dist.Runtime
+	}
+	return &pipeline{opts: opts, vt: vt, host: exec.Runtime}
+}
+
+// hostPhaseObserver, when non-nil, receives each phase's host pre-pass
+// report. Test hook only.
+var hostPhaseObserver func(phase string, rep sched.Report)
+
+// hostExec memoizes the queued tasks in place and executes them
+// concurrently on HostWorkers goroutines. A no-op for HostWorkers <= 1,
+// where tasks run lazily (and sequentially) during the virtual-time
+// replay instead.
+func (pl *pipeline) hostExec(name string, queues [][]work.Task) {
+	if pl.opts.HostWorkers <= 1 {
+		return
+	}
+	for p := range queues {
+		queues[p] = memoize(queues[p])
+	}
+	pre := make([][]work.Task, len(queues))
+	for p := range queues {
+		pre[p] = append([]work.Task(nil), queues[p]...)
+	}
+	rep := pl.host.Run(sched.Config{
+		Workers: pl.opts.HostWorkers,
+		Policy:  steal.RandK{K: 2},
+		Seed:    pl.opts.Seed,
+	}, pre)
+	if hostPhaseObserver != nil {
+		hostPhaseObserver(name, rep)
+	}
+}
+
+// replay plays a phase on the virtual-time runtime and returns its
+// report. Memoized tasks answer instantly with their recorded cost, so
+// the replay is pure accounting after a host pre-pass.
+func (pl *pipeline) replay(ph phaseSpec) sched.Report {
+	return pl.vt.Run(sched.Config{
+		Workers:    pl.opts.Procs,
+		Profile:    pl.opts.Profile,
+		Policy:     ph.policy,
+		StealChunk: pl.opts.StealChunk,
+		MaxRounds:  pl.opts.maxRounds(),
+		Seed:       pl.opts.Seed ^ ph.salt,
+	}, ph.queues)
+}
+
+// run executes a phase end to end: concurrent host pass, then the
+// deterministic virtual-time replay.
+func (pl *pipeline) run(ph phaseSpec) sched.Report {
+	pl.hostExec(ph.name, ph.queues)
+	return pl.replay(ph)
+}
+
+// stealPolicy returns the victim policy for stealable phases, nil unless
+// the run's strategy is WorkStealing.
+func (pl *pipeline) stealPolicy() steal.Policy {
+	if pl.opts.Strategy != WorkStealing {
+		return nil
+	}
+	return pl.opts.Policy
+}
+
+// barrier prices one global barrier on the configured machine.
+func (pl *pipeline) barrier() float64 {
+	return pl.opts.Profile.Barrier(pl.opts.Procs)
+}
+
+// queuesByOwner shards n region tasks into per-processor queues by
+// current region ownership, preserving region order within each queue.
+func queuesByOwner(procs int, owner []int, n int, mk func(i int) work.Task) [][]work.Task {
+	queues := make([][]work.Task, procs)
+	for i := 0; i < n; i++ {
+		queues[owner[i]] = append(queues[owner[i]], mk(i))
+	}
+	return queues
+}
+
+// costTask wraps a precomputed cost as a task for bulk-synchronous
+// accounting phases.
+func costTask(id int, cost float64) work.Task {
+	return work.Task{ID: id, Run: func() (float64, int) { return cost, 0 }}
+}
+
+// applyOwnership writes the final task ownership back into the region
+// graph after a stealable phase: work stealing permanently migrates the
+// region and its data, so downstream phases see the new owners.
+func (pl *pipeline) applyOwnership(rg *region.Graph, rep sched.Report) {
+	if pl.opts.Strategy != WorkStealing {
+		return
+	}
+	for id, p := range rep.ExecutedBy {
+		rg.Owner[id] = p
+	}
+}
+
+// rebalance runs the configured partitioner over the weighted region
+// graph and applies the migration plan when it meaningfully lowers the
+// bottleneck load (worthRebalancing). vertexCounts, when non-nil, prices
+// per-vertex migration payload (PRM samples). It returns the number of
+// migrated regions and the migration cost (0, 0 when rebalancing is
+// declined).
+func (pl *pipeline) rebalance(rg *region.Graph, weights []float64, vertexCounts []int) (migrated int, cost float64) {
+	var assign []int
+	switch pl.opts.Partitioner {
+	case PartitionLPT:
+		assign = repart.GreedyLPT(weights, pl.opts.Procs)
+	default:
+		assign = repart.GreedySpatial(rg, weights, pl.opts.Procs, 0.05)
+	}
+	if !worthRebalancing(weights, rg.Owner, assign, pl.opts.Procs) {
+		return 0, 0
+	}
+	plan := repart.MakePlan(rg, assign)
+	cost = plan.MigrationCost(rg, pl.opts.Profile, vertexCounts, pl.opts.Procs)
+	plan.Apply(rg)
+	return len(plan.Moved), cost
+}
+
+// worthRebalancing reports whether the candidate assignment lowers the
+// bottleneck (maximum per-processor) load by more than a small threshold.
+// Migrating for marginal gains costs more than it saves — the paper's
+// free-environment experiments show effective balancers must be no-ops on
+// balanced workloads.
+func worthRebalancing(weights []float64, current, candidate []int, procs int) bool {
+	maxLoad := func(assign []int) float64 {
+		load := make([]float64, procs)
+		for i, w := range weights {
+			load[assign[i]] += w
+		}
+		var m float64
+		for _, l := range load {
+			if l > m {
+				m = l
+			}
+		}
+		return m
+	}
+	const threshold = 0.05
+	cur := maxLoad(current)
+	return cur > 0 && maxLoad(candidate) < cur*(1-threshold)
+}
+
+// memoize wraps tasks so each Run body executes at most once even when a
+// concurrent host pre-pass and the virtual-time replay both invoke it.
+func memoize(tasks []work.Task) []work.Task {
+	out := make([]work.Task, len(tasks))
+	for i := range tasks {
+		inner := tasks[i].Run
+		var once sync.Once
+		var cost float64
+		var payload int
+		out[i] = work.Task{
+			ID:      tasks[i].ID,
+			Payload: tasks[i].Payload,
+			Run: func() (float64, int) {
+				once.Do(func() { cost, payload = inner() })
+				return cost, payload
+			},
+		}
+	}
+	return out
+}

@@ -1,0 +1,136 @@
+package core
+
+import (
+	"runtime"
+	"testing"
+
+	"parmp/internal/cspace"
+	"parmp/internal/env"
+	"parmp/internal/geom"
+	"parmp/internal/sched"
+	"parmp/internal/steal"
+)
+
+func TestMaxRoundsDefaultsAndMapping(t *testing.T) {
+	if got := (Options{}).Defaults().MaxRounds; got != 4 {
+		t.Fatalf("default MaxRounds = %d, want 4", got)
+	}
+	if got := (Options{MaxRounds: 9}).Defaults().MaxRounds; got != 9 {
+		t.Fatalf("explicit MaxRounds overridden: %d", got)
+	}
+	if got := (Options{MaxRounds: -1}).Defaults().MaxRounds; got != -1 {
+		t.Fatalf("negative MaxRounds should survive Defaults: %d", got)
+	}
+	// Runtime convention: 0 = unbounded.
+	if got := (Options{MaxRounds: -1}).maxRounds(); got != 0 {
+		t.Fatalf("negative MaxRounds should map to unbounded (0), got %d", got)
+	}
+	if got := (Options{MaxRounds: 7}).maxRounds(); got != 7 {
+		t.Fatalf("maxRounds() = %d, want 7", got)
+	}
+}
+
+func TestMaxRoundsSweepable(t *testing.T) {
+	// MaxRounds is a first-class ablation knob: any bound must leave the
+	// planning output untouched (it only changes who gives up stealing
+	// when) while remaining deterministic.
+	s := cspace.NewPointSpace(env.MedCube())
+	base := quickOpts(4, 64)
+	base.Strategy = WorkStealing
+	base.Policy = steal.RandK{K: 2}
+	var ref *PRMResult
+	for _, rounds := range []int{1, 4, -1} {
+		opts := base
+		opts.MaxRounds = rounds
+		res, err := ParallelPRM(s, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref == nil {
+			ref = res
+			continue
+		}
+		if res.Roadmap.NumNodes() != ref.Roadmap.NumNodes() ||
+			res.Roadmap.NumEdges() != ref.Roadmap.NumEdges() {
+			t.Fatalf("MaxRounds=%d changed the roadmap: %d/%d vs %d/%d", rounds,
+				res.Roadmap.NumNodes(), res.Roadmap.NumEdges(),
+				ref.Roadmap.NumNodes(), ref.Roadmap.NumEdges())
+		}
+	}
+}
+
+// phaseParticipation counts host workers that executed at least one task
+// in each observed phase.
+func phaseParticipation(reports map[string]sched.Report) map[string]int {
+	out := map[string]int{}
+	for name, rep := range reports {
+		for _, ws := range rep.Workers {
+			if ws.TasksLocal+ws.TasksStolen > 0 {
+				out[name]++
+			}
+		}
+	}
+	return out
+}
+
+func TestPRMHostPhasesRunConcurrently(t *testing.T) {
+	// The acceptance check for the pipeline refactor: with HostWorkers set,
+	// PRM sampling AND region connection (not just node connection) execute
+	// through the host executor with real multi-worker participation.
+	hw := runtime.GOMAXPROCS(0)
+	if hw < 2 {
+		hw = 4
+	}
+	reports := map[string]sched.Report{}
+	hostPhaseObserver = func(phase string, rep sched.Report) { reports[phase] = rep }
+	defer func() { hostPhaseObserver = nil }()
+
+	s := cspace.NewPointSpace(env.MedCube())
+	opts := quickOpts(4, 64)
+	opts.HostWorkers = hw
+	if _, err := ParallelPRM(s, opts); err != nil {
+		t.Fatal(err)
+	}
+	for _, phase := range []string{"sample", "construct", "region-connect"} {
+		if _, ok := reports[phase]; !ok {
+			t.Fatalf("phase %q never reached the host executor (got %v)", phase, reports)
+		}
+	}
+	part := phaseParticipation(reports)
+	// 64 regions over 4 queues (sample/construct) and a round-robin reshard
+	// of the pair tasks (region-connect): every phase has enough work that
+	// at least two host workers must have executed tasks.
+	for _, phase := range []string{"sample", "construct", "region-connect"} {
+		if part[phase] < 2 {
+			t.Errorf("phase %q: only %d host workers participated", phase, part[phase])
+		}
+	}
+}
+
+func TestRRTHostPhasesRunConcurrently(t *testing.T) {
+	hw := runtime.GOMAXPROCS(0)
+	if hw < 2 {
+		hw = 4
+	}
+	reports := map[string]sched.Report{}
+	hostPhaseObserver = func(phase string, rep sched.Report) { reports[phase] = rep }
+	defer func() { hostPhaseObserver = nil }()
+
+	s := cspace.NewPointSpace(env.Mixed30())
+	opts := rrtOpts(4, 24)
+	opts.HostWorkers = hw
+	if _, err := ParallelRRT(s, geom.V(0.5, 0.5, 0.5), opts); err != nil {
+		t.Fatal(err)
+	}
+	for _, phase := range []string{"construct", "region-connect"} {
+		if _, ok := reports[phase]; !ok {
+			t.Fatalf("phase %q never reached the host executor (got %v)", phase, reports)
+		}
+	}
+	part := phaseParticipation(reports)
+	for _, phase := range []string{"construct", "region-connect"} {
+		if part[phase] < 2 {
+			t.Errorf("phase %q: only %d host workers participated", phase, part[phase])
+		}
+	}
+}

@@ -2,13 +2,13 @@ package core
 
 import (
 	"parmp/internal/cspace"
-	"parmp/internal/dist"
 	"parmp/internal/graph"
 	"parmp/internal/metrics"
 	"parmp/internal/prm"
 	"parmp/internal/region"
 	"parmp/internal/repart"
 	"parmp/internal/rng"
+	"parmp/internal/sched"
 	"parmp/internal/work"
 )
 
@@ -20,7 +20,7 @@ type PRMResult struct {
 	// TotalTime is the virtual makespan of the whole pipeline.
 	TotalTime float64
 	// ProcStats is the construction-phase execution profile.
-	ProcStats []dist.ProcStats
+	ProcStats []sched.WorkerStats
 	// NodeLoads[p] counts roadmap nodes on processor p after the run —
 	// the paper's load-profile quantity (Fig. 5(c)).
 	NodeLoads []float64
@@ -45,13 +45,18 @@ type prmRegionData struct {
 }
 
 // ParallelPRM runs the uniform-subdivision parallel PRM (Algorithm 1)
-// with the configured load-balancing strategy on space s.
+// with the configured load-balancing strategy on space s. Every phase —
+// sample, weight, repartition, construct (node connection), region
+// connection, merge — executes through the scheduler runtime pipeline,
+// so heavy phases parallelize on the host (Options.HostWorkers) while
+// the virtual-time accounting stays deterministic.
 func ParallelPRM(s *cspace.Space, opts Options) (*PRMResult, error) {
 	opts = opts.Defaults()
 	if err := opts.Validate(); err != nil {
 		return nil, err
 	}
 	res := &PRMResult{Roadmap: prm.NewRoadmap()}
+	pl := newPipeline(opts)
 
 	// --- Setup: subdivide C-space, build region graph, naive partition.
 	dims := s.Env.Dim()
@@ -68,100 +73,99 @@ func ParallelPRM(s *cspace.Space, opts Options) (*PRMResult, error) {
 	region.NaiveColumnPartition(rg, opts.Procs)
 	res.RegionGraph = rg
 	n := rg.NumRegions()
-	res.Phases.Setup = opts.Profile.Barrier(opts.Procs)
+	res.Phases.Setup = pl.barrier()
 
 	params := prm.Params{SamplesPerRegion: opts.SamplesPerRegion, K: opts.ConnectK, Sampler: opts.Sampler}
 	data := make([]prmRegionData, n)
 
-	// --- Sampling sub-phase (cheap, static).
-	sampleCosts := make([][]float64, opts.Procs)
+	// --- Sampling phase (cheap, bulk-synchronous, host-parallel).
+	sampleRep := pl.run(phaseSpec{
+		name: "sample",
+		queues: queuesByOwner(opts.Procs, rg.Owner, n, func(i int) work.Task {
+			return work.Task{
+				ID: i,
+				Run: func() (float64, int) {
+					r := rng.Derive(opts.Seed, uint64(i))
+					data[i].nodes, data[i].sampleWork = prm.SampleRegion(s, rg.Region(i).Box, i, params, r)
+					return opts.Cost.Time(data[i].sampleWork), len(data[i].nodes)
+				},
+			}
+		}),
+	})
+	res.Phases.Sampling = sampleRep.Makespan + pl.barrier()
 	sampleCounts := make([]int, n)
 	for i := 0; i < n; i++ {
-		r := rng.Derive(opts.Seed, uint64(i))
-		data[i].nodes, data[i].sampleWork = prm.SampleRegion(s, rg.Region(i).Box, i, params, r)
 		sampleCounts[i] = len(data[i].nodes)
-		owner := rg.Owner[i]
-		sampleCosts[owner] = append(sampleCosts[owner], opts.Cost.Time(data[i].sampleWork))
 	}
-	samplingMakespan, _ := dist.StaticPhase(sampleCosts)
-	res.Phases.Sampling = samplingMakespan + opts.Profile.Barrier(opts.Procs)
 
+	// --- Weight phase: sample counts estimate region work (a good
+	// estimator for PRM — the paper's Fig. 4/5 contrast with RRT).
 	weights := repart.SampleCountWeights(sampleCounts)
 	rg.SetWeights(weights)
 	res.CVBefore = metrics.CV(rg.LoadPerProcessor(opts.Procs))
 
 	// --- Optional repartitioning before the expensive phase.
 	if opts.Strategy == Repartition {
-		var assign []int
-		switch opts.Partitioner {
-		case PartitionLPT:
-			assign = repart.GreedyLPT(weights, opts.Procs)
-		default:
-			assign = repart.GreedySpatial(rg, weights, opts.Procs, 0.05)
-		}
 		// Rebalance only when the candidate meaningfully lowers the
 		// bottleneck load; an already-balanced run (e.g. the free
 		// environment) keeps its partition and pays only the check.
-		if worthRebalancing(weights, rg.Owner, assign, opts.Procs) {
-			plan := repart.MakePlan(rg, assign)
-			res.MigratedRegions = len(plan.Moved)
-			res.Phases.Redistribution = plan.MigrationCost(rg, opts.Profile, sampleCounts, opts.Procs) +
-				opts.Profile.Barrier(opts.Procs)
-			plan.Apply(rg)
-		} else {
-			res.Phases.Redistribution = opts.Profile.Barrier(opts.Procs)
-		}
+		migrated, cost := pl.rebalance(rg, weights, sampleCounts)
+		res.MigratedRegions = migrated
+		res.Phases.Redistribution = cost + pl.barrier()
 	}
 
 	// --- Node-connection phase (expensive; stealable).
-	queues := make([][]work.Task, opts.Procs)
-	for i := 0; i < n; i++ {
-		i := i
-		task := work.Task{
-			ID:      i,
-			Payload: len(data[i].nodes), // stealing this region moves its samples
-			Run: func() (float64, int) {
-				data[i].edges, data[i].connectWork = prm.ConnectRegion(s, data[i].nodes, params)
-				return opts.Cost.Time(data[i].connectWork), len(data[i].nodes)
-			},
-		}
-		queues[rg.Owner[i]] = append(queues[rg.Owner[i]], task)
-	}
-	var policy = opts.Policy
-	if opts.Strategy != WorkStealing {
-		policy = nil
-	}
-	hostPrePass(opts, queues)
-	report := dist.Run(dist.Config{
-		Procs:      opts.Procs,
-		Profile:    opts.Profile,
-		Policy:     policy,
-		StealChunk: opts.StealChunk,
-		MaxRounds:  4,
-		Seed:       opts.Seed ^ 0x9e37,
-	}, queues)
-	res.ProcStats = report.Procs
-	res.Phases.NodeConnection = report.Makespan + opts.Profile.Barrier(opts.Procs)
+	report := pl.run(phaseSpec{
+		name: "construct",
+		queues: queuesByOwner(opts.Procs, rg.Owner, n, func(i int) work.Task {
+			return work.Task{
+				ID:      i,
+				Payload: len(data[i].nodes), // stealing this region moves its samples
+				Run: func() (float64, int) {
+					data[i].edges, data[i].connectWork = prm.ConnectRegion(s, data[i].nodes, params)
+					return opts.Cost.Time(data[i].connectWork), len(data[i].nodes)
+				},
+			}
+		}),
+		policy: pl.stealPolicy(),
+		salt:   saltPRMConstruct,
+	})
+	res.ProcStats = report.Workers
+	res.Phases.NodeConnection = report.Makespan + pl.barrier()
 
 	// Work stealing permanently migrates the region and its data: record
 	// the final ownership so the region-connection phase sees it.
-	if opts.Strategy == WorkStealing {
-		for id, p := range report.ExecutedBy {
-			rg.Owner[id] = p
-		}
-	}
+	pl.applyOwnership(rg, report)
 	res.EdgeCut = rg.EdgeCut()
 
-	// --- Region-connection phase (Algorithm 1, lines 10-12). A cut
-	// edge's connection work can run on either endpoint's owner; the
+	// --- Region-connection phase (Algorithm 1, lines 10-12). The
+	// boundary-connection work per cut edge runs host-parallel; a cut
+	// edge's connection can then run on either endpoint's owner, and the
 	// currently lighter one takes it (both owners hold the region graph,
 	// so this needs no extra coordination).
-	connCosts := make([][]float64, opts.Procs)
+	var pairs [][2]int
+	rg.ForEachAdjacentPair(func(a, b int) { pairs = append(pairs, [2]int{a, b}) })
+	brs := make([]prm.BoundaryResult, len(pairs))
+	connectTasks := [][]work.Task{make([]work.Task, len(pairs))}
+	for idx := range pairs {
+		idx := idx
+		a, b := pairs[idx][0], pairs[idx][1]
+		connectTasks[0][idx] = work.Task{
+			ID: idx,
+			Run: func() (float64, int) {
+				brs[idx] = prm.ConnectBoundary(s, data[a].nodes, data[b].nodes, opts.BoundaryK, opts.BoundaryFrontier)
+				return opts.Cost.Time(brs[idx].Work), 0
+			},
+		}
+	}
+	pl.hostExec("region-connect", connectTasks)
 	connLoad := make([]float64, opts.Procs)
+	connQueues := make([][]work.Task, opts.Procs)
 	var boundaryEdges []boundaryEdge
-	rg.ForEachAdjacentPair(func(a, b int) {
-		br := prm.ConnectBoundary(s, data[a].nodes, data[b].nodes, opts.BoundaryK, opts.BoundaryFrontier)
-		cost := opts.Cost.Time(br.Work)
+	for idx := range pairs {
+		a, b := pairs[idx][0], pairs[idx][1]
+		cost, _ := connectTasks[0][idx].Run() // memoized after the host pass
+		br := brs[idx]
 		ownerA, ownerB := rg.Owner[a], rg.Owner[b]
 		if ownerA != ownerB {
 			res.RegionRemote++
@@ -175,11 +179,11 @@ func ParallelPRM(s *cspace.Space, opts Options) (*PRMResult, error) {
 			runner = ownerB
 		}
 		connLoad[runner] += cost
-		connCosts[runner] = append(connCosts[runner], cost)
+		connQueues[runner] = append(connQueues[runner], costTask(idx, cost))
 		boundaryEdges = append(boundaryEdges, boundaryEdge{a: a, b: b, pairs: br.Edges})
-	})
-	regionConnMakespan, _ := dist.StaticPhase(connCosts)
-	res.Phases.RegionConnection = regionConnMakespan + opts.Profile.Barrier(opts.Procs)
+	}
+	connRep := pl.replay(phaseSpec{name: "region-connect", queues: connQueues})
+	res.Phases.RegionConnection = connRep.Makespan + pl.barrier()
 
 	// --- Merge into a single roadmap.
 	base := make([]int, n)
@@ -202,7 +206,7 @@ func ParallelPRM(s *cspace.Space, opts Options) (*PRMResult, error) {
 			res.Roadmap.G.AddEdge(a, b, s.Distance(data[be.a].nodes[pr[0]].Q, data[be.b].nodes[pr[1]].Q))
 		}
 	}
-	res.Phases.Other = opts.Profile.Barrier(opts.Procs)
+	res.Phases.Other = pl.barrier()
 
 	// --- Load profile and totals.
 	res.NodeLoads = make([]float64, opts.Procs)
@@ -218,28 +222,4 @@ func ParallelPRM(s *cspace.Space, opts Options) (*PRMResult, error) {
 type boundaryEdge struct {
 	a, b  int
 	pairs [][2]int
-}
-
-// worthRebalancing reports whether the candidate assignment lowers the
-// bottleneck (maximum per-processor) load by more than a small threshold.
-// Migrating for marginal gains costs more than it saves — the paper's
-// free-environment experiments show effective balancers must be no-ops on
-// balanced workloads.
-func worthRebalancing(weights []float64, current, candidate []int, procs int) bool {
-	maxLoad := func(assign []int) float64 {
-		load := make([]float64, procs)
-		for i, w := range weights {
-			load[assign[i]] += w
-		}
-		var m float64
-		for _, l := range load {
-			if l > m {
-				m = l
-			}
-		}
-		return m
-	}
-	const threshold = 0.05
-	cur := maxLoad(current)
-	return cur > 0 && maxLoad(candidate) < cur*(1-threshold)
 }

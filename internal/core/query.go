@@ -2,13 +2,9 @@ package core
 
 import (
 	"sort"
-	"sync"
 
 	"parmp/internal/cspace"
-	"parmp/internal/exec"
 	"parmp/internal/geom"
-	"parmp/internal/steal"
-	"parmp/internal/work"
 )
 
 // ExtractPath returns a collision-free configuration path from the RRT
@@ -74,46 +70,4 @@ func (r *RRTResult) ExtractPath(s *cspace.Space, goal cspace.Config, c *cspace.C
 		return path, true
 	}
 	return nil, false
-}
-
-// memoize wraps tasks so each Run body executes at most once even when a
-// concurrent host pre-pass and the virtual-time replay both invoke it.
-func memoize(tasks []work.Task) []work.Task {
-	out := make([]work.Task, len(tasks))
-	for i := range tasks {
-		inner := tasks[i].Run
-		var once sync.Once
-		var cost float64
-		var payload int
-		out[i] = work.Task{
-			ID:      tasks[i].ID,
-			Payload: tasks[i].Payload,
-			Run: func() (float64, int) {
-				once.Do(func() { cost, payload = inner() })
-				return cost, payload
-			},
-		}
-	}
-	return out
-}
-
-// hostPrePass optionally executes all queued tasks concurrently on real
-// goroutines. Tasks are memoized in place so the subsequent virtual-time
-// replay reuses the computed results instead of re-planning.
-func hostPrePass(opts Options, queues [][]work.Task) {
-	if opts.HostWorkers <= 1 {
-		return
-	}
-	for p := range queues {
-		queues[p] = memoize(queues[p])
-	}
-	pre := make([][]work.Task, len(queues))
-	for p := range queues {
-		pre[p] = append([]work.Task(nil), queues[p]...)
-	}
-	exec.Run(exec.Config{
-		Workers: opts.HostWorkers,
-		Policy:  steal.RandK{K: 2},
-		Seed:    opts.Seed,
-	}, pre)
 }

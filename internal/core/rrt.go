@@ -4,13 +4,13 @@ import (
 	"math"
 
 	"parmp/internal/cspace"
-	"parmp/internal/dist"
 	"parmp/internal/graph"
 	"parmp/internal/metrics"
 	"parmp/internal/region"
 	"parmp/internal/repart"
 	"parmp/internal/rng"
 	"parmp/internal/rrt"
+	"parmp/internal/sched"
 	"parmp/internal/work"
 )
 
@@ -29,7 +29,7 @@ type RRTResult struct {
 	RegionGraph *region.Graph
 	Phases      PhaseBreakdown
 	TotalTime   float64
-	ProcStats   []dist.ProcStats
+	ProcStats   []sched.WorkerStats
 	// NodeLoads[p] counts tree nodes on processor p after the run.
 	NodeLoads         []float64
 	CVBefore, CVAfter float64
@@ -57,13 +57,17 @@ func (r *RRTResult) TotalNodes() int {
 }
 
 // ParallelRRT runs the uniform radial subdivision parallel RRT
-// (Algorithm 2) rooted at root with the configured load balancing.
+// (Algorithm 2) rooted at root with the configured load balancing. Like
+// ParallelPRM it is a phase pipeline over the scheduler runtime: weight,
+// repartition, branch growth (stealable) and branch connection all
+// execute through the runtime, sharing the PRM pipeline's skeleton.
 func ParallelRRT(s *cspace.Space, root cspace.Config, opts Options) (*RRTResult, error) {
 	opts = opts.Defaults()
 	if err := opts.Validate(); err != nil {
 		return nil, err
 	}
 	res := &RRTResult{}
+	pl := newPipeline(opts)
 
 	// --- Setup: radial subdivision about the root. The subdivision
 	// sphere lives in the full d-dimensional C-space ("a hypersphere is
@@ -85,14 +89,14 @@ func ParallelRRT(s *cspace.Space, root cspace.Config, opts Options) (*RRTResult,
 	assignContiguous(rg, opts.Procs)
 	res.RegionGraph = rg
 	n := rg.NumRegions()
-	res.Phases.Setup = opts.Profile.Barrier(opts.Procs)
+	res.Phases.Setup = pl.barrier()
 
-	// --- Optional repartitioning with the k-ray estimate (computed up
-	// front: unlike PRM there is no cheap sampling phase whose output
-	// predicts work, which is exactly the paper's point). The ray probe
-	// is a workspace concept, so it only applies when the C-space is the
-	// workspace (point robots); articulated robots fall back to uniform
-	// weights, making repartitioning a no-op for them.
+	// --- Weight phase with the k-ray estimate (computed up front: unlike
+	// PRM there is no cheap sampling phase whose output predicts work,
+	// which is exactly the paper's point). The ray probe is a workspace
+	// concept, so it only applies when the C-space is the workspace
+	// (point robots); articulated robots fall back to uniform weights,
+	// making repartitioning a no-op for them.
 	weights := make([]float64, n)
 	for i := range weights {
 		weights[i] = 1
@@ -103,81 +107,57 @@ func ParallelRRT(s *cspace.Space, root cspace.Config, opts Options) (*RRTResult,
 	rg.SetWeights(weights)
 	res.CVBefore = metrics.CV(rg.LoadPerProcessor(opts.Procs))
 	if opts.Strategy == Repartition {
-		var assign []int
-		switch opts.Partitioner {
-		case PartitionLPT:
-			assign = repart.GreedyLPT(weights, opts.Procs)
-		default:
-			assign = repart.GreedySpatial(rg, weights, opts.Procs, 0.05)
-		}
 		// The weight pass itself costs k rays per region on the owner.
-		rayCosts := make([][]float64, opts.Procs)
-		for i := 0; i < n; i++ {
-			rayCosts[rg.Owner[i]] = append(rayCosts[rg.Owner[i]],
-				float64(opts.KRays)*opts.Cost.CDObstacle*float64(len(s.Env.Obstacles)+1))
-		}
-		rayMakespan, _ := dist.StaticPhase(rayCosts)
-		res.Phases.Redistribution = rayMakespan + opts.Profile.Barrier(opts.Procs)
+		rayCost := float64(opts.KRays) * opts.Cost.CDObstacle * float64(len(s.Env.Obstacles)+1)
+		rayRep := pl.replay(phaseSpec{
+			name: "weight",
+			queues: queuesByOwner(opts.Procs, rg.Owner, n, func(i int) work.Task {
+				return costTask(i, rayCost)
+			}),
+		})
+		res.Phases.Redistribution = rayRep.Makespan + pl.barrier()
 		// Note: unlike PRM there is no balanced-already escape hatch
 		// here — the k-ray estimate CLAIMS imbalance whether or not it is
 		// real, which is the paper's point. Migration proceeds whenever
 		// the estimated loads look improvable.
-		if worthRebalancing(weights, rg.Owner, assign, opts.Procs) {
-			plan := repart.MakePlan(rg, assign)
-			res.MigratedRegions = len(plan.Moved)
-			res.Phases.Redistribution += plan.MigrationCost(rg, opts.Profile, nil, opts.Procs)
-			plan.Apply(rg)
-		}
+		migrated, cost := pl.rebalance(rg, weights, nil)
+		res.MigratedRegions = migrated
+		res.Phases.Redistribution += cost
 	}
 
 	// --- Branch growth phase (expensive; stealable).
 	params := rrt.Params{Nodes: opts.NodesPerRegion, Step: opts.Step, GoalBias: opts.GoalBias}
 	results := make([]rrt.Result, n)
 	rewires := make([]int, n)
-	queues := make([][]work.Task, opts.Procs)
-	for i := 0; i < n; i++ {
-		i := i
-		task := work.Task{
-			ID: i,
-			Run: func() (float64, int) {
-				if opts.Star {
-					starRes := rrt.GrowRegionStar(s, rg.Region(i),
-						rrt.StarParams{Params: params, RewireRadius: opts.RewireRadius},
-						rng.Derive(opts.Seed, uint64(i)))
-					results[i] = rrt.Result{
-						Tree:  &rrt.Tree{Nodes: starRes.Tree.Nodes},
-						Work:  starRes.Work,
-						Iters: starRes.Iters,
+	report := pl.run(phaseSpec{
+		name: "construct",
+		queues: queuesByOwner(opts.Procs, rg.Owner, n, func(i int) work.Task {
+			return work.Task{
+				ID: i,
+				Run: func() (float64, int) {
+					if opts.Star {
+						starRes := rrt.GrowRegionStar(s, rg.Region(i),
+							rrt.StarParams{Params: params, RewireRadius: opts.RewireRadius},
+							rng.Derive(opts.Seed, uint64(i)))
+						results[i] = rrt.Result{
+							Tree:  &rrt.Tree{Nodes: starRes.Tree.Nodes},
+							Work:  starRes.Work,
+							Iters: starRes.Iters,
+						}
+						rewires[i] = starRes.Rewires
+					} else {
+						results[i] = rrt.GrowRegion(s, rg.Region(i), params, rng.Derive(opts.Seed, uint64(i)))
 					}
-					rewires[i] = starRes.Rewires
-				} else {
-					results[i] = rrt.GrowRegion(s, rg.Region(i), params, rng.Derive(opts.Seed, uint64(i)))
-				}
-				return opts.Cost.Time(results[i].Work), results[i].Tree.Len()
-			},
-		}
-		queues[rg.Owner[i]] = append(queues[rg.Owner[i]], task)
-	}
-	policy := opts.Policy
-	if opts.Strategy != WorkStealing {
-		policy = nil
-	}
-	hostPrePass(opts, queues)
-	report := dist.Run(dist.Config{
-		Procs:      opts.Procs,
-		Profile:    opts.Profile,
-		Policy:     policy,
-		StealChunk: opts.StealChunk,
-		MaxRounds:  4,
-		Seed:       opts.Seed ^ 0x51ab,
-	}, queues)
-	res.ProcStats = report.Procs
-	res.Phases.NodeConnection = report.Makespan + opts.Profile.Barrier(opts.Procs)
-	if opts.Strategy == WorkStealing {
-		for id, p := range report.ExecutedBy {
-			rg.Owner[id] = p
-		}
-	}
+					return opts.Cost.Time(results[i].Work), results[i].Tree.Len()
+				},
+			}
+		}),
+		policy: pl.stealPolicy(),
+		salt:   saltRRTConstruct,
+	})
+	res.ProcStats = report.Workers
+	res.Phases.NodeConnection = report.Makespan + pl.barrier()
+	pl.applyOwnership(rg, report)
 	res.EdgeCut = rg.EdgeCut()
 	res.Branches = make([]*rrt.Tree, n)
 	for i := 0; i < n; i++ {
@@ -194,14 +174,37 @@ func ParallelRRT(s *cspace.Space, root cspace.Config, opts Options) (*RRTResult,
 		res.WeightActualCorr = pearson(weights, costs)
 	}
 
-	// --- Branch connection phase with cycle pruning.
+	// --- Branch connection phase with cycle pruning. The connection
+	// attempts run host-parallel; the cycle check is a deterministic
+	// sequential sweep in region-graph order.
+	var pairs [][2]int
+	rg.ForEachAdjacentPair(func(a, b int) { pairs = append(pairs, [2]int{a, b}) })
+	type connResult struct {
+		ia, ib int
+		ok     bool
+	}
+	conns := make([]connResult, len(pairs))
+	connectTasks := [][]work.Task{make([]work.Task, len(pairs))}
+	for idx := range pairs {
+		idx := idx
+		a, b := pairs[idx][0], pairs[idx][1]
+		connectTasks[0][idx] = work.Task{
+			ID: idx,
+			Run: func() (float64, int) {
+				var c cspace.Counters
+				target := region.ConeTarget(rg.Region(b))
+				ia, ib, ok := rrt.Connect(s, res.Branches[a], res.Branches[b], target, 3, &c)
+				conns[idx] = connResult{ia: ia, ib: ib, ok: ok}
+				return opts.Cost.Time(c), 0
+			},
+		}
+	}
+	pl.hostExec("region-connect", connectTasks)
 	uf := graph.NewUnionFind(n)
-	connCosts := make([][]float64, opts.Procs)
-	rg.ForEachAdjacentPair(func(a, b int) {
-		var c cspace.Counters
-		target := region.ConeTarget(rg.Region(b))
-		ia, ib, ok := rrt.Connect(s, res.Branches[a], res.Branches[b], target, 3, &c)
-		cost := opts.Cost.Time(c)
+	connQueues := make([][]work.Task, opts.Procs)
+	for idx := range pairs {
+		a, b := pairs[idx][0], pairs[idx][1]
+		cost, _ := connectTasks[0][idx].Run() // memoized after the host pass
 		ownerA, ownerB := rg.Owner[a], rg.Owner[b]
 		if ownerA != ownerB {
 			res.RegionRemote++
@@ -209,21 +212,21 @@ func ParallelRRT(s *cspace.Space, root cspace.Config, opts Options) (*RRTResult,
 		} else {
 			cost += opts.Profile.LocalAccess
 		}
-		connCosts[ownerA] = append(connCosts[ownerA], cost)
-		if ok {
+		connQueues[ownerA] = append(connQueues[ownerA], costTask(idx, cost))
+		if conns[idx].ok {
 			// "If any edge connection creates a cycle, the tree is pruned
 			// so as to remove the cycle": keep the bridge only if it
 			// merges two distinct components.
 			if uf.Union(a, b) {
-				res.Bridges = append(res.Bridges, [4]int{a, ia, b, ib})
+				res.Bridges = append(res.Bridges, [4]int{a, conns[idx].ia, b, conns[idx].ib})
 			} else {
 				res.PrunedCycles++
 			}
 		}
-	})
-	connMakespan, _ := dist.StaticPhase(connCosts)
-	res.Phases.RegionConnection = connMakespan + opts.Profile.Barrier(opts.Procs)
-	res.Phases.Other = opts.Profile.Barrier(opts.Procs)
+	}
+	connRep := pl.replay(phaseSpec{name: "region-connect", queues: connQueues})
+	res.Phases.RegionConnection = connRep.Makespan + pl.barrier()
+	res.Phases.Other = pl.barrier()
 
 	res.NodeLoads = make([]float64, opts.Procs)
 	for i := 0; i < n; i++ {

@@ -1,5 +1,7 @@
 // Package dist simulates a distributed-memory machine executing region
 // tasks under a work-stealing scheduler, in deterministic virtual time.
+// It is the virtual-time implementation of the sched.Runtime interface;
+// internal/exec is the real-goroutine one.
 //
 // It is the substitute for the paper's STAPL runtime on the Cray XE6 and
 // Opteron cluster: P virtual processors each own a deque of region tasks;
@@ -17,81 +19,28 @@ import (
 	"math"
 
 	"parmp/internal/rng"
-	"parmp/internal/steal"
+	"parmp/internal/sched"
 	"parmp/internal/work"
 )
 
-// Config parameterizes a simulation run.
-type Config struct {
-	// Procs is the number of virtual processors.
-	Procs int
-	// Profile supplies latency and handling constants.
-	Profile work.MachineProfile
-	// Policy selects steal victims; nil disables stealing entirely
-	// (the no-load-balancing and repartitioning-only modes).
-	Policy steal.Policy
-	// StealChunk is the fraction of a victim's pending deque transferred
-	// per successful steal, from the back (default 0.5). At least one
-	// task always transfers, so a vanishing fraction means one task per
-	// steal.
-	StealChunk float64
-	// Seed drives victim randomization.
-	Seed uint64
-	// MaxBackoff caps the exponential retry backoff, as a multiple of the
-	// remote latency (default 16).
-	MaxBackoff float64
-	// MaxRounds bounds how many consecutive unsuccessful victim rounds a
-	// thief tries before giving up for good (0 = retry until global
-	// termination). Bounded retries model schedulers whose idle
-	// processors stop polling, leaving residual imbalance when work is
-	// scarce — the paper's "low probability of finding work" effect.
-	MaxRounds int
-	// Trace, when non-nil, receives simulator events in virtual-time
-	// order (see TraceEvent). For debugging and visualization only.
-	Trace Tracer
-}
+// The scheduler-runtime contract (configuration, report, stats and trace
+// types) is shared with the real executor through internal/sched.
+type (
+	// Config parameterizes a simulation run; Config.Workers is the
+	// number of virtual processors.
+	Config = sched.Config
+	// Report is the outcome of a simulation, in virtual time.
+	Report = sched.Report
+	// ProcStats reports one virtual processor's execution profile.
+	ProcStats = sched.WorkerStats
+	// TraceEvent is one simulator occurrence, emitted through Config.Trace.
+	TraceEvent = sched.TraceEvent
+	// Tracer receives simulator events in virtual-time order.
+	Tracer = sched.Tracer
+)
 
-func (c Config) stealChunk() float64 {
-	if c.StealChunk <= 0 || c.StealChunk > 1 {
-		return 0.5
-	}
-	return c.StealChunk
-}
-
-// ProcStats reports one virtual processor's execution profile.
-type ProcStats struct {
-	Busy                                      float64 // virtual time spent executing tasks
-	Idle                                      float64 // makespan minus Busy
-	Finish                                    float64 // completion time of the proc's last task
-	TasksLocal                                int     // tasks executed from the original assignment
-	TasksStolen                               int     // tasks executed that were stolen from others
-	StealsIssued, StealsGranted, StealsDenied int
-	TasksLost                                 int // tasks stolen away from this proc
-}
-
-// Report is the outcome of a simulation.
-type Report struct {
-	Makespan   float64
-	Procs      []ProcStats
-	TotalTasks int
-	// ExecutedBy[taskID] is the processor that ultimately ran the task
-	// (ownership transfer makes this differ from the initial owner).
-	ExecutedBy map[int]int
-	// Cost[taskID] is the task's measured virtual-time cost.
-	Cost map[int]float64
-	// Payload[taskID] is the task's reported payload (e.g. roadmap
-	// vertices created), for downstream migration pricing.
-	Payload map[int]int
-	// TerminationCost is the virtual time spent detecting global
-	// termination (token ring; zero when stealing is disabled).
-	TerminationCost float64
-}
-
-// queued is a deque entry.
-type queued struct {
-	task   work.Task
-	stolen bool
-}
+// Runtime is the simulator as a pluggable scheduler backend.
+var Runtime sched.Runtime = sched.RuntimeFunc(Run)
 
 // event kinds.
 const (
@@ -108,7 +57,7 @@ type event struct {
 
 	// steal fields
 	thief, victim int
-	grant         []queued
+	grant         []sched.Entry
 }
 
 type evHeap []*event
@@ -136,7 +85,7 @@ type sim struct {
 	events evHeap
 	seq    int
 
-	deque [][]queued
+	deque [][]sched.Entry
 	busy  []bool
 	stats []ProcStats
 	rngs  []*rng.Stream
@@ -163,33 +112,33 @@ func (s *sim) schedule(t float64, e *event) {
 // Run executes the simulation. queues[p] is processor p's initial task
 // assignment, executed front to back; steals take from the back.
 func Run(cfg Config, queues [][]work.Task) Report {
-	if cfg.Procs <= 0 || len(queues) != cfg.Procs {
-		panic("dist: queues must have exactly Procs entries")
+	if cfg.Workers <= 0 || len(queues) != cfg.Workers {
+		panic("dist: queues must have exactly Workers entries")
 	}
 	s := &sim{
 		cfg:        cfg,
-		deque:      make([][]queued, cfg.Procs),
-		busy:       make([]bool, cfg.Procs),
-		stats:      make([]ProcStats, cfg.Procs),
-		rngs:       make([]*rng.Stream, cfg.Procs),
-		attempt:    make([]int, cfg.Procs),
-		candidates: make([][]int, cfg.Procs),
-		pending:    make([][]*event, cfg.Procs),
+		deque:      make([][]sched.Entry, cfg.Workers),
+		busy:       make([]bool, cfg.Workers),
+		stats:      make([]ProcStats, cfg.Workers),
+		rngs:       make([]*rng.Stream, cfg.Workers),
+		attempt:    make([]int, cfg.Workers),
+		candidates: make([][]int, cfg.Workers),
+		pending:    make([][]*event, cfg.Workers),
 		report: Report{
 			ExecutedBy: map[int]int{},
 			Cost:       map[int]float64{},
 			Payload:    map[int]int{},
 		},
 	}
-	for p := 0; p < cfg.Procs; p++ {
+	for p := 0; p < cfg.Workers; p++ {
 		s.rngs[p] = rng.Derive(cfg.Seed, uint64(p)+1)
 		for _, t := range queues[p] {
-			s.deque[p] = append(s.deque[p], queued{task: t})
+			s.deque[p] = append(s.deque[p], sched.Entry{Task: t})
 			s.remaining++
 		}
 	}
 	s.report.TotalTasks = s.remaining
-	for p := 0; p < cfg.Procs; p++ {
+	for p := 0; p < cfg.Workers; p++ {
 		s.schedule(0, &event{kind: evPop, proc: p})
 	}
 	for s.events.Len() > 0 {
@@ -215,15 +164,15 @@ func Run(cfg Config, queues [][]work.Task) Report {
 	// barriers so the overhead grows with log2(P) as in practical
 	// implementations; a serial token ring would scale O(P) and swamp the
 	// stealing benefit at thousands of processors.
-	if cfg.Policy != nil && cfg.Procs > 1 && s.report.TotalTasks > 0 {
+	if cfg.Policy != nil && cfg.Workers > 1 && s.report.TotalTasks > 0 {
 		// Two barrier-equivalent reduction waves confirm quiescence.
-		s.report.TerminationCost = 2 * cfg.Profile.Barrier(cfg.Procs)
+		s.report.TerminationCost = 2 * cfg.Profile.Barrier(cfg.Workers)
 		s.report.Makespan += s.report.TerminationCost
 	}
 	for p := range s.stats {
 		s.stats[p].Idle = s.report.Makespan - s.stats[p].Busy
 	}
-	s.report.Procs = s.stats
+	s.report.Workers = s.stats
 	return s.report
 }
 
@@ -250,9 +199,9 @@ func (s *sim) pop(e *event) {
 }
 
 // execute runs a task on p starting at time t.
-func (s *sim) execute(p int, q queued, t float64) {
+func (s *sim) execute(p int, q sched.Entry, t float64) {
 	s.busy[p] = true
-	cost, payload := q.task.Run()
+	cost, payload := q.Task.Run()
 	if cost < 0 || math.IsNaN(cost) {
 		cost = 0
 	}
@@ -261,15 +210,15 @@ func (s *sim) execute(p int, q queued, t float64) {
 	if done > s.stats[p].Finish {
 		s.stats[p].Finish = done
 	}
-	if q.stolen {
+	if q.Stolen {
 		s.stats[p].TasksStolen++
 	} else {
 		s.stats[p].TasksLocal++
 	}
-	s.trace(t, "exec", p, -1, q.task.ID)
-	s.report.ExecutedBy[q.task.ID] = p
-	s.report.Cost[q.task.ID] = cost
-	s.report.Payload[q.task.ID] = payload
+	s.trace(t, "exec", p, -1, q.Task.ID)
+	s.report.ExecutedBy[q.Task.ID] = p
+	s.report.Cost[q.Task.ID] = cost
+	s.report.Payload[q.Task.ID] = payload
 	s.remaining--
 	s.attempt[p] = 0
 	s.candidates[p] = nil
@@ -278,7 +227,7 @@ func (s *sim) execute(p int, q queued, t float64) {
 
 // tryStealRound starts or continues a steal round for thief p at time t.
 func (s *sim) tryStealRound(p int, t float64) {
-	if s.cfg.Policy == nil || s.remaining == 0 || s.cfg.Procs <= 1 {
+	if s.cfg.Policy == nil || s.remaining == 0 || s.cfg.Workers <= 1 {
 		return // processor retires
 	}
 	if s.cfg.MaxRounds > 0 && s.attempt[p] >= s.cfg.MaxRounds {
@@ -286,7 +235,7 @@ func (s *sim) tryStealRound(p int, t float64) {
 		return // too many failed rounds: give up
 	}
 	if len(s.candidates[p]) == 0 {
-		s.candidates[p] = s.cfg.Policy.Victims(p, s.cfg.Procs, s.attempt[p], s.rngs[p])
+		s.candidates[p] = s.cfg.Policy.Victims(p, s.cfg.Workers, s.attempt[p], s.rngs[p])
 		if len(s.candidates[p]) == 0 {
 			// Policy has nobody to ask (e.g. mesh corner in a tiny
 			// system); retire.
@@ -318,27 +267,14 @@ func (s *sim) stealArrive(e *event) {
 // already attached to it (its Payload), priced like a migration.
 func (s *sim) serveSteal(e *event, t float64) {
 	v, thief := e.victim, e.thief
-	var grant []queued
+	var grant []sched.Entry
 	transfer := 0.0
-	n := len(s.deque[v])
-	if n > 0 {
-		take := int(math.Ceil(float64(n) * s.cfg.stealChunk()))
-		if take < 1 {
-			take = 1
-		}
-		if take > n {
-			take = n
-		}
-		// Steal from the back of the victim's deque.
-		grant = append(grant, s.deque[v][n-take:]...)
-		s.deque[v] = s.deque[v][:n-take]
-		for i := range grant {
-			grant[i].stolen = true
-			transfer += s.cfg.Profile.MigrateFixed +
-				s.cfg.Profile.MigratePerVertex*float64(grant[i].task.Payload)
-		}
-		s.stats[v].TasksLost += take
+	s.deque[v], grant = sched.StealBack(s.deque[v], s.cfg.Chunk())
+	for i := range grant {
+		transfer += s.cfg.Profile.MigrateFixed +
+			s.cfg.Profile.MigratePerVertex*float64(grant[i].Task.Payload)
 	}
+	s.stats[v].TasksLost += len(grant)
 	reply := &event{kind: evStealReply, proc: thief, thief: thief, victim: v, grant: grant}
 	s.schedule(t+s.cfg.Profile.StealHandling+s.cfg.Profile.Latency(v, thief)+transfer, reply)
 }
@@ -348,7 +284,7 @@ func (s *sim) stealReply(e *event) {
 	p := e.thief
 	if len(e.grant) > 0 {
 		s.stats[p].StealsGranted++
-		s.trace(e.t, "steal-grant", p, e.victim, e.grant[0].task.ID)
+		s.trace(e.t, "steal-grant", p, e.victim, e.grant[0].Task.ID)
 		s.deque[p] = append(s.deque[p], e.grant...)
 		s.attempt[p] = 0
 		s.candidates[p] = nil

@@ -38,18 +38,18 @@ func testProfile() work.MachineProfile {
 
 func TestNoStealingSequential(t *testing.T) {
 	queues := fixedTasks([][]float64{{10, 10}, {1}})
-	rep := Run(Config{Procs: 2, Profile: testProfile()}, queues)
+	rep := Run(Config{Workers: 2, Profile: testProfile()}, queues)
 	if rep.Makespan != 20 {
 		t.Fatalf("makespan = %v, want 20", rep.Makespan)
 	}
-	if rep.Procs[0].Busy != 20 || rep.Procs[1].Busy != 1 {
-		t.Fatalf("busy = %+v", rep.Procs)
+	if rep.Workers[0].Busy != 20 || rep.Workers[1].Busy != 1 {
+		t.Fatalf("busy = %+v", rep.Workers)
 	}
-	if rep.Procs[1].Idle != 19 {
-		t.Fatalf("idle = %v, want 19", rep.Procs[1].Idle)
+	if rep.Workers[1].Idle != 19 {
+		t.Fatalf("idle = %v, want 19", rep.Workers[1].Idle)
 	}
-	if rep.Procs[0].TasksLocal != 2 || rep.Procs[0].TasksStolen != 0 {
-		t.Fatalf("task counts = %+v", rep.Procs[0])
+	if rep.Workers[0].TasksLocal != 2 || rep.Workers[0].TasksStolen != 0 {
+		t.Fatalf("task counts = %+v", rep.Workers[0])
 	}
 	if rep.TotalTasks != 3 {
 		t.Fatalf("TotalTasks = %d", rep.TotalTasks)
@@ -63,30 +63,30 @@ func TestStealingReducesMakespan(t *testing.T) {
 		costs[i] = 10
 	}
 	queues := [][]float64{costs, {}}
-	noLB := Run(Config{Procs: 2, Profile: testProfile()}, fixedTasks(queues))
-	ws := Run(Config{Procs: 2, Profile: testProfile(), Policy: steal.RandK{K: 1}, Seed: 1}, fixedTasks(queues))
+	noLB := Run(Config{Workers: 2, Profile: testProfile()}, fixedTasks(queues))
+	ws := Run(Config{Workers: 2, Profile: testProfile(), Policy: steal.RandK{K: 1}, Seed: 1}, fixedTasks(queues))
 	if noLB.Makespan != 400 {
 		t.Fatalf("noLB makespan = %v", noLB.Makespan)
 	}
 	if ws.Makespan >= noLB.Makespan*0.75 {
 		t.Fatalf("stealing makespan %v should be well below %v", ws.Makespan, noLB.Makespan)
 	}
-	if ws.Procs[1].TasksStolen == 0 {
+	if ws.Workers[1].TasksStolen == 0 {
 		t.Fatal("proc 1 should have executed stolen tasks")
 	}
-	if ws.Procs[0].TasksLost == 0 {
+	if ws.Workers[0].TasksLost == 0 {
 		t.Fatal("proc 0 should have lost tasks")
 	}
 }
 
 func TestAllTasksExecutedExactlyOnce(t *testing.T) {
 	rows := [][]float64{{5, 7, 3, 9, 2}, {}, {1}, {}}
-	rep := Run(Config{Procs: 4, Profile: testProfile(), Policy: steal.Hybrid{K: 2}, Seed: 7}, fixedTasks(rows))
+	rep := Run(Config{Workers: 4, Profile: testProfile(), Policy: steal.Hybrid{K: 2}, Seed: 7}, fixedTasks(rows))
 	if len(rep.ExecutedBy) != 6 {
 		t.Fatalf("executed %d tasks, want 6", len(rep.ExecutedBy))
 	}
 	total := 0
-	for _, ps := range rep.Procs {
+	for _, ps := range rep.Workers {
 		total += ps.TasksLocal + ps.TasksStolen
 	}
 	if total != 6 {
@@ -94,7 +94,7 @@ func TestAllTasksExecutedExactlyOnce(t *testing.T) {
 	}
 	// Conservation: busy sum equals cost sum.
 	var busySum, costSum float64
-	for _, ps := range rep.Procs {
+	for _, ps := range rep.Workers {
 		busySum += ps.Busy
 	}
 	for _, c := range rep.Cost {
@@ -107,14 +107,14 @@ func TestAllTasksExecutedExactlyOnce(t *testing.T) {
 
 func TestDeterminism(t *testing.T) {
 	rows := [][]float64{{5, 7, 3}, {2}, {9, 9, 9, 9}, {}}
-	cfg := Config{Procs: 4, Profile: testProfile(), Policy: steal.RandK{K: 2}, Seed: 99}
+	cfg := Config{Workers: 4, Profile: testProfile(), Policy: steal.RandK{K: 2}, Seed: 99}
 	a := Run(cfg, fixedTasks(rows))
 	b := Run(cfg, fixedTasks(rows))
 	if a.Makespan != b.Makespan {
 		t.Fatalf("makespans differ: %v vs %v", a.Makespan, b.Makespan)
 	}
-	for p := range a.Procs {
-		if a.Procs[p] != b.Procs[p] {
+	for p := range a.Workers {
+		if a.Workers[p] != b.Workers[p] {
 			t.Fatalf("proc %d stats differ", p)
 		}
 	}
@@ -129,7 +129,7 @@ func TestStealFromBack(t *testing.T) {
 	// Proc 0: tasks 0..3 in order. A thief must receive the back half
 	// (ids 2,3), leaving the front for the owner.
 	rows := [][]float64{{100, 100, 100, 100}, {}}
-	rep := Run(Config{Procs: 2, Profile: testProfile(), Policy: steal.RandK{K: 1}, Seed: 1, StealChunk: 0.5}, fixedTasks(rows))
+	rep := Run(Config{Workers: 2, Profile: testProfile(), Policy: steal.RandK{K: 1}, Seed: 1, StealChunk: 0.5}, fixedTasks(rows))
 	if rep.ExecutedBy[0] != 0 || rep.ExecutedBy[1] != 0 {
 		t.Fatalf("front tasks should stay with owner: %v", rep.ExecutedBy)
 	}
@@ -142,8 +142,8 @@ func TestNoStealWhenBalanced(t *testing.T) {
 	// Perfectly balanced queues: stealing should not help nor hurt much
 	// (paper's free environment shows no significant overhead).
 	rows := [][]float64{{10, 10}, {10, 10}, {10, 10}, {10, 10}}
-	noLB := Run(Config{Procs: 4, Profile: testProfile()}, fixedTasks(rows))
-	ws := Run(Config{Procs: 4, Profile: testProfile(), Policy: steal.Diffusive{}, Seed: 3}, fixedTasks(rows))
+	noLB := Run(Config{Workers: 4, Profile: testProfile()}, fixedTasks(rows))
+	ws := Run(Config{Workers: 4, Profile: testProfile(), Policy: steal.Diffusive{}, Seed: 3}, fixedTasks(rows))
 	// Beyond the unavoidable termination-detection ring, stealing must add
 	// no meaningful overhead to a balanced run.
 	if ws.Makespan-ws.TerminationCost > noLB.Makespan*1.2 {
@@ -155,7 +155,7 @@ func TestNoStealWhenBalanced(t *testing.T) {
 func TestMakespanLowerBound(t *testing.T) {
 	// Makespan can never beat total/P nor the largest task.
 	rows := [][]float64{{50, 1, 1, 1, 1, 1, 1}, {}, {}, {}}
-	rep := Run(Config{Procs: 4, Profile: testProfile(), Policy: steal.Hybrid{K: 3}, Seed: 5}, fixedTasks(rows))
+	rep := Run(Config{Workers: 4, Profile: testProfile(), Policy: steal.Hybrid{K: 3}, Seed: 5}, fixedTasks(rows))
 	if rep.Makespan < 50 {
 		t.Fatalf("makespan %v below biggest task", rep.Makespan)
 	}
@@ -170,14 +170,14 @@ func TestMakespanLowerBound(t *testing.T) {
 
 func TestSingleProcWithPolicy(t *testing.T) {
 	rows := [][]float64{{3, 4}}
-	rep := Run(Config{Procs: 1, Profile: testProfile(), Policy: steal.RandK{K: 8}, Seed: 1}, fixedTasks(rows))
+	rep := Run(Config{Workers: 1, Profile: testProfile(), Policy: steal.RandK{K: 8}, Seed: 1}, fixedTasks(rows))
 	if rep.Makespan != 7 {
 		t.Fatalf("makespan = %v", rep.Makespan)
 	}
 }
 
 func TestEmptySystem(t *testing.T) {
-	rep := Run(Config{Procs: 3, Profile: testProfile(), Policy: steal.Diffusive{}}, [][]work.Task{{}, {}, {}})
+	rep := Run(Config{Workers: 3, Profile: testProfile(), Policy: steal.Diffusive{}}, [][]work.Task{{}, {}, {}})
 	if rep.Makespan != 0 || rep.TotalTasks != 0 {
 		t.Fatalf("empty system: %+v", rep)
 	}
@@ -189,13 +189,13 @@ func TestPanicsOnQueueMismatch(t *testing.T) {
 			t.Fatal("expected panic")
 		}
 	}()
-	Run(Config{Procs: 2, Profile: testProfile()}, [][]work.Task{{}})
+	Run(Config{Workers: 2, Profile: testProfile()}, [][]work.Task{{}})
 }
 
 func TestStealCountsConsistent(t *testing.T) {
 	rows := [][]float64{{5, 5, 5, 5, 5, 5, 5, 5}, {}, {}, {}}
-	rep := Run(Config{Procs: 4, Profile: testProfile(), Policy: steal.RandK{K: 2}, Seed: 11}, fixedTasks(rows))
-	for p, ps := range rep.Procs {
+	rep := Run(Config{Workers: 4, Profile: testProfile(), Policy: steal.RandK{K: 2}, Seed: 11}, fixedTasks(rows))
+	for p, ps := range rep.Workers {
 		if ps.StealsIssued < ps.StealsGranted+ps.StealsDenied {
 			t.Fatalf("proc %d: issued %d < granted %d + denied %d",
 				p, ps.StealsIssued, ps.StealsGranted, ps.StealsDenied)
@@ -204,7 +204,7 @@ func TestStealCountsConsistent(t *testing.T) {
 	// A queued task may be re-stolen before it runs, so transfer events
 	// (lost) can exceed stolen executions, but never the reverse.
 	var lost, stolen int
-	for _, ps := range rep.Procs {
+	for _, ps := range rep.Workers {
 		lost += ps.TasksLost
 		stolen += ps.TasksStolen
 	}
@@ -231,8 +231,8 @@ func TestImbalanceDecaysWithMoreProcs(t *testing.T) {
 	}
 	speedup := func(p int) float64 {
 		rows := makeRows(p)
-		noLB := Run(Config{Procs: p, Profile: testProfile()}, fixedTasks(rows))
-		ws := Run(Config{Procs: p, Profile: testProfile(), Policy: steal.Hybrid{K: 4}, Seed: 2}, fixedTasks(rows))
+		noLB := Run(Config{Workers: p, Profile: testProfile()}, fixedTasks(rows))
+		ws := Run(Config{Workers: p, Profile: testProfile(), Policy: steal.Hybrid{K: 4}, Seed: 2}, fixedTasks(rows))
 		return noLB.Makespan / ws.Makespan
 	}
 	s8, s32 := speedup(8), speedup(32)
@@ -256,11 +256,11 @@ func TestStaticPhase(t *testing.T) {
 
 func TestTerminationDetectionCharged(t *testing.T) {
 	rows := [][]float64{{5, 5}, {5, 5}}
-	noLB := Run(Config{Procs: 2, Profile: testProfile()}, fixedTasks(rows))
+	noLB := Run(Config{Workers: 2, Profile: testProfile()}, fixedTasks(rows))
 	if noLB.TerminationCost != 0 {
 		t.Fatal("static runs need no termination detection")
 	}
-	ws := Run(Config{Procs: 2, Profile: testProfile(), Policy: steal.RandK{K: 1}, Seed: 1}, fixedTasks(rows))
+	ws := Run(Config{Workers: 2, Profile: testProfile(), Policy: steal.RandK{K: 1}, Seed: 1}, fixedTasks(rows))
 	if ws.TerminationCost <= 0 {
 		t.Fatal("stealing runs must pay termination detection")
 	}
@@ -268,7 +268,7 @@ func TestTerminationDetectionCharged(t *testing.T) {
 		t.Fatal("balanced workload: stealing cannot beat static here")
 	}
 	// Termination cost grows with P.
-	ws8 := Run(Config{Procs: 8, Profile: testProfile(), Policy: steal.RandK{K: 1}, Seed: 1},
+	ws8 := Run(Config{Workers: 8, Profile: testProfile(), Policy: steal.RandK{K: 1}, Seed: 1},
 		fixedTasks([][]float64{{5}, {5}, {5}, {5}, {5}, {5}, {5}, {5}}))
 	if ws8.TerminationCost <= ws.TerminationCost {
 		t.Fatalf("termination cost should grow with P: %v vs %v", ws8.TerminationCost, ws.TerminationCost)
@@ -299,7 +299,7 @@ func TestSimulatorInvariantsProperty(t *testing.T) {
 		}
 		policies := []steal.Policy{nil, steal.RandK{K: 2}, steal.Diffusive{}, steal.Hybrid{K: 3}}
 		pol := policies[r.Intn(len(policies))]
-		rep := Run(Config{Procs: p, Profile: testProfile(), Policy: pol, Seed: seed}, fixedTasks(rows))
+		rep := Run(Config{Workers: p, Profile: testProfile(), Policy: pol, Seed: seed}, fixedTasks(rows))
 		if len(rep.ExecutedBy) != nTasks {
 			return false
 		}
@@ -311,7 +311,7 @@ func TestSimulatorInvariantsProperty(t *testing.T) {
 		}
 		var busy float64
 		count := 0
-		for _, ps := range rep.Procs {
+		for _, ps := range rep.Workers {
 			if ps.Busy < 0 || ps.Idle < -1e-9 || ps.TasksLocal < 0 || ps.TasksStolen < 0 {
 				return false
 			}

@@ -34,8 +34,8 @@ func Timeline(events []TraceEvent, rep Report, procs, width int) []string {
 	out := make([]string, procs)
 	for p := range rows {
 		var ps ProcStats
-		if p < len(rep.Procs) {
-			ps = rep.Procs[p]
+		if p < len(rep.Workers) {
+			ps = rep.Workers[p]
 		}
 		out[p] = fmt.Sprintf("p%-3d |%s| busy=%.0f local=%d stolen=%d",
 			p, rows[p], ps.Busy, ps.TasksLocal, ps.TasksStolen)

@@ -1,33 +1,7 @@
 package dist
 
-import (
-	"fmt"
-	"io"
-)
-
-// TraceEvent is one simulator occurrence, emitted through Config.Trace.
-type TraceEvent struct {
-	Time float64
-	Kind string // "exec", "steal-req", "steal-grant", "steal-deny", "retire"
-	Proc int    // acting processor
-	Peer int    // counterpart (victim/thief), -1 when not applicable
-	Task int    // task ID, -1 when not applicable
-}
-
-// String formats the event as one log line.
-func (e TraceEvent) String() string {
-	return fmt.Sprintf("t=%.1f %-11s proc=%d peer=%d task=%d", e.Time, e.Kind, e.Proc, e.Peer, e.Task)
-}
-
-// Tracer receives simulator events in virtual-time order.
-type Tracer func(TraceEvent)
-
-// WriteTrace returns a Tracer that writes one line per event to w.
-func WriteTrace(w io.Writer) Tracer {
-	return func(e TraceEvent) {
-		fmt.Fprintln(w, e.String())
-	}
-}
+// Trace event types live in internal/sched (shared with the host
+// executor); dist re-exports them as TraceEvent and Tracer.
 
 // trace emits an event if tracing is enabled.
 func (s *sim) trace(t float64, kind string, proc, peer, task int) {

@@ -11,7 +11,7 @@ func TestTraceEventsEmitted(t *testing.T) {
 	rows := [][]float64{{5, 5, 5, 5}, {}}
 	var events []TraceEvent
 	cfg := Config{
-		Procs: 2, Profile: testProfile(), Policy: steal.RandK{K: 1}, Seed: 1,
+		Workers: 2, Profile: testProfile(), Policy: steal.RandK{K: 1}, Seed: 1,
 		Trace: func(e TraceEvent) { events = append(events, e) },
 	}
 	Run(cfg, fixedTasks(rows))
@@ -38,28 +38,16 @@ func TestTraceEventsEmitted(t *testing.T) {
 	}
 }
 
-func TestWriteTrace(t *testing.T) {
-	var sb strings.Builder
-	tr := WriteTrace(&sb)
-	tr(TraceEvent{Time: 1.5, Kind: "exec", Proc: 3, Peer: -1, Task: 7})
-	out := sb.String()
-	for _, want := range []string{"t=1.5", "exec", "proc=3", "task=7"} {
-		if !strings.Contains(out, want) {
-			t.Fatalf("trace line %q missing %q", out, want)
-		}
-	}
-}
-
 func TestTraceNilSafe(t *testing.T) {
 	rows := [][]float64{{1}}
-	Run(Config{Procs: 1, Profile: testProfile()}, fixedTasks(rows)) // no panic without Trace
+	Run(Config{Workers: 1, Profile: testProfile()}, fixedTasks(rows)) // no panic without Trace
 }
 
 func TestTimeline(t *testing.T) {
 	rows := [][]float64{{10, 10}, {}}
 	var events []TraceEvent
 	rep := Run(Config{
-		Procs: 2, Profile: testProfile(), Policy: steal.RandK{K: 1}, Seed: 1,
+		Workers: 2, Profile: testProfile(), Policy: steal.RandK{K: 1}, Seed: 1,
 		Trace: func(e TraceEvent) { events = append(events, e) },
 	}, fixedTasks(rows))
 	lines := Timeline(events, rep, 2, 40)

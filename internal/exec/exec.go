@@ -1,7 +1,8 @@
 // Package exec is the real shared-memory counterpart of the simulated
 // machine in internal/dist: a goroutine-based work-stealing executor that
 // runs region tasks on actual OS threads, using the same victim-selection
-// policies (steal.Policy) as the simulator.
+// policies (steal.Policy) and the same sched.Runtime contract as the
+// simulator.
 //
 // Use it when planning for real (the library's normal mode on a multicore
 // host); use internal/dist when reproducing the paper's strong-scaling
@@ -15,103 +16,83 @@ import (
 	"time"
 
 	"parmp/internal/rng"
-	"parmp/internal/steal"
+	"parmp/internal/sched"
 	"parmp/internal/work"
 )
 
-// Config parameterizes a run.
-type Config struct {
-	// Workers is the number of goroutines (default GOMAXPROCS).
-	Workers int
-	// Policy selects steal victims; nil disables stealing (workers only
-	// drain their own queues).
-	Policy steal.Policy
-	// Seed drives victim randomization.
-	Seed uint64
-	// StealChunk is the fraction of a victim's pending queue taken per
-	// steal (default 0.5).
-	StealChunk float64
-}
+// The scheduler-runtime contract is shared with the simulator through
+// internal/sched.
+type (
+	// Config parameterizes a run; Config.Workers is the number of
+	// goroutines (default GOMAXPROCS). Profile and MaxBackoff are
+	// ignored: the executor pays real costs and yields instead of
+	// backing off in virtual time.
+	Config = sched.Config
+	// Report is the outcome of a run; times are wall-clock seconds.
+	Report = sched.Report
+	// WorkerStats reports one worker's execution profile.
+	WorkerStats = sched.WorkerStats
+)
 
-func (c Config) workers() int {
-	if c.Workers > 0 {
-		return c.Workers
+// Runtime is the host executor as a pluggable scheduler backend.
+var Runtime sched.Runtime = sched.RuntimeFunc(Run)
+
+func workers(cfg Config) int {
+	if cfg.Workers > 0 {
+		return cfg.Workers
 	}
 	return runtime.GOMAXPROCS(0)
 }
 
-func (c Config) stealChunk() float64 {
-	if c.StealChunk <= 0 || c.StealChunk > 1 {
-		return 0.5
-	}
-	return c.StealChunk
-}
-
-// WorkerStats reports one worker's execution profile.
-type WorkerStats struct {
-	TasksLocal  int
-	TasksStolen int
-	StealsOK    int
-	StealsFail  int
-	Busy        time.Duration
-}
-
-// Report is the outcome of a run.
-type Report struct {
-	Wall    time.Duration
-	Workers []WorkerStats
-	// ExecutedBy[taskID] is the worker that ran the task.
-	ExecutedBy map[int]int
-}
-
-// queued tags tasks with their provenance.
-type queued struct {
-	task   work.Task
-	stolen bool
-}
-
 // deque is a mutex-protected double-ended task queue: the owner pops from
-// the front, thieves take a chunk from the back.
+// the front, thieves take a chunk from the back. Steal accounting
+// (tasks lost to thieves) happens under the same lock.
 type deque struct {
 	mu    sync.Mutex
-	items []queued
+	items []sched.Entry
+	lost  int
 }
 
-func (d *deque) popFront() (queued, bool) {
+func (d *deque) popFront() (sched.Entry, bool) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if len(d.items) == 0 {
-		return queued{}, false
+		return sched.Entry{}, false
 	}
 	q := d.items[0]
 	d.items = d.items[1:]
 	return q, true
 }
 
-func (d *deque) stealBack(frac float64) []queued {
+// stealBack removes one steal quantum (sched.TakeCount: ceil(n*chunk),
+// the same rounding as the simulator) from the back of the deque.
+func (d *deque) stealBack(chunk float64) []sched.Entry {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	n := len(d.items)
-	if n == 0 {
-		return nil
-	}
-	take := int(float64(n) * frac)
-	if take < 1 {
-		take = 1
-	}
-	grant := make([]queued, take)
-	copy(grant, d.items[n-take:])
-	d.items = d.items[:n-take]
-	for i := range grant {
-		grant[i].stolen = true
-	}
+	var grant []sched.Entry
+	d.items, grant = sched.StealBack(d.items, chunk)
+	d.lost += len(grant)
 	return grant
 }
 
-func (d *deque) pushBack(qs []queued) {
+func (d *deque) pushBack(qs []sched.Entry) {
 	d.mu.Lock()
 	d.items = append(d.items, qs...)
 	d.mu.Unlock()
+}
+
+// workerState accumulates one worker's results without sharing.
+type workerState struct {
+	busy       time.Duration
+	finish     time.Duration
+	local      int
+	stolen     int
+	issued     int
+	granted    int
+	denied     int
+	executedBy map[int]int
+	cost       map[int]float64
+	payload    map[int]int
 }
 
 // Run executes the per-worker task queues to completion and returns the
@@ -119,7 +100,7 @@ func (d *deque) pushBack(qs []queued) {
 // to run in parallel with each other (region tasks are: each touches only
 // its own region's data).
 func Run(cfg Config, queues [][]work.Task) Report {
-	w := cfg.workers()
+	w := workers(cfg)
 	if len(queues) != w {
 		// Re-shard: distribute the given queues round-robin over workers.
 		resharded := make([][]work.Task, w)
@@ -138,34 +119,57 @@ func Run(cfg Config, queues [][]work.Task) Report {
 	for i := 0; i < w; i++ {
 		deques[i] = &deque{}
 		for _, t := range queues[i] {
-			deques[i].items = append(deques[i].items, queued{task: t})
+			deques[i].items = append(deques[i].items, sched.Entry{Task: t})
 			remaining++
 		}
 	}
+	totalTasks := int(remaining)
 
-	stats := make([]WorkerStats, w)
-	executedBy := make([]map[int]int, w)
-	var wg sync.WaitGroup
+	// Trace events from concurrent workers are serialized by a mutex; the
+	// stream is real-time-ordered per worker but interleaved across them.
+	var traceMu sync.Mutex
 	start := time.Now()
+	emit := func(kind string, proc, peer, task int) {
+		if cfg.Trace == nil {
+			return
+		}
+		traceMu.Lock()
+		cfg.Trace(sched.TraceEvent{
+			Time: time.Since(start).Seconds(), Kind: kind, Proc: proc, Peer: peer, Task: task,
+		})
+		traceMu.Unlock()
+	}
+
+	states := make([]workerState, w)
+	var wg sync.WaitGroup
 	for id := 0; id < w; id++ {
 		id := id
-		executedBy[id] = map[int]int{}
+		states[id] = workerState{
+			executedBy: map[int]int{},
+			cost:       map[int]float64{},
+			payload:    map[int]int{},
+		}
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			st := &states[id]
 			r := rng.Derive(cfg.Seed, uint64(id)+1)
 			attempt := 0
 			for atomic.LoadInt64(&remaining) > 0 {
 				if q, ok := deques[id].popFront(); ok {
 					t0 := time.Now()
-					q.task.Run()
-					stats[id].Busy += time.Since(t0)
-					executedBy[id][q.task.ID] = id
-					if q.stolen {
-						stats[id].TasksStolen++
+					cost, payload := q.Task.Run()
+					st.busy += time.Since(t0)
+					st.finish = time.Since(start)
+					st.executedBy[q.Task.ID] = id
+					st.cost[q.Task.ID] = cost
+					st.payload[q.Task.ID] = payload
+					if q.Stolen {
+						st.stolen++
 					} else {
-						stats[id].TasksLocal++
+						st.local++
 					}
+					emit("exec", id, -1, q.Task.ID)
 					atomic.AddInt64(&remaining, -1)
 					attempt = 0
 					continue
@@ -173,15 +177,26 @@ func Run(cfg Config, queues [][]work.Task) Report {
 				if cfg.Policy == nil || w == 1 {
 					return
 				}
+				if cfg.MaxRounds > 0 && attempt >= cfg.MaxRounds {
+					// Too many failed rounds: give up, as in the
+					// simulator. Remaining work still completes — every
+					// pending task sits in a deque whose owner drains it.
+					emit("retire", id, -1, -1)
+					return
+				}
 				stole := false
 				for _, v := range cfg.Policy.Victims(id, w, attempt, r) {
-					if grant := deques[v].stealBack(cfg.stealChunk()); len(grant) > 0 {
+					st.issued++
+					emit("steal-req", id, v, -1)
+					if grant := deques[v].stealBack(cfg.Chunk()); len(grant) > 0 {
 						deques[id].pushBack(grant)
-						stats[id].StealsOK++
+						st.granted++
+						emit("steal-grant", id, v, grant[0].Task.ID)
 						stole = true
 						break
 					}
-					stats[id].StealsFail++
+					st.denied++
+					emit("steal-deny", id, v, -1)
 				}
 				if stole {
 					attempt = 0
@@ -196,14 +211,37 @@ func Run(cfg Config, queues [][]work.Task) Report {
 	}
 	wg.Wait()
 
+	wall := time.Since(start)
 	rep := Report{
-		Wall:       time.Since(start),
-		Workers:    stats,
+		Makespan:   wall.Seconds(),
+		Wall:       wall,
+		Workers:    make([]WorkerStats, w),
+		TotalTasks: totalTasks,
 		ExecutedBy: map[int]int{},
+		Cost:       map[int]float64{},
+		Payload:    map[int]int{},
 	}
-	for id := range executedBy {
-		for task, worker := range executedBy[id] {
+	for id := range states {
+		st := &states[id]
+		rep.Workers[id] = WorkerStats{
+			Busy:          st.busy.Seconds(),
+			Idle:          (wall - st.busy).Seconds(),
+			Finish:        st.finish.Seconds(),
+			TasksLocal:    st.local,
+			TasksStolen:   st.stolen,
+			TasksLost:     deques[id].lost,
+			StealsIssued:  st.issued,
+			StealsGranted: st.granted,
+			StealsDenied:  st.denied,
+		}
+		for task, worker := range st.executedBy {
 			rep.ExecutedBy[task] = worker
+		}
+		for task, c := range st.cost {
+			rep.Cost[task] = c
+		}
+		for task, p := range st.payload {
+			rep.Payload[task] = p
 		}
 	}
 	return rep

@@ -1,0 +1,149 @@
+// Parity between the two sched.Runtime implementations: the virtual-time
+// simulator (internal/dist) and the real goroutine executor
+// (internal/exec) must agree on the scheduling contract — every task
+// executes exactly once, counts balance, the report covers all IDs —
+// when fed the same workload, policy and seed. Run under -race this also
+// exercises the executor's concurrent accounting.
+package sched_test
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"parmp/internal/dist"
+	"parmp/internal/exec"
+	"parmp/internal/sched"
+	"parmp/internal/steal"
+	"parmp/internal/work"
+)
+
+// parityWorkload builds an imbalanced task set (all work on worker 0) and
+// a per-task execution counter.
+func parityWorkload(workers, tasks int) ([][]work.Task, []int64) {
+	execCount := make([]int64, tasks)
+	queues := make([][]work.Task, workers)
+	for i := 0; i < tasks; i++ {
+		i := i
+		queues[0] = append(queues[0], work.Task{
+			ID:      i,
+			Payload: i % 3,
+			Run: func() (float64, int) {
+				atomic.AddInt64(&execCount[i], 1)
+				return float64(1 + i%5), i % 3
+			},
+		})
+	}
+	return queues, execCount
+}
+
+func checkParityReport(t *testing.T, name string, rep sched.Report, execCount []int64, workers int) {
+	t.Helper()
+	tasks := len(execCount)
+	for i, c := range execCount {
+		if c != 1 {
+			t.Errorf("%s: task %d ran %d times, want 1", name, i, c)
+		}
+	}
+	if rep.TotalTasks != tasks {
+		t.Errorf("%s: TotalTasks = %d, want %d", name, rep.TotalTasks, tasks)
+	}
+	if len(rep.Workers) != workers {
+		t.Fatalf("%s: %d worker stats, want %d", name, len(rep.Workers), workers)
+	}
+	local, stolen, lost := 0, 0, 0
+	for w, ws := range rep.Workers {
+		if ws.TasksLocal < 0 || ws.TasksStolen < 0 || ws.TasksLost < 0 {
+			t.Errorf("%s: worker %d has negative counts: %+v", name, w, ws)
+		}
+		if ws.StealsIssued < ws.StealsGranted+ws.StealsDenied {
+			t.Errorf("%s: worker %d issued %d < granted %d + denied %d",
+				name, w, ws.StealsIssued, ws.StealsGranted, ws.StealsDenied)
+		}
+		local += ws.TasksLocal
+		stolen += ws.TasksStolen
+		lost += ws.TasksLost
+	}
+	if local+stolen != tasks {
+		t.Errorf("%s: local %d + stolen %d != total %d", name, local, stolen, tasks)
+	}
+	// A queued task can be re-stolen before running, so transfers (lost)
+	// may exceed stolen executions, never the reverse.
+	if lost < stolen {
+		t.Errorf("%s: tasks lost %d < tasks stolen %d", name, lost, stolen)
+	}
+	if len(rep.ExecutedBy) != tasks {
+		t.Fatalf("%s: ExecutedBy has %d entries, want %d", name, len(rep.ExecutedBy), tasks)
+	}
+	for i := 0; i < tasks; i++ {
+		w, ok := rep.ExecutedBy[i]
+		if !ok {
+			t.Errorf("%s: task %d missing from ExecutedBy", name, i)
+		} else if w < 0 || w >= workers {
+			t.Errorf("%s: task %d executed by out-of-range worker %d", name, i, w)
+		}
+		if rep.Cost[i] != float64(1+i%5) {
+			t.Errorf("%s: task %d cost %v, want %v", name, i, rep.Cost[i], float64(1+i%5))
+		}
+		if rep.Payload[i] != i%3 {
+			t.Errorf("%s: task %d payload %d, want %d", name, i, rep.Payload[i], i%3)
+		}
+	}
+}
+
+func TestRuntimeParity(t *testing.T) {
+	const workers, tasks = 4, 24
+	runtimes := []struct {
+		name string
+		rt   sched.Runtime
+	}{
+		{"dist", dist.Runtime},
+		{"exec", exec.Runtime},
+	}
+	policies := []struct {
+		name   string
+		policy steal.Policy
+	}{
+		{"none", nil},
+		{"rand2", steal.RandK{K: 2}},
+		{"hybrid", steal.Hybrid{K: 2}},
+	}
+	for _, rt := range runtimes {
+		for _, pol := range policies {
+			t.Run(rt.name+"/"+pol.name, func(t *testing.T) {
+				queues, execCount := parityWorkload(workers, tasks)
+				cfg := sched.Config{
+					Workers:    workers,
+					Profile:    work.Hopper(),
+					Policy:     pol.policy,
+					StealChunk: 0.25,
+					Seed:       42,
+				}
+				rep := rt.rt.Run(cfg, queues)
+				checkParityReport(t, rt.name+"/"+pol.name, rep, execCount, workers)
+			})
+		}
+	}
+}
+
+func TestRuntimeParityMaxRounds(t *testing.T) {
+	// Bounded retries: with MaxRounds set, thieves eventually retire, but
+	// both runtimes must still complete every task (owners drain their own
+	// deques regardless).
+	const workers, tasks = 4, 16
+	for _, rt := range []struct {
+		name string
+		rt   sched.Runtime
+	}{{"dist", dist.Runtime}, {"exec", exec.Runtime}} {
+		t.Run(rt.name, func(t *testing.T) {
+			queues, execCount := parityWorkload(workers, tasks)
+			rep := rt.rt.Run(sched.Config{
+				Workers:   workers,
+				Profile:   work.Hopper(),
+				Policy:    steal.RandK{K: 1},
+				MaxRounds: 2,
+				Seed:      7,
+			}, queues)
+			checkParityReport(t, rt.name, rep, execCount, workers)
+		})
+	}
+}

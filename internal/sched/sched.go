@@ -1,0 +1,154 @@
+// Package sched defines the scheduler runtime abstraction shared by the
+// deterministic virtual-time simulator (internal/dist) and the real
+// goroutine work-stealing executor (internal/exec): one Config, one
+// Report, one Runtime interface, and the deque/steal-chunk machinery both
+// backends execute.
+//
+// The planners in internal/core drive every pipeline phase through a
+// Runtime, so the same phased workload can replay on the simulated
+// distributed machine, run for real on host goroutines, or — in the
+// future — execute on a network-distributed backend, without the
+// planners changing.
+package sched
+
+import (
+	"math"
+	"time"
+
+	"parmp/internal/steal"
+	"parmp/internal/work"
+)
+
+// Config parameterizes a runtime execution.
+type Config struct {
+	// Workers is the parallelism degree: virtual processors for the
+	// simulator, goroutines for the host executor.
+	Workers int
+	// Profile supplies latency and handling constants (simulator only;
+	// the host executor pays real costs instead).
+	Profile work.MachineProfile
+	// Policy selects steal victims; nil disables stealing entirely
+	// (workers only drain their own queues).
+	Policy steal.Policy
+	// StealChunk is the fraction of a victim's pending deque transferred
+	// per successful steal, from the back (default 0.5). At least one
+	// task always transfers, so a vanishing fraction means one task per
+	// steal. Both backends round the quantum up (see TakeCount).
+	StealChunk float64
+	// Seed drives victim randomization.
+	Seed uint64
+	// MaxBackoff caps the simulator's exponential retry backoff, as a
+	// multiple of the remote latency (default 16).
+	MaxBackoff float64
+	// MaxRounds bounds how many consecutive unsuccessful victim rounds a
+	// thief tries before giving up for good (0 = retry until global
+	// termination). Bounded retries model schedulers whose idle
+	// processors stop polling, leaving residual imbalance when work is
+	// scarce — the paper's "low probability of finding work" effect.
+	MaxRounds int
+	// Trace, when non-nil, receives execution events (see TraceEvent):
+	// in virtual-time order from the simulator, serialized but
+	// real-time-ordered from the host executor. Debugging only.
+	Trace Tracer
+}
+
+// Chunk returns the normalized steal fraction.
+func (c Config) Chunk() float64 {
+	if c.StealChunk <= 0 || c.StealChunk > 1 {
+		return 0.5
+	}
+	return c.StealChunk
+}
+
+// WorkerStats reports one worker's execution profile. Times are virtual
+// units for the simulator and seconds for the host executor.
+type WorkerStats struct {
+	Busy   float64 // time spent executing tasks
+	Idle   float64 // makespan minus Busy
+	Finish float64 // completion time of the worker's last task
+	// TasksLocal counts tasks executed from the original assignment;
+	// TasksStolen those stolen from others; TasksLost those stolen away.
+	TasksLocal                                int
+	TasksStolen                               int
+	TasksLost                                 int
+	StealsIssued, StealsGranted, StealsDenied int
+}
+
+// Report is the outcome of a runtime execution.
+type Report struct {
+	// Makespan is the completion time of the whole run: virtual time for
+	// the simulator, wall-clock seconds for the host executor.
+	Makespan float64
+	// Wall is the host wall-clock duration (zero for the simulator,
+	// whose runs complete in virtual time).
+	Wall       time.Duration
+	Workers    []WorkerStats
+	TotalTasks int
+	// ExecutedBy[taskID] is the worker that ultimately ran the task
+	// (ownership transfer makes this differ from the initial owner).
+	ExecutedBy map[int]int
+	// Cost[taskID] is the task's reported cost; Payload[taskID] its
+	// reported payload (e.g. roadmap vertices created), for downstream
+	// migration pricing.
+	Cost    map[int]float64
+	Payload map[int]int
+	// TerminationCost is the virtual time spent detecting global
+	// termination (simulator only; zero when stealing is disabled).
+	TerminationCost float64
+}
+
+// Runtime executes per-worker task queues to completion: queues[w] is
+// worker w's initial assignment, executed front to back, with steals
+// taking a chunk from the back. Implementations: internal/dist (virtual
+// time), internal/exec (host goroutines).
+type Runtime interface {
+	Run(cfg Config, queues [][]work.Task) Report
+}
+
+// RuntimeFunc adapts a function to the Runtime interface.
+type RuntimeFunc func(Config, [][]work.Task) Report
+
+// Run implements Runtime.
+func (f RuntimeFunc) Run(cfg Config, queues [][]work.Task) Report { return f(cfg, queues) }
+
+// Entry is a deque entry: a task tagged with its provenance.
+type Entry struct {
+	Task   work.Task
+	Stolen bool
+}
+
+// TakeCount returns how many of a victim's n pending tasks one steal
+// transfers under the given chunk fraction: ceil(n*chunk), clamped to
+// [1, n]. Rounding up is the shared rule for both backends — the
+// simulator and the executor must transfer identical quanta so host
+// runs reproduce simulated steal granularity.
+func TakeCount(n int, chunk float64) int {
+	if n <= 0 {
+		return 0
+	}
+	take := int(math.Ceil(float64(n) * chunk))
+	if take < 1 {
+		take = 1
+	}
+	if take > n {
+		take = n
+	}
+	return take
+}
+
+// StealBack removes one steal quantum from the back of items, marking the
+// granted entries stolen. The grant is an independent copy, so the
+// caller may keep appending to rest without clobbering it.
+func StealBack(items []Entry, chunk float64) (rest, grant []Entry) {
+	n := len(items)
+	if n == 0 {
+		return items, nil
+	}
+	take := TakeCount(n, chunk)
+	grant = make([]Entry, take)
+	copy(grant, items[n-take:])
+	for i := range grant {
+		grant[i].Stolen = true
+	}
+	return items[:n-take], grant
+}

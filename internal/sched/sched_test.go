@@ -1,0 +1,109 @@
+package sched
+
+import (
+	"strings"
+	"testing"
+
+	"parmp/internal/work"
+)
+
+func TestTakeCountCeil(t *testing.T) {
+	// Regression for the simulator/executor rounding split: the executor
+	// used floor(n*chunk) while the simulator used ceil(n*chunk), so any
+	// fractional chunk diverged between the two. Both now share this
+	// ceiling rule.
+	cases := []struct {
+		n     int
+		chunk float64
+		want  int
+	}{
+		{10, 0.25, 3}, // ceil(2.5); floor would give 2
+		{10, 0.5, 5},
+		{3, 0.5, 2},  // ceil(1.5); floor would give 1
+		{7, 0.33, 3}, // ceil(2.31)
+		{1, 0.5, 1},
+		{4, 1e-9, 1},  // vanishing chunk: one task per steal
+		{5, 0.999, 5}, // ceil(4.995)
+		{5, 1, 5},
+		{0, 0.5, 0},
+		{-3, 0.5, 0},
+	}
+	for _, c := range cases {
+		if got := TakeCount(c.n, c.chunk); got != c.want {
+			t.Errorf("TakeCount(%d, %v) = %d, want %d", c.n, c.chunk, got, c.want)
+		}
+	}
+}
+
+func TestStealBack(t *testing.T) {
+	mk := func(ids ...int) []Entry {
+		es := make([]Entry, len(ids))
+		for i, id := range ids {
+			es[i].Task.ID = id
+		}
+		return es
+	}
+	rest, grant := StealBack(mk(0, 1, 2, 3), 0.5)
+	if len(rest) != 2 || len(grant) != 2 {
+		t.Fatalf("rest=%d grant=%d, want 2/2", len(rest), len(grant))
+	}
+	// Thieves take from the back, owners keep the front.
+	if rest[0].Task.ID != 0 || rest[1].Task.ID != 1 {
+		t.Fatalf("owner should keep front tasks, kept %v", rest)
+	}
+	if grant[0].Task.ID != 2 || grant[1].Task.ID != 3 {
+		t.Fatalf("thief should get back tasks in order, got %v", grant)
+	}
+	for _, e := range grant {
+		if !e.Stolen {
+			t.Fatal("granted entries must be marked Stolen")
+		}
+	}
+	for _, e := range rest {
+		if e.Stolen {
+			t.Fatal("kept entries must not be marked Stolen")
+		}
+	}
+	if rest, grant := StealBack(nil, 0.5); rest != nil || grant != nil {
+		t.Fatalf("empty deque must grant nothing, got %v/%v", rest, grant)
+	}
+}
+
+func TestStealBackGrantIsCopy(t *testing.T) {
+	items := make([]Entry, 4)
+	for i := range items {
+		items[i].Task.ID = i
+	}
+	rest, grant := StealBack(items, 0.5)
+	// Appending to the owner's remainder must not clobber the grant (they
+	// would otherwise share the original backing array).
+	rest = append(rest, Entry{Task: work.Task{ID: 99}})
+	_ = rest
+	if grant[0].Task.ID != 2 || grant[1].Task.ID != 3 {
+		t.Fatalf("grant aliases the owner's deque: %v", grant)
+	}
+}
+
+func TestConfigChunkDefault(t *testing.T) {
+	if got := (Config{}).Chunk(); got != 0.5 {
+		t.Fatalf("zero StealChunk should default to 0.5, got %v", got)
+	}
+	if got := (Config{StealChunk: 2}).Chunk(); got != 0.5 {
+		t.Fatalf("out-of-range StealChunk should default to 0.5, got %v", got)
+	}
+	if got := (Config{StealChunk: 0.25}).Chunk(); got != 0.25 {
+		t.Fatalf("Chunk() = %v, want 0.25", got)
+	}
+}
+
+func TestWriteTrace(t *testing.T) {
+	var sb strings.Builder
+	tr := WriteTrace(&sb)
+	tr(TraceEvent{Time: 1.5, Kind: "exec", Proc: 3, Peer: -1, Task: 7})
+	out := sb.String()
+	for _, want := range []string{"t=1.5", "exec", "proc=3", "task=7"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("trace line %q missing %q", out, want)
+		}
+	}
+}

@@ -1,0 +1,30 @@
+package sched
+
+import (
+	"fmt"
+	"io"
+)
+
+// TraceEvent is one runtime occurrence, emitted through Config.Trace.
+type TraceEvent struct {
+	Time float64 // virtual units (simulator) or seconds since start (executor)
+	Kind string  // "exec", "steal-req", "steal-grant", "steal-deny", "retire"
+	Proc int     // acting worker
+	Peer int     // counterpart (victim/thief), -1 when not applicable
+	Task int     // task ID, -1 when not applicable
+}
+
+// String formats the event as one log line.
+func (e TraceEvent) String() string {
+	return fmt.Sprintf("t=%.1f %-11s proc=%d peer=%d task=%d", e.Time, e.Kind, e.Proc, e.Peer, e.Task)
+}
+
+// Tracer receives runtime events.
+type Tracer func(TraceEvent)
+
+// WriteTrace returns a Tracer that writes one line per event to w.
+func WriteTrace(w io.Writer) Tracer {
+	return func(e TraceEvent) {
+		fmt.Fprintln(w, e.String())
+	}
+}
