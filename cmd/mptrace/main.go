@@ -1,11 +1,14 @@
 // Command mptrace runs a small work-stealing simulation with event
 // tracing enabled and renders a per-processor utilization timeline, making
 // the steal protocol visible: who ran what, who stole from whom, and
-// where processors idled.
+// where processors idled. With -chrome it additionally exports the run in
+// Chrome trace_event JSON, loadable in chrome://tracing or Perfetto, one
+// track per processor.
 //
 // Usage:
 //
 //	mptrace -env med-cube -procs 8 -regions 64 -policy hybrid
+//	mptrace -policy rand-8 -chrome out.json
 package main
 
 import (
@@ -16,6 +19,7 @@ import (
 	"parmp/internal/cspace"
 	"parmp/internal/dist"
 	"parmp/internal/env"
+	"parmp/internal/obsv"
 	"parmp/internal/prm"
 	"parmp/internal/region"
 	"parmp/internal/rng"
@@ -30,6 +34,7 @@ func main() {
 	samples := flag.Int("samples", 12, "sampling attempts per region")
 	policyName := flag.String("policy", "hybrid", "steal policy (hybrid, rand-8, diffusive, none)")
 	width := flag.Int("width", 72, "timeline width in characters")
+	chromeOut := flag.String("chrome", "", "write the trace as Chrome trace_event JSON to this file")
 	verbose := flag.Bool("v", false, "print the raw event log too")
 	flag.Parse()
 
@@ -70,6 +75,7 @@ func main() {
 	}
 
 	var events []dist.TraceEvent
+	chrome := obsv.NewChromeTrace(obsv.ScaleVirtual)
 	rep := dist.Run(dist.Config{
 		Workers: *procs,
 		Profile: work.Hopper(),
@@ -77,6 +83,7 @@ func main() {
 		Seed:    7,
 		Trace: func(ev dist.TraceEvent) {
 			events = append(events, ev)
+			chrome.Event(ev)
 		},
 	}, queues)
 
@@ -87,6 +94,27 @@ func main() {
 	}
 	fmt.Printf("\n'#' executing, '.' idle/communicating; one column = %.0f virtual units\n",
 		rep.Makespan/float64(*width))
+	m := obsv.Analyze(rep)
+	fmt.Printf("utilization=%.2f imbalance=%.2f steal-eff=%.2f (granted %d / issued %d) migrated=%d transfers=%d\n",
+		m.Utilization, m.Imbalance, m.StealEfficiency,
+		m.StealsGranted, m.StealsIssued, m.TasksMigrated, m.TaskTransfers)
+
+	if *chromeOut != "" {
+		f, err := os.Create(*chromeOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mptrace:", err)
+			os.Exit(1)
+		}
+		if _, err := chrome.WriteTo(f); err != nil {
+			fmt.Fprintln(os.Stderr, "mptrace:", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "mptrace:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("chrome trace written to %s (open in chrome://tracing or ui.perfetto.dev)\n", *chromeOut)
+	}
 
 	if *verbose {
 		fmt.Println()

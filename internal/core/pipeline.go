@@ -30,6 +30,23 @@ type phaseSpec struct {
 	salt   uint64
 }
 
+// PhaseReport couples one pipeline phase's virtual-time runtime report
+// with the phase name and its position in the replay sequence. The
+// planners keep every phase's report in their results, so per-phase
+// load-balance metrics (imbalance, utilization, steal efficiency — see
+// internal/obsv) are derivable after the run without re-executing it.
+type PhaseReport struct {
+	// Phase is the phase name ("sample", "construct", "weight",
+	// "region-connect", ...).
+	Phase string
+	// Round is the 0-based position of this report in the pipeline's
+	// replay order (phases that execute more than once get one report,
+	// and one Round, per execution).
+	Round int
+	// Report is the scheduler runtime's execution profile for the phase.
+	Report sched.Report
+}
+
 // pipeline executes planner phases through the scheduler runtime layer:
 // every heavy phase runs once, concurrently, on the host executor (when
 // Options.HostWorkers > 1), and then replays deterministically on the
@@ -40,6 +57,9 @@ type pipeline struct {
 	opts Options
 	vt   sched.Runtime // virtual-time backend (default: the DES in internal/dist)
 	host sched.Runtime // real-goroutine backend for the host pre-pass
+	// reports accumulates every replayed phase's runtime report, in
+	// replay order, for the planner results' PhaseReports.
+	reports []PhaseReport
 }
 
 func newPipeline(opts Options) *pipeline {
@@ -80,10 +100,11 @@ func (pl *pipeline) hostExec(name string, queues [][]work.Task) {
 }
 
 // replay plays a phase on the virtual-time runtime and returns its
-// report. Memoized tasks answer instantly with their recorded cost, so
-// the replay is pure accounting after a host pre-pass.
+// report, keeping a copy in the pipeline's phase-report log. Memoized
+// tasks answer instantly with their recorded cost, so the replay is pure
+// accounting after a host pre-pass.
 func (pl *pipeline) replay(ph phaseSpec) sched.Report {
-	return pl.vt.Run(sched.Config{
+	rep := pl.vt.Run(sched.Config{
 		Workers:    pl.opts.Procs,
 		Profile:    pl.opts.Profile,
 		Policy:     ph.policy,
@@ -91,6 +112,8 @@ func (pl *pipeline) replay(ph phaseSpec) sched.Report {
 		MaxRounds:  pl.opts.maxRounds(),
 		Seed:       pl.opts.Seed ^ ph.salt,
 	}, ph.queues)
+	pl.reports = append(pl.reports, PhaseReport{Phase: ph.name, Round: len(pl.reports), Report: rep})
+	return rep
 }
 
 // run executes a phase end to end: concurrent host pass, then the

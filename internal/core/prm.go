@@ -21,6 +21,10 @@ type PRMResult struct {
 	TotalTime float64
 	// ProcStats is the construction-phase execution profile.
 	ProcStats []sched.WorkerStats
+	// PhaseReports holds every phase's virtual-time runtime report, in
+	// replay order, so per-phase load-balance metrics (internal/obsv)
+	// derive from a finished run without re-executing it.
+	PhaseReports []PhaseReport
 	// NodeLoads[p] counts roadmap nodes on processor p after the run —
 	// the paper's load-profile quantity (Fig. 5(c)).
 	NodeLoads []float64
@@ -215,6 +219,7 @@ func ParallelPRM(s *cspace.Space, opts Options) (*PRMResult, error) {
 	}
 	res.CVAfter = metrics.CV(res.NodeLoads)
 	res.TotalTime = res.Phases.Total()
+	res.PhaseReports = pl.reports
 	return res, nil
 }
 

@@ -30,6 +30,9 @@ type RRTResult struct {
 	Phases      PhaseBreakdown
 	TotalTime   float64
 	ProcStats   []sched.WorkerStats
+	// PhaseReports holds every phase's virtual-time runtime report, in
+	// replay order (see PRMResult.PhaseReports).
+	PhaseReports []PhaseReport
 	// NodeLoads[p] counts tree nodes on processor p after the run.
 	NodeLoads         []float64
 	CVBefore, CVAfter float64
@@ -234,6 +237,7 @@ func ParallelRRT(s *cspace.Space, root cspace.Config, opts Options) (*RRTResult,
 	}
 	res.CVAfter = metrics.CV(res.NodeLoads)
 	res.TotalTime = res.Phases.Total()
+	res.PhaseReports = pl.reports
 	return res, nil
 }
 

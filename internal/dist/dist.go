@@ -110,11 +110,15 @@ func (s *sim) schedule(t float64, e *event) {
 }
 
 // Run executes the simulation. queues[p] is processor p's initial task
-// assignment, executed front to back; steals take from the back.
+// assignment, executed front to back; steals take from the back. A queue
+// count that differs from cfg.Workers is redistributed round-robin via
+// sched.Reshard — the same path the host executor takes, per the
+// sched.Runtime contract.
 func Run(cfg Config, queues [][]work.Task) Report {
-	if cfg.Workers <= 0 || len(queues) != cfg.Workers {
-		panic("dist: queues must have exactly Workers entries")
+	if cfg.Workers <= 0 {
+		panic("dist: Config.Workers must be positive")
 	}
+	queues = sched.Reshard(queues, cfg.Workers)
 	s := &sim{
 		cfg:        cfg,
 		deque:      make([][]sched.Entry, cfg.Workers),
@@ -215,7 +219,7 @@ func (s *sim) execute(p int, q sched.Entry, t float64) {
 	} else {
 		s.stats[p].TasksLocal++
 	}
-	s.trace(t, "exec", p, -1, q.Task.ID)
+	s.traceExec(t, p, q.Task.ID, cost)
 	s.report.ExecutedBy[q.Task.ID] = p
 	s.report.Cost[q.Task.ID] = cost
 	s.report.Payload[q.Task.ID] = payload
@@ -226,9 +230,16 @@ func (s *sim) execute(p int, q sched.Entry, t float64) {
 }
 
 // tryStealRound starts or continues a steal round for thief p at time t.
+// Every retirement path emits a "retire" trace event — the executor does
+// the same, so the two backends' trace streams agree on worker lifecycle
+// (asserted by the parity tests in internal/sched).
 func (s *sim) tryStealRound(p int, t float64) {
-	if s.cfg.Policy == nil || s.remaining == 0 || s.cfg.Workers <= 1 {
-		return // processor retires
+	if s.cfg.Policy == nil || s.cfg.Workers <= 1 {
+		return // stealing disabled: no thief lifecycle, no retire event
+	}
+	if s.remaining == 0 {
+		s.trace(t, "retire", p, -1, -1)
+		return // all work executed: retire into termination detection
 	}
 	if s.cfg.MaxRounds > 0 && s.attempt[p] >= s.cfg.MaxRounds {
 		s.trace(t, "retire", p, -1, -1)
@@ -239,6 +250,7 @@ func (s *sim) tryStealRound(p int, t float64) {
 		if len(s.candidates[p]) == 0 {
 			// Policy has nobody to ask (e.g. mesh corner in a tiny
 			// system); retire.
+			s.trace(t, "retire", p, -1, -1)
 			return
 		}
 	}
@@ -306,13 +318,6 @@ func (s *sim) stealReply(e *event) {
 	}
 	// Round exhausted: back off exponentially, then start a new round.
 	s.attempt[p]++
-	backoff := s.cfg.Profile.LatencyRemote * math.Pow(2, float64(s.attempt[p]-1))
-	maxB := s.cfg.MaxBackoff
-	if maxB <= 0 {
-		maxB = 16
-	}
-	if lim := s.cfg.Profile.LatencyRemote * maxB; backoff > lim {
-		backoff = lim
-	}
+	backoff := sched.Backoff(s.attempt[p], s.cfg.Profile.LatencyRemote, s.cfg.MaxBackoff)
 	s.schedule(e.t+backoff, &event{kind: evPop, proc: p})
 }

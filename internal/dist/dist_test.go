@@ -183,13 +183,33 @@ func TestEmptySystem(t *testing.T) {
 	}
 }
 
-func TestPanicsOnQueueMismatch(t *testing.T) {
+func TestQueueMismatchReshards(t *testing.T) {
+	// Regression: a queue count differing from Workers used to panic here
+	// while the host executor silently re-sharded — both backends now take
+	// the shared sched.Reshard round-robin path.
+	rows := [][]float64{{3, 3, 3, 3, 3}} // one queue, five tasks, two workers
+	rep := Run(Config{Workers: 2, Profile: testProfile()}, fixedTasks(rows))
+	if rep.TotalTasks != 5 {
+		t.Fatalf("TotalTasks = %d, want 5", rep.TotalTasks)
+	}
+	if len(rep.ExecutedBy) != 5 {
+		t.Fatalf("ExecutedBy has %d entries, want 5", len(rep.ExecutedBy))
+	}
+	// Round-robin re-shard: tasks 0,2,4 on worker 0; tasks 1,3 on worker 1.
+	for id, want := range map[int]int{0: 0, 1: 1, 2: 0, 3: 1, 4: 0} {
+		if got := rep.ExecutedBy[id]; got != want {
+			t.Errorf("task %d executed by %d, want %d (round-robin)", id, got, want)
+		}
+	}
+}
+
+func TestPanicsOnNonPositiveWorkers(t *testing.T) {
 	defer func() {
 		if recover() == nil {
 			t.Fatal("expected panic")
 		}
 	}()
-	Run(Config{Workers: 2, Profile: testProfile()}, [][]work.Task{{}})
+	Run(Config{Workers: 0, Profile: testProfile()}, nil)
 }
 
 func TestStealCountsConsistent(t *testing.T) {

@@ -24,9 +24,9 @@ import (
 // internal/sched.
 type (
 	// Config parameterizes a run; Config.Workers is the number of
-	// goroutines (default GOMAXPROCS). Profile and MaxBackoff are
-	// ignored: the executor pays real costs and yields instead of
-	// backing off in virtual time.
+	// goroutines (default GOMAXPROCS). Profile is ignored: the executor
+	// pays real costs. MaxBackoff caps the idle-thief sleep backoff just
+	// as it caps the simulator's virtual-time backoff.
 	Config = sched.Config
 	// Report is the outcome of a run; times are wall-clock seconds.
 	Report = sched.Report
@@ -36,6 +36,11 @@ type (
 
 // Runtime is the host executor as a pluggable scheduler backend.
 var Runtime sched.Runtime = sched.RuntimeFunc(Run)
+
+// stealBackoffBase is the first idle-thief sleep after a fully failed
+// steal round; successive failures double it up to Config.MaxBackoff
+// (default 16x) times this base, via the shared sched.Backoff curve.
+const stealBackoffBase = 20 * time.Microsecond
 
 func workers(cfg Config) int {
 	if cfg.Workers > 0 {
@@ -101,18 +106,9 @@ type workerState struct {
 // its own region's data).
 func Run(cfg Config, queues [][]work.Task) Report {
 	w := workers(cfg)
-	if len(queues) != w {
-		// Re-shard: distribute the given queues round-robin over workers.
-		resharded := make([][]work.Task, w)
-		i := 0
-		for _, q := range queues {
-			for _, t := range q {
-				resharded[i%w] = append(resharded[i%w], t)
-				i++
-			}
-		}
-		queues = resharded
-	}
+	// Mismatched queue counts redistribute round-robin through the shared
+	// sched.Reshard path, identically to the simulator.
+	queues = sched.Reshard(queues, w)
 
 	deques := make([]*deque, w)
 	var remaining int64
@@ -139,6 +135,20 @@ func Run(cfg Config, queues [][]work.Task) Report {
 		})
 		traceMu.Unlock()
 	}
+	// Execution spans carry the task's start time and measured duration,
+	// matching the simulator's exec events (start + cost), so trace
+	// exporters see the same shape from both backends.
+	emitExec := func(proc, task int, t0 time.Time, dur time.Duration) {
+		if cfg.Trace == nil {
+			return
+		}
+		traceMu.Lock()
+		cfg.Trace(sched.TraceEvent{
+			Time: t0.Sub(start).Seconds(), Kind: "exec", Proc: proc, Peer: -1, Task: task,
+			Dur: dur.Seconds(),
+		})
+		traceMu.Unlock()
+	}
 
 	states := make([]workerState, w)
 	var wg sync.WaitGroup
@@ -154,12 +164,23 @@ func Run(cfg Config, queues [][]work.Task) Report {
 			defer wg.Done()
 			st := &states[id]
 			r := rng.Derive(cfg.Seed, uint64(id)+1)
+			stealing := cfg.Policy != nil && w > 1
 			attempt := 0
-			for atomic.LoadInt64(&remaining) > 0 {
+			for {
+				if atomic.LoadInt64(&remaining) <= 0 {
+					// All work executed. With stealing enabled a worker
+					// retires exactly once, with a trace event, on every
+					// exit path — the same lifecycle the simulator traces.
+					if stealing {
+						emit("retire", id, -1, -1)
+					}
+					return
+				}
 				if q, ok := deques[id].popFront(); ok {
 					t0 := time.Now()
 					cost, payload := q.Task.Run()
-					st.busy += time.Since(t0)
+					d := time.Since(t0)
+					st.busy += d
 					st.finish = time.Since(start)
 					st.executedBy[q.Task.ID] = id
 					st.cost[q.Task.ID] = cost
@@ -169,12 +190,12 @@ func Run(cfg Config, queues [][]work.Task) Report {
 					} else {
 						st.local++
 					}
-					emit("exec", id, -1, q.Task.ID)
+					emitExec(id, q.Task.ID, t0, d)
 					atomic.AddInt64(&remaining, -1)
 					attempt = 0
 					continue
 				}
-				if cfg.Policy == nil || w == 1 {
+				if !stealing {
 					return
 				}
 				if cfg.MaxRounds > 0 && attempt >= cfg.MaxRounds {
@@ -184,8 +205,15 @@ func Run(cfg Config, queues [][]work.Task) Report {
 					emit("retire", id, -1, -1)
 					return
 				}
+				victims := cfg.Policy.Victims(id, w, attempt, r)
+				if len(victims) == 0 {
+					// Policy has nobody to ask (e.g. mesh corner in a
+					// tiny system): retire for good, as in the simulator.
+					emit("retire", id, -1, -1)
+					return
+				}
 				stole := false
-				for _, v := range cfg.Policy.Victims(id, w, attempt, r) {
+				for _, v := range victims {
 					st.issued++
 					emit("steal-req", id, v, -1)
 					if grant := deques[v].stealBack(cfg.Chunk()); len(grant) > 0 {
@@ -203,9 +231,11 @@ func Run(cfg Config, queues [][]work.Task) Report {
 					continue
 				}
 				attempt++
-				// Nothing stealable right now: yield and re-check; the
-				// remaining counter bounds the loop.
-				runtime.Gosched()
+				// Nothing stealable right now: sleep a bounded exponential
+				// backoff (the simulator's virtual-time curve, in wall
+				// time) instead of hot-spinning on runtime.Gosched, which
+				// hammers the victims' deque mutexes while they work.
+				time.Sleep(time.Duration(sched.Backoff(attempt, float64(stealBackoffBase), cfg.MaxBackoff)))
 			}
 		}()
 	}

@@ -1,0 +1,136 @@
+package obsv
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"parmp/internal/sched"
+)
+
+// Timestamp scales for NewChromeTrace: trace_event timestamps are
+// microseconds, runtime events are in backend units.
+const (
+	// ScaleVirtual renders one simulator virtual time unit as one
+	// microsecond.
+	ScaleVirtual = 1.0
+	// ScaleSeconds renders host-executor wall-clock seconds.
+	ScaleSeconds = 1e6
+)
+
+// chromeEvent is one trace_event record. Field order is the on-disk JSON
+// key order, so exports are byte-stable for golden tests.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeFile is the JSON Object Format of the trace_event spec — the
+// container chrome://tracing and Perfetto both accept.
+type chromeFile struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// ChromeTrace accumulates runtime trace events and exports them in
+// Chrome trace_event JSON: task executions become complete ("X") spans,
+// steal protocol events and retirements become instants, one track
+// (thread) per processor. Its Event method is a sched.Tracer, so it
+// plugs into Config.Trace of either backend — the simulator's
+// virtual-time stream (use ScaleVirtual) and the executor's wall-clock
+// stream (use ScaleSeconds) export identically.
+//
+// Event is safe for concurrent use; the executor additionally serializes
+// its trace calls, the simulator emits in virtual-time order.
+type ChromeTrace struct {
+	mu     sync.Mutex
+	scale  float64
+	events []chromeEvent
+	procs  map[int]bool
+}
+
+// NewChromeTrace returns an empty trace sink. scale converts event
+// timestamps to microseconds: ScaleVirtual for simulator streams,
+// ScaleSeconds for executor streams (values <= 0 mean ScaleVirtual).
+func NewChromeTrace(scale float64) *ChromeTrace {
+	if scale <= 0 {
+		scale = ScaleVirtual
+	}
+	return &ChromeTrace{scale: scale, procs: map[int]bool{}}
+}
+
+// Event records one runtime event. Pass it as the trace hook:
+//
+//	ct := obsv.NewChromeTrace(obsv.ScaleVirtual)
+//	cfg.Trace = ct.Event
+func (c *ChromeTrace) Event(e sched.TraceEvent) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.procs[e.Proc] = true
+	ce := chromeEvent{TS: e.Time * c.scale, PID: 1, TID: e.Proc}
+	switch e.Kind {
+	case "exec":
+		ce.Name = fmt.Sprintf("task %d", e.Task)
+		ce.Ph = "X"
+		ce.Dur = e.Dur * c.scale
+	default:
+		// Steal protocol events and retirements are instants on the
+		// acting worker's track (thread scope).
+		ce.Name = e.Kind
+		ce.Ph = "i"
+		ce.S = "t"
+		args := map[string]any{}
+		if e.Peer >= 0 {
+			args["peer"] = e.Peer
+		}
+		if e.Task >= 0 {
+			args["task"] = e.Task
+		}
+		if len(args) > 0 {
+			ce.Args = args
+		}
+	}
+	c.events = append(c.events, ce)
+}
+
+// WriteTo emits the accumulated trace as indented trace_event JSON:
+// process/thread naming metadata first (one named track per processor,
+// in processor order), then the events in arrival order. It implements
+// io.WriterTo; the sink stays usable afterwards.
+func (c *ChromeTrace) WriteTo(w io.Writer) (int64, error) {
+	c.mu.Lock()
+	procs := make([]int, 0, len(c.procs))
+	for p := range c.procs {
+		procs = append(procs, p)
+	}
+	sort.Ints(procs)
+	all := make([]chromeEvent, 0, len(procs)+1+len(c.events))
+	all = append(all, chromeEvent{
+		Name: "process_name", Ph: "M", PID: 1,
+		Args: map[string]any{"name": "parmp scheduler runtime"},
+	})
+	for _, p := range procs {
+		all = append(all, chromeEvent{
+			Name: "thread_name", Ph: "M", PID: 1, TID: p,
+			Args: map[string]any{"name": fmt.Sprintf("proc %d", p)},
+		})
+	}
+	all = append(all, c.events...)
+	c.mu.Unlock()
+
+	data, err := json.MarshalIndent(chromeFile{TraceEvents: all, DisplayTimeUnit: "ms"}, "", "  ")
+	if err != nil {
+		return 0, err
+	}
+	data = append(data, '\n')
+	n, err := w.Write(data)
+	return int64(n), err
+}

@@ -7,11 +7,14 @@
 package sched_test
 
 import (
+	"fmt"
+	"sync"
 	"sync/atomic"
 	"testing"
 
 	"parmp/internal/dist"
 	"parmp/internal/exec"
+	"parmp/internal/rng"
 	"parmp/internal/sched"
 	"parmp/internal/steal"
 	"parmp/internal/work"
@@ -120,6 +123,210 @@ func TestRuntimeParity(t *testing.T) {
 				}
 				rep := rt.rt.Run(cfg, queues)
 				checkParityReport(t, rt.name+"/"+pol.name, rep, execCount, workers)
+			})
+		}
+	}
+}
+
+// noVictims is a steal policy with nobody to ask — the mesh-corner
+// degenerate case. Thieves must retire (with a trace event) instead of
+// spinning, identically in both backends.
+type noVictims struct{}
+
+func (noVictims) Name() string                                           { return "no-victims" }
+func (noVictims) Victims(thief, procs, attempt int, _ *rng.Stream) []int { return nil }
+
+// kindsByProc groups a trace stream's event kinds per worker, in arrival
+// order. The executor's stream is interleaved across workers but ordered
+// within one, so per-worker sequences compare deterministically.
+func kindsByProc(events []sched.TraceEvent, workers int) [][]string {
+	out := make([][]string, workers)
+	for _, e := range events {
+		out[e.Proc] = append(out[e.Proc], e.Kind)
+	}
+	return out
+}
+
+// TestTraceKindSequenceParity fixes a workload whose schedule is
+// deterministic in both backends (every worker drains its own queue; the
+// policy has no victims to offer) and asserts the two runtimes emit
+// identical per-worker trace-event kind sequences, including the final
+// "retire" on every worker. Regression for the simulator retiring
+// silently when the policy returned no victims or remaining hit zero,
+// which made simulator and executor trace streams disagree.
+func TestTraceKindSequenceParity(t *testing.T) {
+	const workers = 3
+	build := func() [][]work.Task {
+		queues := make([][]work.Task, workers)
+		for w := 0; w < workers; w++ {
+			for j := 0; j <= w; j++ { // 1, 2, 3 tasks
+				id := w*10 + j
+				queues[w] = append(queues[w], work.Task{
+					ID:  id,
+					Run: func() (float64, int) { return 1, 0 },
+				})
+			}
+		}
+		return queues
+	}
+	for _, tc := range []struct {
+		name   string
+		policy steal.Policy
+		want   func(w int) []string
+	}{
+		{
+			// Stealing enabled but unservable: each worker execs its own
+			// queue then emits exactly one retire.
+			name:   "no-victims",
+			policy: noVictims{},
+			want: func(w int) []string {
+				kinds := make([]string, 0, w+2)
+				for j := 0; j <= w; j++ {
+					kinds = append(kinds, "exec")
+				}
+				return append(kinds, "retire")
+			},
+		},
+		{
+			// Stealing disabled: no thief lifecycle, so no retire events.
+			name:   "nil-policy",
+			policy: nil,
+			want: func(w int) []string {
+				kinds := make([]string, 0, w+1)
+				for j := 0; j <= w; j++ {
+					kinds = append(kinds, "exec")
+				}
+				return kinds
+			},
+		},
+	} {
+		for _, rt := range []struct {
+			name string
+			rt   sched.Runtime
+		}{{"dist", dist.Runtime}, {"exec", exec.Runtime}} {
+			t.Run(tc.name+"/"+rt.name, func(t *testing.T) {
+				var mu sync.Mutex
+				var events []sched.TraceEvent
+				rt.rt.Run(sched.Config{
+					Workers: workers,
+					Profile: work.Hopper(),
+					Policy:  tc.policy,
+					Seed:    3,
+					Trace: func(e sched.TraceEvent) {
+						mu.Lock()
+						events = append(events, e)
+						mu.Unlock()
+					},
+				}, build())
+				got := kindsByProc(events, workers)
+				for w := 0; w < workers; w++ {
+					want := tc.want(w)
+					if len(got[w]) != len(want) {
+						t.Fatalf("worker %d kinds = %v, want %v", w, got[w], want)
+					}
+					for i := range want {
+						if got[w][i] != want[i] {
+							t.Fatalf("worker %d kinds = %v, want %v", w, got[w], want)
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestRetireOncePerWorker asserts the lifecycle invariant behind the
+// trace parity: with stealing enabled on a multi-worker run, every worker
+// emits exactly one "retire" event — no silent retirement path in either
+// backend, regardless of policy or retry bound.
+func TestRetireOncePerWorker(t *testing.T) {
+	const workers, tasks = 4, 24
+	for _, rt := range []struct {
+		name string
+		rt   sched.Runtime
+	}{{"dist", dist.Runtime}, {"exec", exec.Runtime}} {
+		for _, tc := range []struct {
+			name      string
+			policy    steal.Policy
+			maxRounds int
+		}{
+			{"rand2-unbounded", steal.RandK{K: 2}, 0},
+			{"rand1-bounded", steal.RandK{K: 1}, 2},
+			{"hybrid-bounded", steal.Hybrid{K: 2}, 3},
+			{"no-victims", noVictims{}, 0},
+		} {
+			t.Run(rt.name+"/"+tc.name, func(t *testing.T) {
+				queues, _ := parityWorkload(workers, tasks)
+				var mu sync.Mutex
+				retires := make(map[int]int)
+				rt.rt.Run(sched.Config{
+					Workers:   workers,
+					Profile:   work.Hopper(),
+					Policy:    tc.policy,
+					MaxRounds: tc.maxRounds,
+					Seed:      11,
+					Trace: func(e sched.TraceEvent) {
+						if e.Kind == "retire" {
+							mu.Lock()
+							retires[e.Proc]++
+							mu.Unlock()
+						}
+					},
+				}, queues)
+				for w := 0; w < workers; w++ {
+					if retires[w] != 1 {
+						t.Errorf("worker %d emitted %d retire events, want exactly 1", w, retires[w])
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestRuntimeParityMismatchedQueues feeds both backends a queue count
+// that differs from Workers. Regression: the simulator used to panic
+// here while the executor silently re-sharded; both now redistribute
+// round-robin through sched.Reshard and must agree on the assignment.
+func TestRuntimeParityMismatchedQueues(t *testing.T) {
+	const workers, tasks = 3, 10
+	for _, shards := range []int{1, 2, 5} {
+		for _, rt := range []struct {
+			name string
+			rt   sched.Runtime
+		}{{"dist", dist.Runtime}, {"exec", exec.Runtime}} {
+			t.Run(fmt.Sprintf("%s/shards-%d", rt.name, shards), func(t *testing.T) {
+				execCount := make([]int64, tasks)
+				queues := make([][]work.Task, shards)
+				for i := 0; i < tasks; i++ {
+					i := i
+					queues[i%shards] = append(queues[i%shards], work.Task{
+						ID: i,
+						Run: func() (float64, int) {
+							atomic.AddInt64(&execCount[i], 1)
+							return 1, 0
+						},
+					})
+				}
+				// No stealing, so the executed-by map IS the re-shard
+				// assignment; it must match sched.Reshard's round-robin.
+				rep := rt.rt.Run(sched.Config{Workers: workers, Profile: work.Hopper(), Seed: 5}, queues)
+				if rep.TotalTasks != tasks {
+					t.Fatalf("TotalTasks = %d, want %d", rep.TotalTasks, tasks)
+				}
+				for i, c := range execCount {
+					if c != 1 {
+						t.Errorf("task %d ran %d times, want 1", i, c)
+					}
+				}
+				want := sched.Reshard(queues, workers)
+				for w, q := range want {
+					for _, task := range q {
+						if got := rep.ExecutedBy[task.ID]; got != w {
+							t.Errorf("task %d executed by %d, want %d (shared round-robin re-shard)",
+								task.ID, got, w)
+						}
+					}
+				}
 			})
 		}
 	}

@@ -33,7 +33,8 @@ type Config struct {
 	// StealChunk is the fraction of a victim's pending deque transferred
 	// per successful steal, from the back (default 0.5). At least one
 	// task always transfers, so a vanishing fraction means one task per
-	// steal. Both backends round the quantum up (see TakeCount).
+	// steal, and values above 1 clamp to 1 ("steal everything"). Both
+	// backends round the quantum up (see TakeCount).
 	StealChunk float64
 	// Seed drives victim randomization.
 	Seed uint64
@@ -52,10 +53,16 @@ type Config struct {
 	Trace Tracer
 }
 
-// Chunk returns the normalized steal fraction.
+// Chunk returns the normalized steal fraction: the 0.5 default when
+// StealChunk is unset (<= 0), clamped to 1 when it exceeds 1 — a caller
+// asking for more than the whole deque means "steal everything", not the
+// default.
 func (c Config) Chunk() float64 {
-	if c.StealChunk <= 0 || c.StealChunk > 1 {
+	if c.StealChunk <= 0 {
 		return 0.5
+	}
+	if c.StealChunk > 1 {
+		return 1
 	}
 	return c.StealChunk
 }
@@ -99,8 +106,13 @@ type Report struct {
 
 // Runtime executes per-worker task queues to completion: queues[w] is
 // worker w's initial assignment, executed front to back, with steals
-// taking a chunk from the back. Implementations: internal/dist (virtual
-// time), internal/exec (host goroutines).
+// taking a chunk from the back. When the queue count differs from the
+// configured worker count, implementations must accept the workload
+// anyway and redistribute it with Reshard (round-robin, task by task) —
+// both backends share this re-shard path so a workload sharded for one
+// parallelism degree runs identically-assigned on another.
+// Implementations: internal/dist (virtual time), internal/exec (host
+// goroutines).
 type Runtime interface {
 	Run(cfg Config, queues [][]work.Task) Report
 }
@@ -134,6 +146,48 @@ func TakeCount(n int, chunk float64) int {
 		take = n
 	}
 	return take
+}
+
+// Reshard redistributes queues over exactly workers deques when the
+// counts differ, assigning tasks round-robin in queue order (task i of
+// the flattened workload goes to worker i mod workers). Queues already
+// sharded for the right worker count pass through unchanged, preserving
+// the caller's assignment. Both Runtime backends use this one path, so a
+// mismatched workload is never a panic in one backend and a silent
+// re-shard in the other.
+func Reshard(queues [][]work.Task, workers int) [][]work.Task {
+	if workers <= 0 || len(queues) == workers {
+		return queues
+	}
+	resharded := make([][]work.Task, workers)
+	i := 0
+	for _, q := range queues {
+		for _, t := range q {
+			resharded[i%workers] = append(resharded[i%workers], t)
+			i++
+		}
+	}
+	return resharded
+}
+
+// Backoff returns the bounded exponential backoff delay after attempt
+// consecutive failed steal rounds (attempt >= 1): base * 2^(attempt-1),
+// capped at base * maxMultiple (default 16 when maxMultiple <= 0). The
+// simulator charges it in virtual time; the executor sleeps it in wall
+// time — one curve, so idle thieves back off identically instead of
+// hot-spinning on their victims' deques.
+func Backoff(attempt int, base, maxMultiple float64) float64 {
+	if attempt < 1 {
+		attempt = 1
+	}
+	if maxMultiple <= 0 {
+		maxMultiple = 16
+	}
+	d := base * math.Pow(2, float64(attempt-1))
+	if lim := base * maxMultiple; d > lim {
+		d = lim
+	}
+	return d
 }
 
 // StealBack removes one steal quantum from the back of items, marking the

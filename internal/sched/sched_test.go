@@ -88,11 +88,87 @@ func TestConfigChunkDefault(t *testing.T) {
 	if got := (Config{}).Chunk(); got != 0.5 {
 		t.Fatalf("zero StealChunk should default to 0.5, got %v", got)
 	}
-	if got := (Config{StealChunk: 2}).Chunk(); got != 0.5 {
-		t.Fatalf("out-of-range StealChunk should default to 0.5, got %v", got)
+	if got := (Config{StealChunk: -1}).Chunk(); got != 0.5 {
+		t.Fatalf("negative StealChunk should default to 0.5, got %v", got)
+	}
+	// Regression: StealChunk > 1 used to silently reset to the 0.5
+	// default — a caller asking for "steal everything" got half. It now
+	// clamps to 1.
+	if got := (Config{StealChunk: 2}).Chunk(); got != 1 {
+		t.Fatalf("StealChunk above 1 should clamp to 1, got %v", got)
+	}
+	if got := (Config{StealChunk: 1}).Chunk(); got != 1 {
+		t.Fatalf("Chunk() = %v, want 1", got)
 	}
 	if got := (Config{StealChunk: 0.25}).Chunk(); got != 0.25 {
 		t.Fatalf("Chunk() = %v, want 0.25", got)
+	}
+}
+
+func TestReshard(t *testing.T) {
+	mkQueues := func(sizes ...int) [][]work.Task {
+		queues := make([][]work.Task, len(sizes))
+		id := 0
+		for q, n := range sizes {
+			for j := 0; j < n; j++ {
+				queues[q] = append(queues[q], work.Task{ID: id})
+				id++
+			}
+		}
+		return queues
+	}
+	// Matching counts pass through untouched, preserving the assignment.
+	in := mkQueues(2, 3)
+	if got := Reshard(in, 2); len(got) != 2 || got[0][0].ID != 0 || got[1][0].ID != 2 {
+		t.Fatalf("matching queues must pass through unchanged, got %v", got)
+	}
+	// One queue over three workers: round-robin task by task.
+	out := Reshard(mkQueues(7), 3)
+	if len(out) != 3 {
+		t.Fatalf("resharded into %d queues, want 3", len(out))
+	}
+	for w, wantIDs := range [][]int{{0, 3, 6}, {1, 4}, {2, 5}} {
+		if len(out[w]) != len(wantIDs) {
+			t.Fatalf("worker %d has %d tasks, want %d", w, len(out[w]), len(wantIDs))
+		}
+		for i, id := range wantIDs {
+			if out[w][i].ID != id {
+				t.Errorf("worker %d task %d = ID %d, want %d", w, i, out[w][i].ID, id)
+			}
+		}
+	}
+	// Shrinking: five queues onto two workers, flattened in queue order.
+	out = Reshard(mkQueues(1, 1, 1, 1, 1), 2)
+	if len(out[0]) != 3 || len(out[1]) != 2 {
+		t.Fatalf("shrink reshard sizes = %d/%d, want 3/2", len(out[0]), len(out[1]))
+	}
+	// Degenerate worker counts leave the input alone.
+	if got := Reshard(in, 0); len(got) != len(in) {
+		t.Fatal("non-positive workers must not reshard")
+	}
+}
+
+func TestBackoff(t *testing.T) {
+	// The shared curve: base * 2^(attempt-1), capped at base * maxMultiple.
+	cases := []struct {
+		attempt    int
+		base, maxM float64
+		want       float64
+	}{
+		{1, 100, 16, 100},
+		{2, 100, 16, 200},
+		{3, 100, 16, 400},
+		{5, 100, 16, 1600},
+		{6, 100, 16, 1600},  // capped at 16x
+		{99, 100, 16, 1600}, // stays capped
+		{3, 100, 2, 200},    // custom cap
+		{0, 100, 16, 100},   // attempt clamps up to 1
+		{4, 100, 0, 800},    // maxMultiple <= 0 means the default 16
+	}
+	for _, c := range cases {
+		if got := Backoff(c.attempt, c.base, c.maxM); got != c.want {
+			t.Errorf("Backoff(%d, %v, %v) = %v, want %v", c.attempt, c.base, c.maxM, got, c.want)
+		}
 	}
 }
 
