@@ -5,6 +5,14 @@
 //	mpbench -exp fig5a -scale quick
 //	mpbench -exp all -scale full
 //	mpbench -list
+//	mpbench -kernels BENCH_kernels.json -kernels-max-allocs 50
+//
+// The -kernels mode benchmarks the hot compute kernels (sampling,
+// collision checking, kNN, region connection) instead of running
+// experiments, writes machine-readable results (ns/op, allocs/op, B/op
+// per kernel) to the given file ("-" for stdout), and exits non-zero if
+// any kernel allocates more than -kernels-max-allocs per op — the CI
+// benchmark-regression gate.
 //
 // Each experiment prints one or more text tables whose rows/series mirror
 // the corresponding figure of "Using Load Balancing to Scalably
@@ -20,16 +28,22 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"testing"
 	"time"
 
 	"parmp/internal/experiments"
+	"parmp/internal/kernelbench"
 )
 
 func main() {
+	testing.Init() // registers test.* flags so -kernels can set benchtime
 	exp := flag.String("exp", "all", "experiment id ("+strings.Join(experiments.Names(), ", ")+")")
 	scale := flag.String("scale", "quick", "sweep scale (quick, full)")
 	format := flag.String("format", "text", "output format (text, csv, json)")
 	list := flag.Bool("list", false, "list experiment ids and exit")
+	kernels := flag.String("kernels", "", "benchmark the compute kernels and write JSON results to this file (\"-\" for stdout)")
+	kernelsMaxAllocs := flag.Int64("kernels-max-allocs", -1, "with -kernels, exit non-zero if any kernel exceeds this allocs/op")
+	kernelsBenchtime := flag.String("kernels-benchtime", "100x", "with -kernels, benchtime per kernel (e.g. 100x, 1s)")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
 	flag.Parse()
@@ -37,6 +51,14 @@ func main() {
 	if *list {
 		for _, id := range experiments.Names() {
 			fmt.Println(id)
+		}
+		return
+	}
+
+	if *kernels != "" {
+		if err := runKernels(*kernels, *kernelsBenchtime, *kernelsMaxAllocs); err != nil {
+			fmt.Fprintln(os.Stderr, "mpbench:", err)
+			os.Exit(1)
 		}
 		return
 	}
@@ -103,4 +125,36 @@ func main() {
 		}
 	}
 	fmt.Fprintf(os.Stderr, "mpbench: %s at scale %s in %v\n", *exp, sc.Name, time.Since(start).Round(time.Millisecond))
+}
+
+// runKernels benchmarks the kernel suite, writes JSON results to path
+// ("-" for stdout), and enforces the allocs/op ceiling when maxAllocs
+// is non-negative.
+func runKernels(path, benchtime string, maxAllocs int64) error {
+	if err := flag.Set("test.benchtime", benchtime); err != nil {
+		return fmt.Errorf("bad -kernels-benchtime: %w", err)
+	}
+	start := time.Now()
+	results := kernelbench.RunAll()
+	out := os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	if err := kernelbench.WriteJSON(out, results); err != nil {
+		return err
+	}
+	for _, r := range results {
+		fmt.Fprintf(os.Stderr, "mpbench: kernel %-16s %12.1f ns/op %8d B/op %6d allocs/op\n",
+			r.Name, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp)
+	}
+	fmt.Fprintf(os.Stderr, "mpbench: %d kernels in %v\n", len(results), time.Since(start).Round(time.Millisecond))
+	if maxAllocs >= 0 {
+		return kernelbench.CheckMaxAllocs(results, maxAllocs)
+	}
+	return nil
 }

@@ -110,11 +110,12 @@ func NewRigidBox(hx, hy, hz float64) RigidBody {
 // DOF implements Robot.
 func (r RigidBody) DOF() int { return 6 }
 
-// pose converts a configuration to a rigid transform.
+// pose converts a configuration to a rigid transform. The translation
+// aliases q's first three components, so it costs no allocation.
 func (r RigidBody) pose(q Config) geom.Transform {
 	return geom.Transform{
 		R: geom.QuatFromEuler(q[3], q[4], q[5]),
-		T: geom.V(q[0], q[1], q[2]),
+		T: q[0:3:3],
 	}
 }
 

@@ -1,0 +1,359 @@
+package cspace
+
+import (
+	"math"
+
+	"parmp/internal/env"
+	"parmp/internal/geom"
+	"parmp/internal/rng"
+)
+
+// Scratch holds the per-worker reusable buffers the collision kernels
+// write through: workspace probe positions, interpolated configurations
+// and probe temporaries. A Scratch is not safe for concurrent use — each
+// worker (or pooled task) owns one. All kernels accept a nil Scratch and
+// fall back to their allocating form, so callers opt in incrementally.
+type Scratch struct {
+	worldA []geom.Vec // probe positions at the first configuration
+	worldB []geom.Vec // probe positions at the second configuration
+	qa, qb Config     // interpolated configurations (LocalPlanS ping-pong)
+	pa, pb geom.Vec   // per-probe temporaries (must not alias qa/qb)
+}
+
+// growVecs resizes buf to n vectors of dimension dim, reusing both the
+// outer slice and each vector's storage.
+func growVecs(buf []geom.Vec, n, dim int) []geom.Vec {
+	if cap(buf) < n {
+		next := make([]geom.Vec, n)
+		copy(next, buf[:cap(buf)])
+		buf = next
+	}
+	buf = buf[:n]
+	for i := range buf {
+		if cap(buf[i]) < dim {
+			buf[i] = make(geom.Vec, dim)
+		} else {
+			buf[i] = buf[i][:dim]
+		}
+	}
+	return buf
+}
+
+// ScratchRobot is implemented by robots whose collision kernels can run
+// allocation-free through a Scratch. The S variants must return exactly
+// what ConfigFree/EdgeFree return for the same inputs.
+type ScratchRobot interface {
+	Robot
+	ConfigFreeS(e *env.Environment, q Config, sc *Scratch) (bool, int)
+	EdgeFreeS(e *env.Environment, a, b Config, sc *Scratch) (bool, int)
+}
+
+// ConfigFreeS implements ScratchRobot: probe points land in the scratch
+// world buffer instead of a fresh slice.
+func (r RigidBody) ConfigFreeS(e *env.Environment, q Config, sc *Scratch) (bool, int) {
+	if sc == nil {
+		return r.ConfigFree(e, q)
+	}
+	tr := r.pose(q)
+	sc.worldA = growVecs(sc.worldA, len(r.BodyPoints), 3)
+	world := sc.worldA
+	tests := 0
+	for i, bp := range r.BodyPoints {
+		tr.ApplyInto(world[i], bp)
+		free, n := e.CheckPoint(world[i])
+		tests += n
+		if !free {
+			return false, tests
+		}
+	}
+	for i := 1; i < len(world); i++ {
+		free, n := e.SegmentFree(world[0], world[i])
+		tests += n
+		if !free {
+			return false, tests
+		}
+	}
+	return true, tests
+}
+
+// EdgeFreeS implements ScratchRobot.
+func (r RigidBody) EdgeFreeS(e *env.Environment, a, b Config, sc *Scratch) (bool, int) {
+	if sc == nil {
+		return r.EdgeFree(e, a, b)
+	}
+	ta, tb := r.pose(a), r.pose(b)
+	tests := 0
+	for _, bp := range r.BodyPoints {
+		sc.pa = ta.ApplyInto(sc.pa, bp)
+		sc.pb = tb.ApplyInto(sc.pb, bp)
+		free, n := e.SegmentFree(sc.pa, sc.pb)
+		tests += n
+		if !free {
+			return false, tests
+		}
+	}
+	return true, tests
+}
+
+// jointPositionsInto fills pos (length len(LinkLen)+1) with the chain's
+// joint endpoint positions for q.
+func (l Linkage) jointPositionsInto(q Config, pos []geom.Vec) {
+	copy(pos[0], l.Base)
+	for i, length := range l.LinkLen {
+		pos[i+1][0] = pos[i][0] + length*math.Cos(q[i])
+		pos[i+1][1] = pos[i][1] + length*math.Sin(q[i])
+	}
+}
+
+// ConfigFreeS implements ScratchRobot.
+func (l Linkage) ConfigFreeS(e *env.Environment, q Config, sc *Scratch) (bool, int) {
+	if sc == nil {
+		return l.ConfigFree(e, q)
+	}
+	sc.worldA = growVecs(sc.worldA, len(l.LinkLen)+1, 2)
+	pos := sc.worldA
+	l.jointPositionsInto(q, pos)
+	tests := 0
+	for _, p := range pos {
+		free, n := e.CheckPoint(p)
+		tests += n
+		if !free {
+			return false, tests
+		}
+	}
+	for i := 0; i+1 < len(pos); i++ {
+		free, n := e.SegmentFree(pos[i], pos[i+1])
+		tests += n
+		if !free {
+			return false, tests
+		}
+	}
+	return true, tests
+}
+
+// EdgeFreeS implements ScratchRobot.
+func (l Linkage) EdgeFreeS(e *env.Environment, a, b Config, sc *Scratch) (bool, int) {
+	if sc == nil {
+		return l.EdgeFree(e, a, b)
+	}
+	nj := len(l.LinkLen) + 1
+	sc.worldA = growVecs(sc.worldA, nj, 2)
+	sc.worldB = growVecs(sc.worldB, nj, 2)
+	pa, pb := sc.worldA, sc.worldB
+	l.jointPositionsInto(a, pa)
+	l.jointPositionsInto(b, pb)
+	tests := 0
+	np := l.probes()
+	for i := 0; i+1 < nj; i++ {
+		for p := 0; p <= np; p++ {
+			t := float64(p) / float64(np)
+			sc.pa = geom.LerpInto(sc.pa, pa[i], pa[i+1], t)
+			sc.pb = geom.LerpInto(sc.pb, pb[i], pb[i+1], t)
+			free, n := e.SegmentFree(sc.pa, sc.pb)
+			tests += n
+			if !free {
+				return false, tests
+			}
+		}
+	}
+	return true, tests
+}
+
+// placedInto fills out (length len(Outline)) with the workspace outline
+// for configuration q.
+func (r RigidBody2D) placedInto(q Config, out []geom.Vec) {
+	sin, cos := math.Sincos(q[2])
+	for i, v := range r.Outline {
+		out[i][0] = q[0] + v[0]*cos - v[1]*sin
+		out[i][1] = q[1] + v[0]*sin + v[1]*cos
+	}
+}
+
+// ConfigFreeS implements ScratchRobot.
+func (r RigidBody2D) ConfigFreeS(e *env.Environment, q Config, sc *Scratch) (bool, int) {
+	if sc == nil {
+		return r.ConfigFree(e, q)
+	}
+	sc.worldA = growVecs(sc.worldA, len(r.Outline), 2)
+	pts := sc.worldA
+	r.placedInto(q, pts)
+	tests := 0
+	for _, p := range pts {
+		free, n := e.CheckPoint(p)
+		tests += n
+		if !free {
+			return false, tests
+		}
+	}
+	n := len(pts)
+	for i := 0; i < n; i++ {
+		free, k := e.SegmentFree(pts[i], pts[(i+1)%n])
+		tests += k
+		if !free {
+			return false, tests
+		}
+	}
+	return true, tests
+}
+
+// EdgeFreeS implements ScratchRobot.
+func (r RigidBody2D) EdgeFreeS(e *env.Environment, a, b Config, sc *Scratch) (bool, int) {
+	if sc == nil {
+		return r.EdgeFree(e, a, b)
+	}
+	sc.worldA = growVecs(sc.worldA, len(r.Outline), 2)
+	sc.worldB = growVecs(sc.worldB, len(r.Outline), 2)
+	pa, pb := sc.worldA, sc.worldB
+	r.placedInto(a, pa)
+	r.placedInto(b, pb)
+	tests := 0
+	for i := range pa {
+		free, n := e.SegmentFree(pa[i], pb[i])
+		tests += n
+		if !free {
+			return false, tests
+		}
+	}
+	return true, tests
+}
+
+// ValidS is Valid routed through a scratch when the robot supports it.
+func (s *Space) ValidS(q Config, sc *Scratch, c *Counters) bool {
+	sr, ok := s.Robot.(ScratchRobot)
+	if !ok || sc == nil {
+		return s.Valid(q, c)
+	}
+	free, tests := sr.ConfigFreeS(s.Env, q, sc)
+	if c != nil {
+		c.CDCalls++
+		c.CDObstacle += int64(tests)
+	}
+	return free
+}
+
+// edgeFreeS dispatches an edge sweep through the scratch when possible.
+func (s *Space) edgeFreeS(a, b Config, sc *Scratch) (bool, int) {
+	if sr, ok := s.Robot.(ScratchRobot); ok && sc != nil {
+		return sr.EdgeFreeS(s.Env, a, b, sc)
+	}
+	return s.Robot.EdgeFree(s.Env, a, b)
+}
+
+// LocalPlanS is the allocation-free local planner: interpolated
+// configurations live in the scratch's ping-pong buffers and the
+// intermediate points are validity-checked in bisection order (endpoint
+// first, then recursive midpoints) before the edge sweeps run, so paths
+// that clip an obstacle mid-span fail after O(log steps) checks instead
+// of a linear march into it.
+//
+// The accept/reject outcome is identical to LocalPlan: both reject iff
+// any of the same point or edge checks fails, and on the success path the
+// same checks run exactly once each, so work counters agree. Only the
+// counter totals on *rejected* edges differ (fail-fast stops earlier,
+// possibly at a different check). Steered spaces fall back to LocalPlan —
+// Steering.Interp allocates its result by contract.
+func (s *Space) LocalPlanS(a, b Config, sc *Scratch, c *Counters) bool {
+	if s.Steer != nil || sc == nil {
+		return s.LocalPlan(a, b, c)
+	}
+	if c != nil {
+		c.LPCalls++
+	}
+	steps := int(math.Ceil(s.Distance(a, b) / s.Resolution))
+	if steps < 1 {
+		steps = 1
+	}
+	check := func(i int) bool {
+		sc.qa = geom.LerpInto(sc.qa, a, b, float64(i)/float64(steps))
+		if c != nil {
+			c.LPSteps++
+		}
+		return s.ValidS(sc.qa, sc, c)
+	}
+	// Bisection order: the endpoint, then each interior index i = odd·2^k
+	// grouped by descending stride 2^k. Every index in [1, steps] is
+	// visited exactly once.
+	if !check(steps) {
+		return false
+	}
+	stride := 1
+	for stride < steps {
+		stride <<= 1
+	}
+	for stride >>= 1; stride >= 1; stride >>= 1 {
+		for i := stride; i < steps; i += 2 * stride {
+			if !check(i) {
+				return false
+			}
+		}
+	}
+	// All points are valid; sweep the connecting edges in order. prev and
+	// cur ping-pong between the two scratch configuration buffers.
+	prev := geom.CopyInto(sc.qb, a)
+	sc.qb = prev
+	for i := 1; i <= steps; i++ {
+		sc.qa = geom.LerpInto(sc.qa, a, b, float64(i)/float64(steps))
+		free, tests := s.edgeFreeS(prev, sc.qa, sc)
+		if c != nil {
+			c.CDObstacle += int64(tests)
+		}
+		if !free {
+			return false
+		}
+		sc.qa, sc.qb = sc.qb, sc.qa
+		prev = sc.qb
+	}
+	return true
+}
+
+// SampleInInto is SampleIn writing into dst (growing it as needed). The
+// RNG stream consumption is identical to SampleIn.
+func (s *Space) SampleInInto(dst Config, region geom.AABB, r *rng.Stream, c *Counters) Config {
+	d := s.Dim()
+	if cap(dst) < d {
+		dst = make(Config, d)
+	}
+	dst = dst[:d]
+	for i := range dst {
+		if i < region.Dim() {
+			dst[i] = r.Range(region.Lo[i], region.Hi[i])
+		} else {
+			dst[i] = r.Range(s.Bounds.Lo[i], s.Bounds.Hi[i])
+		}
+	}
+	if c != nil {
+		c.Samples++
+	}
+	return dst
+}
+
+// SampleFreeInInto is SampleFreeIn through scratch buffers: candidates
+// are drawn into dst and validity-checked via ValidS. On success the
+// returned config is dst itself — callers must Clone before retaining it
+// past the next use of dst.
+func (s *Space) SampleFreeInInto(dst Config, region geom.AABB, r *rng.Stream, maxTries int, sc *Scratch, c *Counters) (Config, bool) {
+	for t := 0; t < maxTries; t++ {
+		dst = s.SampleInInto(dst, region, r, c)
+		if s.ValidS(dst, sc, c) {
+			return dst, true
+		}
+	}
+	return dst, false
+}
+
+// StepTowardInto is StepToward writing into dst. The returned config is
+// dst (or a copy of b into dst when b is reached).
+func (s *Space) StepTowardInto(dst Config, a, b Config, stepSize float64) (Config, bool) {
+	if s.Steer != nil {
+		d := s.Steer.PathLength(a, b)
+		if d <= stepSize {
+			return geom.CopyInto(dst, b), true
+		}
+		return geom.CopyInto(dst, s.Steer.Interp(a, b, stepSize)), false
+	}
+	d := s.Distance(a, b)
+	if d <= stepSize {
+		return geom.CopyInto(dst, b), true
+	}
+	return geom.LerpInto(dst, a, b, stepSize/d), false
+}

@@ -1,0 +1,150 @@
+package cspace
+
+import (
+	"testing"
+
+	"parmp/internal/env"
+	"parmp/internal/geom"
+	"parmp/internal/rng"
+)
+
+// scratchSpaces enumerates one space per ScratchRobot implementation,
+// each in an environment with enough clutter that both free and
+// colliding configurations occur.
+func scratchSpaces() map[string]*Space {
+	return map[string]*Space{
+		"rigidbody": NewRigidBodySpace(env.MedCube(), NewRigidBox(0.05, 0.04, 0.03)),
+		"linkage": NewLinkageSpace(env.Maze2D(4, 0.2),
+			Linkage{Base: geom.V(0.5, 0.5), LinkLen: []float64{0.15, 0.12, 0.1, 0.08}}),
+		"se2": NewSE2Space(env.Maze2D(3, 0.25), NewRigidRect(0.06, 0.03)),
+	}
+}
+
+// TestScratchKernelsMatchReference is the pooled-vs-fresh property test:
+// for every ScratchRobot, ConfigFreeS/EdgeFreeS with a (reused, dirty)
+// scratch must return exactly what the allocating reference kernels
+// return — same verdict, same obstacle-test count.
+func TestScratchKernelsMatchReference(t *testing.T) {
+	for name, s := range scratchSpaces() {
+		t.Run(name, func(t *testing.T) {
+			sr := s.Robot.(ScratchRobot)
+			r := rng.New(101)
+			var sc Scratch // shared across all trials: stale state must not leak
+			for trial := 0; trial < 400; trial++ {
+				qa := s.SampleIn(s.Bounds, r, nil)
+				qb := qa.Clone()
+				for i := range qb {
+					qb[i] += (r.Float64() - 0.5) * 0.05
+				}
+				wantFree, wantTests := s.Robot.ConfigFree(s.Env, qa)
+				gotFree, gotTests := sr.ConfigFreeS(s.Env, qa, &sc)
+				if gotFree != wantFree || gotTests != wantTests {
+					t.Fatalf("ConfigFreeS(%v) = (%v, %d), reference = (%v, %d)",
+						qa, gotFree, gotTests, wantFree, wantTests)
+				}
+				wantFree, wantTests = s.Robot.EdgeFree(s.Env, qa, qb)
+				gotFree, gotTests = sr.EdgeFreeS(s.Env, qa, qb, &sc)
+				if gotFree != wantFree || gotTests != wantTests {
+					t.Fatalf("EdgeFreeS(%v, %v) = (%v, %d), reference = (%v, %d)",
+						qa, qb, gotFree, gotTests, wantFree, wantTests)
+				}
+			}
+		})
+	}
+}
+
+// TestLocalPlanSMatchesLocalPlan checks the bisection-ordered planner
+// agrees with the sequential reference on the accept/reject verdict for
+// every edge, and on the full work counters whenever the edge is
+// accepted (on rejection only the verdict is contractual — fail-fast
+// stops at a different check).
+func TestLocalPlanSMatchesLocalPlan(t *testing.T) {
+	spaces := scratchSpaces()
+	spaces["point"] = NewPointSpace(env.MedCube())
+	for name, s := range spaces {
+		t.Run(name, func(t *testing.T) {
+			r := rng.New(103)
+			var sc Scratch
+			accepts, rejects := 0, 0
+			for trial := 0; trial < 200; trial++ {
+				qa := s.SampleIn(s.Bounds, r, nil)
+				qb := s.SampleIn(s.Bounds, r, nil)
+				// Mix of short and long edges.
+				if trial%2 == 0 {
+					qb = qa.Lerp(qb, 0.1)
+				}
+				var cRef, cScr Counters
+				want := s.LocalPlan(qa, qb, &cRef)
+				got := s.LocalPlanS(qa, qb, &sc, &cScr)
+				if got != want {
+					t.Fatalf("LocalPlanS(%v, %v) = %v, LocalPlan = %v", qa, qb, got, want)
+				}
+				if want {
+					accepts++
+					if cRef != cScr {
+						t.Fatalf("accepted edge counters differ: scratch %+v, reference %+v", cScr, cRef)
+					}
+				} else {
+					rejects++
+				}
+			}
+			if accepts == 0 || rejects == 0 {
+				t.Fatalf("degenerate trial mix: %d accepts, %d rejects", accepts, rejects)
+			}
+		})
+	}
+}
+
+// TestScratchKernelsAllocFree pins the steady-state allocation contract
+// of the pooled kernels.
+func TestScratchKernelsAllocFree(t *testing.T) {
+	s := NewRigidBodySpace(env.MedCube(), NewRigidBox(0.03, 0.02, 0.01))
+	r := rng.New(107)
+	var sc Scratch
+	var c Counters
+	qa := s.SampleIn(s.Bounds, r, nil)
+	qb := s.SampleIn(s.Bounds, r, nil)
+	qb = qa.Lerp(qb, 0.05)
+	s.LocalPlanS(qa, qb, &sc, &c) // warm the buffers
+	avg := testing.AllocsPerRun(100, func() {
+		s.ValidS(qa, &sc, &c)
+		s.LocalPlanS(qa, qb, &sc, &c)
+	})
+	if avg != 0 {
+		t.Fatalf("scratch kernels allocate %.1f allocs/run in steady state, want 0", avg)
+	}
+}
+
+// TestSampleInIntoMatchesSampleIn verifies the destination-passing
+// sampler consumes the RNG stream identically to the allocating one.
+func TestSampleInIntoMatchesSampleIn(t *testing.T) {
+	s := NewRigidBodySpace(env.MedCube(), NewRigidBox(0.03, 0.02, 0.01))
+	r1, r2 := rng.New(109), rng.New(109)
+	var dst Config
+	for trial := 0; trial < 100; trial++ {
+		want := s.SampleIn(s.Bounds, r1, nil)
+		dst = s.SampleInInto(dst, s.Bounds, r2, nil)
+		if !want.Equal(dst, 0) {
+			t.Fatalf("trial %d: SampleInInto = %v, SampleIn = %v", trial, dst, want)
+		}
+	}
+}
+
+// TestStepTowardIntoMatchesStepToward verifies the destination-passing
+// steering step.
+func TestStepTowardIntoMatchesStepToward(t *testing.T) {
+	s := NewPointSpace(env.MedCube())
+	r := rng.New(113)
+	var dst Config
+	for trial := 0; trial < 100; trial++ {
+		a := s.SampleIn(s.Bounds, r, nil)
+		b := s.SampleIn(s.Bounds, r, nil)
+		step := r.Float64()
+		want, wantHit := s.StepToward(a, b, step)
+		var gotHit bool
+		dst, gotHit = s.StepTowardInto(dst, a, b, step)
+		if gotHit != wantHit || !want.Equal(dst, 0) {
+			t.Fatalf("StepTowardInto = (%v, %v), StepToward = (%v, %v)", dst, gotHit, want, wantHit)
+		}
+	}
+}

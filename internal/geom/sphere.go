@@ -10,24 +10,33 @@ import (
 // the unit (d-1)-sphere embedded in d dimensions, using normalized
 // Gaussian coordinates. It panics for d < 1.
 func SampleOnSphere(d int, r *rng.Stream) Vec {
+	return SampleOnSphereInto(nil, d, r)
+}
+
+// SampleOnSphereInto is SampleOnSphere writing into dst (growing it as
+// needed). The RNG stream consumption is identical to SampleOnSphere.
+func SampleOnSphereInto(dst Vec, d int, r *rng.Stream) Vec {
 	if d < 1 {
 		panic("geom: SampleOnSphere requires d >= 1")
 	}
+	dst = grow(dst, d)
 	if d == 1 {
 		if r.Float64() < 0.5 {
-			return V(-1)
+			dst[0] = -1
+		} else {
+			dst[0] = 1
 		}
-		return V(1)
+		return dst
 	}
 	for {
-		v := make(Vec, d)
 		var n2 float64
-		for i := range v {
-			v[i] = r.NormFloat64()
-			n2 += v[i] * v[i]
+		for i := range dst {
+			dst[i] = r.NormFloat64()
+			n2 += dst[i] * dst[i]
 		}
 		if n2 > 1e-20 {
-			return v.Scale(1 / math.Sqrt(n2))
+			dst.ScaleInPlace(1 / math.Sqrt(n2))
+			return dst
 		}
 	}
 }

@@ -1,0 +1,218 @@
+// Package kernelbench measures the repository's hot compute kernels —
+// sampling, collision checking, nearest-neighbour queries and region
+// connection — and emits machine-readable results for the CI
+// benchmark-regression gate.
+//
+// The kernel list mirrors the BenchmarkKernel* benchmarks in the
+// internal packages, but lives in normal (non-test) code so that
+// `mpbench -kernels` can run it from a plain binary via
+// testing.Benchmark. Allocation counts are the contract: the pooled
+// kernels are expected to stay at (near) zero allocs/op, and CI fails
+// when any kernel regresses above its threshold.
+package kernelbench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"testing"
+
+	"parmp/internal/cspace"
+	"parmp/internal/env"
+	"parmp/internal/geom"
+	"parmp/internal/knn"
+	"parmp/internal/prm"
+	"parmp/internal/rng"
+)
+
+// Result is one kernel's measurement.
+type Result struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// Kernel names a benchmark body runnable via testing.Benchmark.
+type Kernel struct {
+	Name  string
+	Bench func(b *testing.B)
+}
+
+// Kernels returns the canonical kernel suite, sorted by name.
+func Kernels() []Kernel {
+	ks := []Kernel{
+		{Name: "ConnectRegion", Bench: benchConnectRegion},
+		{Name: "ConnectBoundary", Bench: benchConnectBoundary},
+		{Name: "ConfigFree", Bench: benchConfigFree},
+		{Name: "EdgeFreeLinkage", Bench: benchEdgeFreeLinkage},
+		{Name: "LocalPlan", Bench: benchLocalPlan},
+		{Name: "NearestInto", Bench: benchNearestInto},
+		{Name: "DynamicNearest", Bench: benchDynamicNearest},
+		{Name: "KDTreeBuild", Bench: benchKDTreeBuild},
+	}
+	sort.Slice(ks, func(i, j int) bool { return ks[i].Name < ks[j].Name })
+	return ks
+}
+
+// RunAll benchmarks every kernel and returns the results in suite order.
+func RunAll() []Result {
+	ks := Kernels()
+	out := make([]Result, 0, len(ks))
+	for _, k := range ks {
+		r := testing.Benchmark(k.Bench)
+		out = append(out, Result{
+			Name:        k.Name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		})
+	}
+	return out
+}
+
+// WriteJSON emits the results as indented JSON.
+func WriteJSON(w io.Writer, rs []Result) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rs)
+}
+
+// CheckMaxAllocs returns an error naming every kernel whose allocs/op
+// exceeds max — the CI regression gate.
+func CheckMaxAllocs(rs []Result, max int64) error {
+	var bad []string
+	for _, r := range rs {
+		if r.AllocsPerOp > max {
+			bad = append(bad, fmt.Sprintf("%s (%d allocs/op)", r.Name, r.AllocsPerOp))
+		}
+	}
+	if len(bad) > 0 {
+		return fmt.Errorf("kernels exceed %d allocs/op: %v", max, bad)
+	}
+	return nil
+}
+
+func benchConnectRegion(b *testing.B) {
+	s := cspace.NewPointSpace(env.MedCube())
+	nodes, _ := prm.SampleRegion(s, s.Bounds, 0, prm.Params{SamplesPerRegion: 200}, rng.New(7))
+	p := prm.Params{K: 8}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		prm.ConnectRegion(s, nodes, p)
+	}
+}
+
+func benchConnectBoundary(b *testing.B) {
+	s := cspace.NewPointSpace(env.MedCube())
+	all, _ := prm.SampleRegion(s, s.Bounds, 0, prm.Params{SamplesPerRegion: 240}, rng.New(7))
+	half := len(all) / 2
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		prm.ConnectBoundary(s, all[:half], all[half:], 4, 16)
+	}
+}
+
+func benchConfigFree(b *testing.B) {
+	s := cspace.NewRigidBodySpace(env.MedCube(), cspace.NewRigidBox(0.03, 0.02, 0.01))
+	r := rng.New(11)
+	var c cspace.Counters
+	var sc cspace.Scratch
+	qs := make([]cspace.Config, 64)
+	for i := range qs {
+		qs[i] = s.SampleIn(s.Bounds, r, nil)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.ValidS(qs[i%len(qs)], &sc, &c)
+	}
+}
+
+func benchEdgeFreeLinkage(b *testing.B) {
+	e := env.Maze2D(4, 0.2)
+	l := cspace.Linkage{Base: geom.V(0.5, 0.5), LinkLen: []float64{0.1, 0.1, 0.08, 0.06}}
+	s := cspace.NewLinkageSpace(e, l)
+	r := rng.New(13)
+	var sc cspace.Scratch
+	qa := s.SampleIn(s.Bounds, r, nil)
+	qb := qa.Clone()
+	for i := range qb {
+		qb[i] += 0.01
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.EdgeFreeS(e, qa, qb, &sc)
+	}
+}
+
+func benchLocalPlan(b *testing.B) {
+	s := cspace.NewPointSpace(env.MedCube())
+	var c cspace.Counters
+	var sc cspace.Scratch
+	qa := geom.V(0.1, 0.1, 0.1)
+	qb := geom.V(0.35, 0.3, 0.32)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.LocalPlanS(qa, qb, &sc, &c)
+	}
+}
+
+func randomPoints(r *rng.Stream, n, d int) []geom.Vec {
+	pts := make([]geom.Vec, n)
+	for i := range pts {
+		pts[i] = make(geom.Vec, d)
+		for j := range pts[i] {
+			pts[i][j] = r.Float64()
+		}
+	}
+	return pts
+}
+
+func benchNearestInto(b *testing.B) {
+	r := rng.New(17)
+	pts := randomPoints(r, 1000, 3)
+	tree := knn.Build(pts)
+	qs := randomPoints(r, 64, 3)
+	var sc knn.QueryScratch
+	var dst []knn.Result
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst, _ = tree.NearestInto(&sc, qs[i%len(qs)], 8, -1, dst[:0])
+	}
+}
+
+func benchDynamicNearest(b *testing.B) {
+	r := rng.New(19)
+	d := knn.NewDynamic()
+	for i := 0; i < 5000; i++ {
+		d.Add(randomPoints(r, 1, 3)[0])
+	}
+	qs := randomPoints(r, 64, 3)
+	var sc knn.QueryScratch
+	var dst []knn.Result
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst, _ = d.NearestInto(&sc, qs[i%len(qs)], 8, dst[:0])
+	}
+}
+
+func benchKDTreeBuild(b *testing.B) {
+	r := rng.New(23)
+	pts := randomPoints(r, 20000, 3)
+	var tree knn.KDTree
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tree.Reset(pts)
+	}
+}

@@ -1,0 +1,74 @@
+package kernelbench
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"strings"
+	"testing"
+)
+
+// TestRunOneKernel smoke-tests the testing.Benchmark plumbing on the
+// cheapest kernel with a tiny benchtime.
+func TestRunOneKernel(t *testing.T) {
+	if err := flag.Set("test.benchtime", "10x"); err != nil {
+		t.Fatal(err)
+	}
+	r := testing.Benchmark(benchLocalPlan)
+	if r.N < 10 {
+		t.Fatalf("benchmark ran %d iterations, want >= 10", r.N)
+	}
+	if a := r.AllocsPerOp(); a > 5 {
+		t.Fatalf("LocalPlan kernel allocates %d allocs/op, want near zero", a)
+	}
+}
+
+func TestKernelsNamedAndSorted(t *testing.T) {
+	ks := Kernels()
+	if len(ks) < 6 {
+		t.Fatalf("kernel suite has %d entries, want at least 6", len(ks))
+	}
+	for i, k := range ks {
+		if k.Name == "" || k.Bench == nil {
+			t.Fatalf("kernel %d incomplete: %+v", i, k)
+		}
+		if i > 0 && ks[i-1].Name >= k.Name {
+			t.Fatalf("kernels not sorted: %q before %q", ks[i-1].Name, k.Name)
+		}
+	}
+}
+
+func TestWriteJSONRoundTrip(t *testing.T) {
+	in := []Result{
+		{Name: "A", Iterations: 3, NsPerOp: 12.5, AllocsPerOp: 1, BytesPerOp: 64},
+		{Name: "B", Iterations: 9, NsPerOp: 0.5},
+	}
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	var out []Result
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) || out[0] != in[0] || out[1] != in[1] {
+		t.Fatalf("round trip: got %+v, want %+v", out, in)
+	}
+}
+
+func TestCheckMaxAllocs(t *testing.T) {
+	rs := []Result{
+		{Name: "ok", AllocsPerOp: 2},
+		{Name: "hot", AllocsPerOp: 500},
+	}
+	if err := CheckMaxAllocs(rs, 500); err != nil {
+		t.Fatalf("unexpected failure at threshold: %v", err)
+	}
+	err := CheckMaxAllocs(rs, 10)
+	if err == nil {
+		t.Fatal("expected regression error")
+	}
+	if !strings.Contains(err.Error(), "hot") || strings.Contains(err.Error(), "\"ok\"") {
+		t.Fatalf("error should name only the offender: %v", err)
+	}
+}

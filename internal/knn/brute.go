@@ -1,17 +1,38 @@
 package knn
 
 import (
-	"sort"
-
 	"parmp/internal/geom"
 )
 
 // BruteNearest returns up to k nearest neighbours of q among pts by
-// exhaustive scan, closest first. It is the reference implementation the
-// kd-tree is validated against, and the fallback for tiny point sets where
-// tree construction is not worth it.
+// exhaustive scan, closest first (ties by index). It is the reference
+// implementation the kd-tree is validated against, and the fallback for
+// tiny point sets where tree construction is not worth it.
 func BruteNearest(pts []geom.Vec, q geom.Vec, k int) []Result {
-	return BruteNearestExcluding(pts, q, k, nil)
+	var sc QueryScratch
+	out, _ := BruteNearestInto(&sc, pts, q, k, -1, nil)
+	return out
+}
+
+// BruteNearestInto appends up to k nearest neighbours of q to dst,
+// closest first (ties by index), skipping point index skip when >= 0. It
+// uses the scratch's bounded heap, so with reused scratch and dst the
+// scan is allocation-free. The eval count (len(pts), minus the skip) is
+// returned for work metering.
+func BruteNearestInto(sc *QueryScratch, pts []geom.Vec, q geom.Vec, k, skip int, dst []Result) ([]Result, int) {
+	if k <= 0 {
+		return dst, 0
+	}
+	sc.reset(k)
+	evals := 0
+	for i, p := range pts {
+		if i == skip {
+			continue
+		}
+		sc.offer(Result{Index: i, Dist2: q.Dist2(p)})
+		evals++
+	}
+	return sc.drainSorted(dst), evals
 }
 
 // BruteNearestExcluding is BruteNearest with an index filter.
@@ -19,21 +40,13 @@ func BruteNearestExcluding(pts []geom.Vec, q geom.Vec, k int, exclude func(int) 
 	if k <= 0 {
 		return nil
 	}
-	res := make([]Result, 0, len(pts))
+	var sc QueryScratch
+	sc.reset(k)
 	for i, p := range pts {
 		if exclude != nil && exclude(i) {
 			continue
 		}
-		res = append(res, Result{Index: i, Dist2: q.Dist2(p)})
+		sc.offer(Result{Index: i, Dist2: q.Dist2(p)})
 	}
-	sort.Slice(res, func(i, j int) bool {
-		if res[i].Dist2 != res[j].Dist2 {
-			return res[i].Dist2 < res[j].Dist2
-		}
-		return res[i].Index < res[j].Index
-	})
-	if len(res) > k {
-		res = res[:k]
-	}
-	return res
+	return sc.drainSorted(nil)
 }

@@ -1,0 +1,60 @@
+package knn
+
+import (
+	"runtime"
+	"sync"
+
+	"parmp/internal/geom"
+)
+
+// parallelCutoff is the subtree size below which BuildParallel stops
+// spawning and builds inline; small subtrees cost less than goroutine
+// handoff.
+const parallelCutoff = 2048
+
+// BuildParallel constructs the same tree as Build using up to workers
+// goroutines (<= 0 means GOMAXPROCS). The median-position node layout
+// makes subtree builds write disjoint index and node ranges, so the
+// result is bit-identical to the sequential build — large-region
+// connection phases get a faster build with no loss of determinism.
+func BuildParallel(pts []geom.Vec, workers int) *KDTree {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	t := &KDTree{}
+	if len(pts) < 2*parallelCutoff || workers <= 1 {
+		t.Reset(pts)
+		return t
+	}
+	t.pts = pts
+	t.dim = len(pts[0])
+	t.prepare(len(pts))
+
+	// Counting semaphore bounds concurrent builders; a subtree spawns its
+	// left half only when a slot is free, otherwise it builds inline.
+	slots := make(chan struct{}, workers-1)
+	var wg sync.WaitGroup
+	var buildPar func(lo, hi, depth int)
+	buildPar = func(lo, hi, depth int) {
+		for hi-lo > parallelCutoff {
+			mid := t.split(lo, hi, depth)
+			select {
+			case slots <- struct{}{}:
+				wg.Add(1)
+				go func(lo, hi, depth int) {
+					defer wg.Done()
+					buildPar(lo, hi, depth)
+					<-slots
+				}(lo, mid, depth+1)
+			default:
+				buildPar(lo, mid, depth+1)
+			}
+			lo = mid + 1
+			depth++
+		}
+		t.buildRange(lo, hi, depth)
+	}
+	buildPar(0, len(pts), 0)
+	wg.Wait()
+	return t
+}

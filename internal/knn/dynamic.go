@@ -1,24 +1,52 @@
 package knn
 
 import (
-	"sort"
-
 	"parmp/internal/geom"
+)
+
+// Default rebuild thresholds for Dynamic: a rebuild happens when more
+// than DefaultRebuildMin points are pending AND the pending buffer
+// exceeds DefaultRebuildFrac of the tree size.
+const (
+	DefaultRebuildMin  = 32
+	DefaultRebuildFrac = 0.5
 )
 
 // Dynamic is a nearest-neighbour index for growing point sets: a kd-tree
 // over the bulk of the points plus a linear-scanned pending buffer.
 // Inserts are O(1) amortized; when the buffer outgrows a fraction of the
-// tree the structure rebuilds. This is the standard technique for
-// incremental planners (RRT trees) whose point sets only ever grow.
+// tree the structure rebuilds (in place, reusing tree storage). This is
+// the standard technique for incremental planners (RRT trees) whose point
+// sets only ever grow.
 type Dynamic struct {
 	pts     []geom.Vec
-	tree    *KDTree
+	tree    KDTree
 	treeLen int // how many of pts the tree covers
+
+	// rebuildMin and rebuildFrac tune the rebuild schedule; see
+	// NewDynamicTuned. Lower thresholds trade insert cost for query
+	// speed (shorter pending scans).
+	rebuildMin  int
+	rebuildFrac float64
 }
 
-// NewDynamic returns an empty index.
-func NewDynamic() *Dynamic { return &Dynamic{} }
+// NewDynamic returns an empty index with the default rebuild schedule.
+func NewDynamic() *Dynamic {
+	return NewDynamicTuned(DefaultRebuildMin, DefaultRebuildFrac)
+}
+
+// NewDynamicTuned returns an empty index that rebuilds its tree when more
+// than min points are pending and the pending buffer exceeds frac of the
+// tree size. Non-positive arguments take the package defaults.
+func NewDynamicTuned(min int, frac float64) *Dynamic {
+	if min <= 0 {
+		min = DefaultRebuildMin
+	}
+	if frac <= 0 {
+		frac = DefaultRebuildFrac
+	}
+	return &Dynamic{rebuildMin: min, rebuildFrac: frac}
+}
 
 // Len returns the number of indexed points.
 func (d *Dynamic) Len() int { return len(d.pts) }
@@ -27,43 +55,42 @@ func (d *Dynamic) Len() int { return len(d.pts) }
 func (d *Dynamic) Add(p geom.Vec) int {
 	d.pts = append(d.pts, p)
 	pending := len(d.pts) - d.treeLen
-	if pending > 32 && pending > d.treeLen/2 {
+	if pending > d.rebuildMin && float64(pending) > float64(d.treeLen)*d.rebuildFrac {
 		d.rebuild()
 	}
 	return len(d.pts) - 1
 }
 
 func (d *Dynamic) rebuild() {
-	d.tree = Build(d.pts[:len(d.pts):len(d.pts)])
+	d.tree.Reset(d.pts[:len(d.pts):len(d.pts)])
 	d.treeLen = len(d.pts)
 }
 
-// Nearest returns up to k nearest neighbours of q, closest first, along
-// with the number of distance evaluations performed.
+// Nearest returns up to k nearest neighbours of q, closest first (ties
+// broken by ascending index so parity tests cannot flake on equal
+// distances), along with the number of distance evaluations performed.
 func (d *Dynamic) Nearest(q geom.Vec, k int) ([]Result, int) {
+	var sc QueryScratch
+	return d.NearestInto(&sc, q, k, nil)
+}
+
+// NearestInto is Nearest appending into dst via a reusable scratch:
+// tree hits and the pending-buffer scan merge in the scratch's bounded
+// heap, sorted once — allocation-free in steady state.
+func (d *Dynamic) NearestInto(sc *QueryScratch, q geom.Vec, k int, dst []Result) ([]Result, int) {
 	if k <= 0 || len(d.pts) == 0 {
-		return nil, 0
+		return dst, 0
 	}
-	var out []Result
-	evals := 0
-	if d.tree != nil {
-		hits, e := d.tree.Nearest(q, k)
-		out = append(out, hits...)
-		evals += e
+	var evals int
+	if d.treeLen > 0 {
+		evals = d.tree.searchHeap(sc, q, k, -1)
+	} else {
+		sc.reset(k)
 	}
-	// Pending buffer: linear scan.
+	// Pending buffer: linear scan into the same heap.
 	for i := d.treeLen; i < len(d.pts); i++ {
-		out = append(out, Result{Index: i, Dist2: q.Dist2(d.pts[i])})
+		sc.offer(Result{Index: i, Dist2: q.Dist2(d.pts[i])})
 		evals++
 	}
-	sort.Slice(out, func(a, b int) bool {
-		if out[a].Dist2 != out[b].Dist2 {
-			return out[a].Dist2 < out[b].Dist2
-		}
-		return out[a].Index < out[b].Index
-	})
-	if len(out) > k {
-		out = out[:k]
-	}
-	return out, evals
+	return sc.drainSorted(dst), evals
 }

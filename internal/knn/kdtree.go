@@ -4,13 +4,12 @@
 //
 // Restricting connection attempts to nearby samples is what makes the
 // subdivision approach local; the kNN structure is rebuilt per region so
-// queries never leave the owning processor.
+// queries never leave the owning processor. All query entry points have
+// scratch-based *Into variants (see QueryScratch) that are allocation-free
+// in steady state — the hot sampling/connection path runs through those.
 package knn
 
 import (
-	"container/heap"
-	"sort"
-
 	"parmp/internal/geom"
 )
 
@@ -20,118 +19,191 @@ type Result struct {
 	Dist2 float64 // squared Euclidean distance to the query
 }
 
+// resultBefore is the single ordering used everywhere in this package:
+// ascending by squared distance, ties broken by ascending index. The
+// deterministic tie-break means every query answer — kd-tree, brute
+// force, dynamic index, with or without scratch — is a pure function of
+// the point set, so planner parity tests cannot flake on equal distances.
+func resultBefore(a, b Result) bool {
+	if a.Dist2 != b.Dist2 {
+		return a.Dist2 < b.Dist2
+	}
+	return a.Index < b.Index
+}
+
 // KDTree is a static kd-tree over d-dimensional points.
+//
+// Node storage is indexed by each subtree's median position: the node
+// whose point is index[m] lives at nodes[m], and the subtree over
+// index[lo:hi) is rooted at m = (lo+hi)/2. The layout is a pure function
+// of (lo, hi) recursion, independent of build order, which is what lets
+// BuildParallel construct disjoint subtrees concurrently and still produce
+// a tree bit-identical to the sequential Build.
 type KDTree struct {
 	pts   []geom.Vec
-	index []int // permutation of original indices, tree order
-	nodes []kdNode
+	index []int    // permutation of original indices, tree order
+	nodes []kdNode // nodes[m] describes the subtree whose median is index[m]
 	dim   int
 }
 
 type kdNode struct {
-	axis        int
-	left, right int // node indices, -1 for leaf children
-	point       int // position into index
+	axis        int32
+	left, right int32 // node ids (median positions), -1 for none
 }
 
 // Build constructs a kd-tree over pts. The tree keeps a reference to the
 // point slice; callers must not mutate it afterwards.
 func Build(pts []geom.Vec) *KDTree {
-	t := &KDTree{pts: pts}
-	if len(pts) == 0 {
-		return t
-	}
-	t.dim = len(pts[0])
-	t.index = make([]int, len(pts))
-	for i := range t.index {
-		t.index[i] = i
-	}
-	t.nodes = make([]kdNode, 0, len(pts))
-	t.build(0, len(pts), 0)
+	t := &KDTree{}
+	t.Reset(pts)
 	return t
 }
 
-// build recursively arranges index[lo:hi) and returns the node id.
-func (t *KDTree) build(lo, hi, depth int) int {
-	if lo >= hi {
-		return -1
+// Reset rebuilds the tree in place over a new point set, reusing the
+// node and index storage from previous builds. This is the steady-state
+// path for pooled arenas and the Dynamic index: after the first build of
+// comparable size, rebuilding allocates nothing.
+func (t *KDTree) Reset(pts []geom.Vec) {
+	t.pts = pts
+	if len(pts) == 0 {
+		t.index = t.index[:0]
+		t.nodes = t.nodes[:0]
+		t.dim = 0
+		return
 	}
+	t.dim = len(pts[0])
+	t.prepare(len(pts))
+	t.buildRange(0, len(pts), 0)
+}
+
+// prepare sizes the index permutation and node storage for n points,
+// reusing capacity.
+func (t *KDTree) prepare(n int) {
+	if cap(t.index) < n {
+		t.index = make([]int, n)
+		t.nodes = make([]kdNode, n)
+	}
+	t.index = t.index[:n]
+	t.nodes = t.nodes[:n]
+	for i := range t.index {
+		t.index[i] = i
+	}
+}
+
+// buildRange arranges index[lo:hi) into kd order sequentially.
+func (t *KDTree) buildRange(lo, hi, depth int) {
+	for hi-lo > 0 {
+		mid := t.split(lo, hi, depth)
+		// Recurse into the smaller side, loop on the larger: O(log n)
+		// stack depth regardless of balance.
+		if mid-lo <= hi-mid-1 {
+			t.buildRange(lo, mid, depth+1)
+			lo = mid + 1
+		} else {
+			t.buildRange(mid+1, hi, depth+1)
+			hi = mid
+		}
+		depth++
+	}
+}
+
+// split sorts index[lo:hi) along the depth axis, writes the median node,
+// and returns the median position. Child links are computable from the
+// (lo, hi) bounds alone, so they are filled in here without visiting the
+// children.
+func (t *KDTree) split(lo, hi, depth int) int {
 	axis := depth % t.dim
 	mid := (lo + hi) / 2
-	// Median split via full sort of the sub-slice: O(n log^2 n) total,
-	// fine for per-region point counts.
-	sub := t.index[lo:hi]
-	sort.Slice(sub, func(i, j int) bool {
-		return t.pts[sub[i]][axis] < t.pts[sub[j]][axis]
-	})
-	id := len(t.nodes)
-	t.nodes = append(t.nodes, kdNode{axis: axis, point: mid, left: -1, right: -1})
-	left := t.build(lo, mid, depth+1)
-	right := t.build(mid+1, hi, depth+1)
-	t.nodes[id].left = left
-	t.nodes[id].right = right
-	return id
+	sortIndexByAxis(t.index[lo:hi], t.pts, axis)
+	left, right := int32(-1), int32(-1)
+	if lo < mid {
+		left = int32((lo + mid) / 2)
+	}
+	if mid+1 < hi {
+		right = int32((mid + 1 + hi) / 2)
+	}
+	t.nodes[mid] = kdNode{axis: int32(axis), left: left, right: right}
+	return mid
+}
+
+// root returns the root node id, -1 for an empty tree.
+func (t *KDTree) root() int32 {
+	if len(t.index) == 0 {
+		return -1
+	}
+	return int32(len(t.index) / 2)
 }
 
 // Len returns the number of indexed points.
 func (t *KDTree) Len() int { return len(t.pts) }
 
-// maxHeap of results ordered by Dist2 (largest on top).
-type maxHeap []Result
-
-func (h maxHeap) Len() int           { return len(h) }
-func (h maxHeap) Less(i, j int) bool { return h[i].Dist2 > h[j].Dist2 }
-func (h maxHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-func (h *maxHeap) Push(x any)        { *h = append(*h, x.(Result)) }
-func (h *maxHeap) Pop() any {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	*h = old[:n-1]
-	return it
+// Nearest returns up to k nearest neighbours of q, closest first (ties by
+// index), along with the number of distance evaluations performed (for
+// work metering). It allocates its result and a transient scratch; hot
+// paths should hold a QueryScratch and call NearestInto instead.
+func (t *KDTree) Nearest(q geom.Vec, k int) ([]Result, int) {
+	var sc QueryScratch
+	return t.NearestInto(&sc, q, k, -1, nil)
 }
 
-// Nearest returns up to k nearest neighbours of q, closest first, along
-// with the number of distance evaluations performed (for work metering).
-func (t *KDTree) Nearest(q geom.Vec, k int) ([]Result, int) {
+// NearestInto appends up to k nearest neighbours of q to dst, closest
+// first (ties broken by ascending index), and returns the extended slice
+// plus the number of distance evaluations. skip, when >= 0, excludes that
+// point index from the results (the query point itself in self-join
+// connection queries). With a reused scratch and a reused dst, the query
+// performs no allocations in steady state.
+func (t *KDTree) NearestInto(sc *QueryScratch, q geom.Vec, k, skip int, dst []Result) ([]Result, int) {
 	if k <= 0 || len(t.pts) == 0 {
-		return nil, 0
+		return dst, 0
 	}
-	h := make(maxHeap, 0, k+1)
+	evals := t.searchHeap(sc, q, k, skip)
+	return sc.drainSorted(dst), evals
+}
+
+// searchHeap runs the kd traversal, leaving the k nearest results in
+// sc's bounded max-heap (unsorted). Split out so Dynamic can merge its
+// pending-buffer scan into the same heap before sorting once.
+func (t *KDTree) searchHeap(sc *QueryScratch, q geom.Vec, k, skip int) int {
+	sc.reset(k)
 	evals := 0
-	var visit func(node int)
-	visit = func(node int) {
+	node := t.root()
+	for {
+		// Descend toward q, evaluating each node point and deferring the
+		// far child with its splitting-plane distance for later pruning.
+		for node >= 0 {
+			n := t.nodes[node]
+			pi := t.index[node]
+			d2 := q.Dist2(t.pts[pi])
+			evals++
+			if pi != skip {
+				sc.offer(Result{Index: pi, Dist2: d2})
+			}
+			delta := q[n.axis] - t.pts[pi][n.axis]
+			near, far := n.left, n.right
+			if delta > 0 {
+				near, far = n.right, n.left
+			}
+			if far >= 0 {
+				sc.pushVisit(far, delta*delta)
+			}
+			node = near
+		}
+		// Resume at the best-deferred far subtree that can still improve
+		// the heap. <= admits far-side points at exactly the current worst
+		// distance, which the index tie-break may prefer — required for
+		// exact agreement with the brute-force reference.
+		node = -1
+		for len(sc.stack) > 0 {
+			f := sc.popVisit()
+			if !sc.full() || f.dist2 <= sc.worst().Dist2 {
+				node = f.node
+				break
+			}
+		}
 		if node < 0 {
-			return
-		}
-		n := t.nodes[node]
-		pi := t.index[n.point]
-		d2 := q.Dist2(t.pts[pi])
-		evals++
-		if len(h) < k {
-			heap.Push(&h, Result{Index: pi, Dist2: d2})
-		} else if d2 < h[0].Dist2 {
-			h[0] = Result{Index: pi, Dist2: d2}
-			heap.Fix(&h, 0)
-		}
-		delta := q[n.axis] - t.pts[pi][n.axis]
-		near, far := n.left, n.right
-		if delta > 0 {
-			near, far = n.right, n.left
-		}
-		visit(near)
-		// Prune the far side if the splitting plane is farther than the
-		// current kth-best distance.
-		if len(h) < k || delta*delta < h[0].Dist2 {
-			visit(far)
+			return evals
 		}
 	}
-	visit(0)
-	out := make([]Result, len(h))
-	for i := len(h) - 1; i >= 0; i-- {
-		out[i] = heap.Pop(&h).(Result)
-	}
-	return out, evals
 }
 
 // NearestExcluding behaves like Nearest but skips any index for which
@@ -140,10 +212,15 @@ func (t *KDTree) NearestExcluding(q geom.Vec, k int, exclude func(int) bool) ([]
 	if k <= 0 || len(t.pts) == 0 {
 		return nil, 0
 	}
-	res, evals := t.Nearest(q, k+countExcludable(t, exclude, k))
+	if exclude == nil {
+		return t.Nearest(q, k)
+	}
+	// In planner usage exclude matches exactly one point (the query
+	// itself), so one extra candidate is sufficient.
+	res, evals := t.Nearest(q, k+1)
 	out := res[:0]
 	for _, r := range res {
-		if exclude != nil && exclude(r.Index) {
+		if exclude(r.Index) {
 			continue
 		}
 		out = append(out, r)
@@ -152,14 +229,4 @@ func (t *KDTree) NearestExcluding(q geom.Vec, k int, exclude func(int) bool) ([]
 		}
 	}
 	return out, evals
-}
-
-// countExcludable bounds how many extra hits to request: in planner usage
-// exclude matches exactly one point (the query itself), so one extra is
-// sufficient; a nil exclude needs none.
-func countExcludable(_ *KDTree, exclude func(int) bool, _ int) int {
-	if exclude == nil {
-		return 0
-	}
-	return 1
 }

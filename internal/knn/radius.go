@@ -1,71 +1,116 @@
 package knn
 
 import (
-	"sort"
-
 	"parmp/internal/geom"
 )
 
-// Radius returns all points within distance radius of q, closest first,
-// along with the number of distance evaluations performed. It is the
-// connection primitive for radius-based roadmap variants (PRM*-style
-// neighbourhoods).
+// Radius returns all points within distance radius of q, closest first
+// (ties by index), along with the number of distance evaluations
+// performed. It is the connection primitive for radius-based roadmap
+// variants (PRM*-style neighbourhoods).
 func (t *KDTree) Radius(q geom.Vec, radius float64) ([]Result, int) {
+	var sc QueryScratch
+	return t.RadiusInto(&sc, q, radius, nil)
+}
+
+// RadiusInto appends all points within radius of q to dst, closest first
+// (ties by index). The scratch's visit stack is reused; result sorting
+// happens in the appended dst segment, so with a reused dst the query is
+// allocation-free in steady state.
+func (t *KDTree) RadiusInto(sc *QueryScratch, q geom.Vec, radius float64, dst []Result) ([]Result, int) {
 	if len(t.pts) == 0 || radius < 0 {
-		return nil, 0
+		return dst, 0
 	}
 	r2 := radius * radius
-	var out []Result
+	base := len(dst)
 	evals := 0
-	var visit func(node int)
-	visit = func(node int) {
-		if node < 0 {
-			return
+	sc.stack = sc.stack[:0]
+	node := t.root()
+	for {
+		for node >= 0 {
+			n := t.nodes[node]
+			pi := t.index[node]
+			d2 := q.Dist2(t.pts[pi])
+			evals++
+			if d2 <= r2 {
+				dst = append(dst, Result{Index: pi, Dist2: d2})
+			}
+			delta := q[n.axis] - t.pts[pi][n.axis]
+			near, far := n.left, n.right
+			if delta > 0 {
+				near, far = n.right, n.left
+			}
+			if far >= 0 && delta*delta <= r2 {
+				sc.pushVisit(far, 0)
+			}
+			node = near
 		}
-		n := t.nodes[node]
-		pi := t.index[n.point]
-		d2 := q.Dist2(t.pts[pi])
-		evals++
-		if d2 <= r2 {
-			out = append(out, Result{Index: pi, Dist2: d2})
+		if len(sc.stack) == 0 {
+			break
 		}
-		delta := q[n.axis] - t.pts[pi][n.axis]
-		near, far := n.left, n.right
-		if delta > 0 {
-			near, far = n.right, n.left
+		node = sc.popVisit().node
+	}
+	sortResults(dst[base:])
+	return dst, evals
+}
+
+// sortResults orders results ascending by (Dist2, Index) without
+// allocating: insertion sort for short runs, heapsort above.
+func sortResults(rs []Result) {
+	if len(rs) <= 16 {
+		for i := 1; i < len(rs); i++ {
+			for j := i; j > 0 && resultBefore(rs[j], rs[j-1]); j-- {
+				rs[j], rs[j-1] = rs[j-1], rs[j]
+			}
 		}
-		visit(near)
-		if delta*delta <= r2 {
-			visit(far)
+		return
+	}
+	// Max-heapify then pop: worst element (last under resultBefore) rises.
+	after := func(i, j int) bool { return resultBefore(rs[j], rs[i]) }
+	siftDown := func(i, n int) {
+		for {
+			l := 2*i + 1
+			if l >= n {
+				return
+			}
+			big := l
+			if r := l + 1; r < n && after(r, l) {
+				big = r
+			}
+			if !after(big, i) {
+				return
+			}
+			rs[i], rs[big] = rs[big], rs[i]
+			i = big
 		}
 	}
-	visit(0)
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Dist2 != out[j].Dist2 {
-			return out[i].Dist2 < out[j].Dist2
-		}
-		return out[i].Index < out[j].Index
-	})
-	return out, evals
+	for i := len(rs)/2 - 1; i >= 0; i-- {
+		siftDown(i, len(rs))
+	}
+	for n := len(rs) - 1; n > 0; n-- {
+		rs[0], rs[n] = rs[n], rs[0]
+		siftDown(0, n)
+	}
 }
 
 // BruteRadius is the exhaustive reference for Radius.
 func BruteRadius(pts []geom.Vec, q geom.Vec, radius float64) []Result {
+	return BruteRadiusInto(pts, q, radius, nil)
+}
+
+// BruteRadiusInto is BruteRadius appending into dst, so a reused dst
+// makes the scan allocation-free in steady state.
+func BruteRadiusInto(pts []geom.Vec, q geom.Vec, radius float64, dst []Result) []Result {
 	if radius < 0 {
-		return nil
+		return dst
 	}
 	r2 := radius * radius
-	var out []Result
+	base := len(dst)
 	for i, p := range pts {
 		if d2 := q.Dist2(p); d2 <= r2 {
-			out = append(out, Result{Index: i, Dist2: d2})
+			dst = append(dst, Result{Index: i, Dist2: d2})
 		}
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Dist2 != out[j].Dist2 {
-			return out[i].Dist2 < out[j].Dist2
-		}
-		return out[i].Index < out[j].Index
-	})
-	return out
+	sortResults(dst[base:])
+	return dst
 }

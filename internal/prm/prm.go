@@ -88,9 +88,28 @@ type RegionResult struct {
 // which is the load model the paper's theoretical analysis assumes ("the
 // total load that the region will experience is proportional to V_free").
 func SampleRegion(s *cspace.Space, box geom.AABB, regionID int, p Params, r *rng.Stream) ([]Node, cspace.Counters) {
+	a := GetArena()
+	defer PutArena(a)
+	return SampleRegionArena(s, box, regionID, p, r, a)
+}
+
+// SampleRegionArena is SampleRegion through an explicit arena. Uniform
+// sampling draws candidates into the arena's scratch configuration and
+// clones only the accepted ones; custom samplers keep their allocating
+// contract but validity still routes through the collision scratch.
+func SampleRegionArena(s *cspace.Space, box geom.AABB, regionID int, p Params, r *rng.Stream, a *Arena) ([]Node, cspace.Counters) {
 	var work cspace.Counters
-	sampler := p.sampler()
 	nodes := make([]Node, 0, p.SamplesPerRegion)
+	if _, uniform := p.sampler().(cspace.UniformSampler); uniform {
+		for i := 0; i < p.SamplesPerRegion; i++ {
+			a.sample = s.SampleInInto(a.sample, box, r, &work)
+			if s.ValidS(a.sample, &a.sc, &work) {
+				nodes = append(nodes, Node{Q: a.sample.Clone(), Region: regionID})
+			}
+		}
+		return nodes, work
+	}
+	sampler := p.sampler()
 	for i := 0; i < p.SamplesPerRegion; i++ {
 		q, ok := sampler.Sample(s, box, r, &work)
 		if ok {
@@ -107,50 +126,60 @@ func SampleRegion(s *cspace.Space, box geom.AABB, regionID int, p Params, r *rng
 // (the paper's PRM attempts all k-nearest connections; no
 // connected-component shortcut).
 func ConnectRegion(s *cspace.Space, nodes []Node, p Params) ([][2]int, cspace.Counters) {
+	a := GetArena()
+	defer PutArena(a)
+	return ConnectRegionArena(s, nodes, p, a)
+}
+
+// ConnectRegionArena is ConnectRegion through an explicit arena: the
+// point slice, kd-tree, query scratch, dedup set and edge accumulator
+// all live in the arena, so the only retained allocation is the returned
+// edge list.
+func ConnectRegionArena(s *cspace.Space, nodes []Node, p Params, a *Arena) ([][2]int, cspace.Counters) {
 	var work cspace.Counters
 	if len(nodes) < 2 {
 		return nil, work
 	}
-	pts := make([]geom.Vec, len(nodes))
-	for i, n := range nodes {
-		pts[i] = n.Q
-	}
-	tree := knn.Build(pts)
-	seen := map[[2]int]bool{}
-	var edges [][2]int
+	pts := a.points(nodes)
+	a.tree.Reset(pts)
+	seen := a.resetSeen()
+	a.edges = a.edges[:0]
 	for i := range pts {
 		k := p.K
 		if k > len(pts)-1 {
 			k = len(pts) - 1
 		}
-		hits, evals := tree.NearestExcluding(pts[i], k, func(j int) bool { return j == i })
+		var evals int
+		a.hits, evals = a.tree.NearestInto(&a.qsc, pts[i], k, i, a.hits[:0])
 		work.KNNQueries++
 		work.KNNEvals += int64(evals)
-		for _, h := range hits {
-			a, b := i, h.Index
-			if a > b {
-				a, b = b, a
+		for _, h := range a.hits {
+			x, y := i, h.Index
+			if x > y {
+				x, y = y, x
 			}
-			key := [2]int{a, b}
+			key := [2]int{x, y}
 			if seen[key] {
 				continue
 			}
 			seen[key] = true
-			if s.LocalPlan(pts[a], pts[b], &work) {
-				edges = append(edges, key)
+			if s.LocalPlanS(pts[x], pts[y], &a.sc, &work) {
+				a.edges = append(a.edges, key)
 			}
 		}
 	}
-	return edges, work
+	return copyEdges(a.edges), work
 }
 
 // BuildRegion runs sequential PRM restricted to box (the region's
 // expanded sampling volume): SampleRegion followed by ConnectRegion.
 // Deterministic given the stream.
 func BuildRegion(s *cspace.Space, box geom.AABB, regionID int, p Params, r *rng.Stream) RegionResult {
+	a := GetArena()
+	defer PutArena(a)
 	var res RegionResult
-	res.Nodes, res.Work = SampleRegion(s, box, regionID, p, r)
-	edges, connectWork := ConnectRegion(s, res.Nodes, p)
+	res.Nodes, res.Work = SampleRegionArena(s, box, regionID, p, r, a)
+	edges, connectWork := ConnectRegionArena(s, res.Nodes, p, a)
 	res.Edges = edges
 	res.Work.Add(connectWork)
 	return res
@@ -175,32 +204,49 @@ type BoundaryResult struct {
 // for) each try the local planner against their k nearest nodes in b.
 // maxSources <= 0 uses every node of a.
 func ConnectBoundary(s *cspace.Space, aNodes, bNodes []Node, k, maxSources int) BoundaryResult {
+	ar := GetArena()
+	defer PutArena(ar)
+	return ConnectBoundaryArena(s, aNodes, bNodes, k, maxSources, ar)
+}
+
+// ConnectBoundaryArena is ConnectBoundary through an explicit arena. The
+// frontier centroid accumulates in place in a reused buffer (the
+// allocating version rebuilt the centroid vector once per added point),
+// and both regions' point slices, the kd-tree and all kNN scratch come
+// from the arena.
+func ConnectBoundaryArena(s *cspace.Space, aNodes, bNodes []Node, k, maxSources int, ar *Arena) BoundaryResult {
 	var res BoundaryResult
 	if len(aNodes) == 0 || len(bNodes) == 0 {
 		return res
 	}
-	bPts := make([]geom.Vec, len(bNodes))
-	for i, n := range bNodes {
-		bPts[i] = n.Q
-	}
-	tree := knn.Build(bPts)
+	bPts := ar.points(bNodes)
+	ar.tree.Reset(bPts)
 	if k <= 0 {
 		k = 1
 	}
 
 	// Frontier selection: a's nodes nearest to the centroid of b.
-	sources := make([]int, 0, len(aNodes))
+	if cap(ar.sources) < len(aNodes) {
+		ar.sources = make([]int, 0, len(aNodes))
+	}
+	sources := ar.sources[:0]
 	if maxSources > 0 && maxSources < len(aNodes) {
-		centroid := make(geom.Vec, len(bPts[0]))
+		dim := len(bPts[0])
+		if cap(ar.centroid) < dim {
+			ar.centroid = make(geom.Vec, dim)
+		}
+		centroid := ar.centroid[:dim]
+		for i := range centroid {
+			centroid[i] = 0
+		}
 		for _, p := range bPts {
-			centroid = centroid.Add(p)
+			centroid.AddInPlace(p)
 		}
-		centroid = centroid.Scale(1 / float64(len(bPts)))
-		aPts := make([]geom.Vec, len(aNodes))
-		for i, n := range aNodes {
-			aPts[i] = n.Q
-		}
-		hits := knn.BruteNearest(aPts, centroid, maxSources)
+		centroid.ScaleInPlace(1 / float64(len(bPts)))
+		aPts := ar.auxPoints(aNodes)
+		var hits []knn.Result
+		hits, _ = knn.BruteNearestInto(&ar.qsc, aPts, centroid, maxSources, -1, ar.hits[:0])
+		ar.hits = hits
 		res.Work.KNNQueries++
 		res.Work.KNNEvals += int64(len(aPts))
 		for _, h := range hits {
@@ -211,19 +257,23 @@ func ConnectBoundary(s *cspace.Space, aNodes, bNodes []Node, k, maxSources int) 
 			sources = append(sources, i)
 		}
 	}
+	ar.sources = sources
 
+	ar.edges = ar.edges[:0]
 	for _, i := range sources {
-		hits, evals := tree.Nearest(aNodes[i].Q, k)
+		var evals int
+		ar.hits, evals = ar.tree.NearestInto(&ar.qsc, aNodes[i].Q, k, -1, ar.hits[:0])
 		res.Work.KNNQueries++
 		res.Work.KNNEvals += int64(evals)
-		for _, h := range hits {
+		for _, h := range ar.hits {
 			res.Attempts++
-			if s.LocalPlan(aNodes[i].Q, bNodes[h.Index].Q, &res.Work) {
-				res.Edges = append(res.Edges, [2]int{i, h.Index})
+			if s.LocalPlanS(aNodes[i].Q, bNodes[h.Index].Q, &ar.sc, &res.Work) {
+				ar.edges = append(ar.edges, [2]int{i, h.Index})
 				break // one bridge per source node suffices
 			}
 		}
 	}
+	res.Edges = copyEdges(ar.edges)
 	return res
 }
 
@@ -240,7 +290,9 @@ func Query(s *cspace.Space, m *Roadmap, start, goal cspace.Config, k int, c *csp
 	for i := 0; i < m.NumNodes(); i++ {
 		pts[i] = m.G.Vertex(graph.ID(i)).Q
 	}
-	tree := knn.Build(pts)
+	// Full-roadmap trees are the largest built anywhere; the parallel
+	// build produces a bit-identical tree faster for big maps.
+	tree := knn.BuildParallel(pts, 0)
 
 	attach := func(q cspace.Config) (graph.ID, bool) {
 		id := m.G.AddVertex(Node{Q: q, Region: -1})

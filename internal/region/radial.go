@@ -116,20 +116,43 @@ func ConeTarget(r *Region) geom.Vec {
 // toward the axis — acceptable for RRT biasing (the paper's growth is
 // biased toward the region target anyway).
 func SampleInCone(reg *Region, r *rng.Stream) geom.Vec {
+	return SampleInConeInto(nil, reg, r)
+}
+
+// SampleInConeInto is SampleInCone writing into dst (growing it as
+// needed). The RNG stream consumption is identical to SampleInCone, so
+// pooled and unpooled growth produce the same tree from the same stream.
+func SampleInConeInto(dst geom.Vec, reg *Region, r *rng.Stream) geom.Vec {
 	d := reg.Apex.Dim()
 	for tries := 0; tries < 64; tries++ {
-		dir := geom.SampleOnSphere(d, r)
-		if geom.AngleBetween(dir, reg.Ray) > reg.HalfAngle {
+		dst = geom.SampleOnSphereInto(dst, d, r)
+		if geom.AngleBetween(dst, reg.Ray) > reg.HalfAngle {
 			// Blend toward the axis instead of rejecting forever for
 			// narrow cones.
 			blend := r.Float64()
-			dir = reg.Ray.Scale(1 - blend).Add(dir.Scale(blend * math.Sin(reg.HalfAngle))).Unit()
+			scale := blend * math.Sin(reg.HalfAngle)
+			var n2 float64
+			for i := range dst {
+				dst[i] = reg.Ray[i]*(1-blend) + dst[i]*scale
+				n2 += dst[i] * dst[i]
+			}
+			if n2 > 0 {
+				dst.ScaleInPlace(1 / math.Sqrt(n2))
+			}
 		}
-		if geom.AngleBetween(dir, reg.Ray) <= reg.HalfAngle {
+		if geom.AngleBetween(dst, reg.Ray) <= reg.HalfAngle {
 			rad := reg.Radius * math.Pow(r.Float64(), 1/float64(d))
-			return reg.Apex.Add(dir.Scale(rad))
+			for i := range dst {
+				dst[i] = reg.Apex[i] + dst[i]*rad
+			}
+			return dst
 		}
 	}
 	// Fall back to the axis.
-	return reg.Apex.Add(reg.Ray.Scale(reg.Radius * r.Float64()))
+	rad := reg.Radius * r.Float64()
+	dst = geom.CopyInto(dst, reg.Apex)
+	for i := range dst {
+		dst[i] += reg.Ray[i] * rad
+	}
+	return dst
 }

@@ -1,0 +1,58 @@
+package rrt
+
+import (
+	"sync"
+
+	"parmp/internal/cspace"
+	"parmp/internal/geom"
+	"parmp/internal/knn"
+)
+
+// Arena bundles the reusable buffers one RRT task needs: collision
+// scratch, kNN query scratch, a rebuildable kd-tree, point slices and
+// candidate-configuration buffers. Extend/Connect tasks borrow one from
+// a sync.Pool so steady-state growth allocates only the accepted tree
+// nodes. An Arena is not safe for concurrent use.
+type Arena struct {
+	sc    cspace.Scratch
+	qsc   knn.QueryScratch
+	tree  knn.KDTree
+	pts   []geom.Vec
+	aux   []geom.Vec
+	hits  []knn.Result
+	near  []knn.Result
+	qRand cspace.Config
+	qNew  cspace.Config
+}
+
+var arenaPool = sync.Pool{New: func() any { return new(Arena) }}
+
+// GetArena borrows an arena from the shared pool.
+func GetArena() *Arena { return arenaPool.Get().(*Arena) }
+
+// PutArena returns an arena to the pool.
+func PutArena(a *Arena) { arenaPool.Put(a) }
+
+// treePoints fills a.pts with the configurations of t's nodes.
+func (a *Arena) treePoints(t *Tree) []geom.Vec {
+	if cap(a.pts) < t.Len() {
+		a.pts = make([]geom.Vec, t.Len())
+	}
+	a.pts = a.pts[:t.Len()]
+	for i, n := range t.Nodes {
+		a.pts[i] = n.Q
+	}
+	return a.pts
+}
+
+// auxPoints fills a.aux with the configurations of t's nodes.
+func (a *Arena) auxPoints(t *Tree) []geom.Vec {
+	if cap(a.aux) < t.Len() {
+		a.aux = make([]geom.Vec, t.Len())
+	}
+	a.aux = a.aux[:t.Len()]
+	for i, n := range t.Nodes {
+		a.aux[i] = n.Q
+	}
+	return a.aux
+}

@@ -85,17 +85,28 @@ type Result struct {
 // exactly the dynamic, hard-to-estimate workload the paper describes for
 // radial RRT.
 func GrowRegion(s *cspace.Space, reg *region.Region, p Params, r *rng.Stream) Result {
+	a := GetArena()
+	defer PutArena(a)
+	return GrowRegionArena(s, reg, p, r, a)
+}
+
+// GrowRegionArena is GrowRegion through an explicit arena: candidate and
+// stepped configurations live in reused buffers (cloned only on
+// acceptance) and collision checks route through the arena's scratch.
+// RNG consumption is identical to the allocating path, so the grown tree
+// is the same for the same stream.
+func GrowRegionArena(s *cspace.Space, reg *region.Region, p Params, r *rng.Stream, a *Arena) Result {
 	res := Result{Tree: NewTree(reg.Apex, reg.ID)}
 	target := region.ConeTarget(reg)
 	// Brute-force nearest neighbour: the tree is rebuilt incrementally and
 	// stays small per region; metering matches kd usage elsewhere.
 	for res.Iters = 0; res.Iters < p.maxIters() && res.Tree.Len() < p.Nodes; res.Iters++ {
-		var qRand cspace.Config
 		if r.Float64() < p.GoalBias {
-			qRand = target.Clone()
+			a.qRand = geom.CopyInto(a.qRand, target)
 		} else {
-			qRand = region.SampleInCone(reg, r)
+			a.qRand = region.SampleInConeInto(a.qRand, reg, r)
 		}
+		qRand := a.qRand
 		// Nearest node in the branch under the space's weighted metric
 		// (angular DOFs are down-weighted so spatial exploration is not
 		// dominated by heading differences).
@@ -111,7 +122,8 @@ func GrowRegion(s *cspace.Space, reg *region.Region, p Params, r *rng.Stream) Re
 		res.Work.KNNEvals += int64(res.Tree.Len())
 		qNear := res.Tree.Nodes[nearIdx].Q
 
-		qNew, _ := s.StepToward(qNear, qRand, p.Step)
+		a.qNew, _ = s.StepTowardInto(a.qNew, qNear, qRand, p.Step)
+		qNew := a.qNew
 		res.Work.Samples++
 		if !s.Bounds.Contains(qNew) {
 			continue
@@ -124,13 +136,13 @@ func GrowRegion(s *cspace.Space, reg *region.Region, p Params, r *rng.Stream) Re
 		if s.Steer == nil && !region.InCone(reg, qNew[:reg.Apex.Dim()]) {
 			continue
 		}
-		if !s.Valid(qNew, &res.Work) {
+		if !s.ValidS(qNew, &a.sc, &res.Work) {
 			continue
 		}
-		if !s.LocalPlan(qNear, qNew, &res.Work) {
+		if !s.LocalPlanS(qNear, qNew, &a.sc, &res.Work) {
 			continue
 		}
-		res.Tree.Nodes = append(res.Tree.Nodes, Node{Q: qNew, Parent: nearIdx, Region: reg.ID})
+		res.Tree.Nodes = append(res.Tree.Nodes, Node{Q: qNew.Clone(), Parent: nearIdx, Region: reg.ID})
 	}
 	return res
 }
@@ -140,30 +152,34 @@ func GrowRegion(s *cspace.Space, reg *region.Region, p Params, r *rng.Stream) Re
 // to the nearest nodes of b. It returns the first successful bridging pair
 // (index in a, index in b) and ok.
 func Connect(s *cspace.Space, a, b *Tree, bTarget geom.Vec, kFrontier int, c *cspace.Counters) (int, int, bool) {
+	ar := GetArena()
+	defer PutArena(ar)
+	return ConnectArena(s, a, b, bTarget, kFrontier, c, ar)
+}
+
+// ConnectArena is Connect through an explicit arena: both trees' point
+// slices, the kd-tree over b and all kNN scratch are reused.
+func ConnectArena(s *cspace.Space, a, b *Tree, bTarget geom.Vec, kFrontier int, c *cspace.Counters, ar *Arena) (int, int, bool) {
 	if a.Len() == 0 || b.Len() == 0 {
 		return 0, 0, false
 	}
-	aPts := make([]geom.Vec, a.Len())
-	for i, n := range a.Nodes {
-		aPts[i] = n.Q
-	}
-	bPts := make([]geom.Vec, b.Len())
-	for i, n := range b.Nodes {
-		bPts[i] = n.Q
-	}
+	aPts := ar.auxPoints(a)
+	bPts := ar.treePoints(b)
 	// Frontier of a: nodes nearest to b's territory.
-	frontier := knn.BruteNearest(aPts, bTarget, kFrontier)
-	bTree := knn.Build(bPts)
+	frontier, _ := knn.BruteNearestInto(&ar.qsc, aPts, bTarget, kFrontier, -1, ar.near[:0])
+	ar.near = frontier
+	ar.tree.Reset(bPts)
 	if c != nil {
 		c.KNNQueries += int64(1 + len(frontier))
 	}
 	for _, f := range frontier {
-		hits, evals := bTree.Nearest(aPts[f.Index], 3)
+		var evals int
+		ar.hits, evals = ar.tree.NearestInto(&ar.qsc, aPts[f.Index], 3, -1, ar.hits[:0])
 		if c != nil {
 			c.KNNEvals += int64(evals)
 		}
-		for _, h := range hits {
-			if s.LocalPlan(aPts[f.Index], bPts[h.Index], c) {
+		for _, h := range ar.hits {
+			if s.LocalPlanS(aPts[f.Index], bPts[h.Index], &ar.sc, c) {
 				return f.Index, h.Index, true
 			}
 		}

@@ -51,6 +51,8 @@ type StarResult struct {
 // root. The extra local planning makes region costs even more
 // heterogeneous, which is why it is interesting for load balancing.
 func GrowRegionStar(s *cspace.Space, reg *region.Region, p StarParams, r *rng.Stream) StarResult {
+	a := GetArena()
+	defer PutArena(a)
 	res := StarResult{Tree: &StarTree{
 		Nodes: []Node{{Q: reg.Apex.Clone(), Parent: -1, Region: reg.ID}},
 		Cost:  []float64{0},
@@ -58,13 +60,16 @@ func GrowRegionStar(s *cspace.Space, reg *region.Region, p StarParams, r *rng.St
 	target := region.ConeTarget(reg)
 	radius := p.rewireRadius()
 	for res.Iters = 0; res.Iters < p.maxIters() && res.Tree.Len() < p.Nodes; res.Iters++ {
-		var qRand cspace.Config
 		if r.Float64() < p.GoalBias {
-			qRand = target.Clone()
+			a.qRand = geom.CopyInto(a.qRand, target)
 		} else {
-			qRand = region.SampleInCone(reg, r)
+			a.qRand = region.SampleInConeInto(a.qRand, reg, r)
 		}
-		pts := make([]geom.Vec, res.Tree.Len())
+		qRand := a.qRand
+		if cap(a.pts) < res.Tree.Len() {
+			a.pts = make([]geom.Vec, res.Tree.Len())
+		}
+		pts := a.pts[:res.Tree.Len()]
 		nearIdx := 0
 		bestNear := math.Inf(1)
 		for i, n := range res.Tree.Nodes {
@@ -76,21 +81,23 @@ func GrowRegionStar(s *cspace.Space, reg *region.Region, p StarParams, r *rng.St
 		}
 		res.Work.KNNQueries++
 		res.Work.KNNEvals += int64(len(pts))
-		qNew, _ := s.StepToward(res.Tree.Nodes[nearIdx].Q, qRand, p.Step)
+		a.qNew, _ = s.StepTowardInto(a.qNew, res.Tree.Nodes[nearIdx].Q, qRand, p.Step)
+		qNew := a.qNew
 		res.Work.Samples++
 		if !s.Bounds.Contains(qNew) || !region.InCone(reg, qNew[:reg.Apex.Dim()]) {
 			continue
 		}
-		if !s.Valid(qNew, &res.Work) {
+		if !s.ValidS(qNew, &a.sc, &res.Work) {
 			continue
 		}
 
 		// Choose-parent: the neighbour minimizing cost-to-root + edge.
-		neighbours := knn.BruteRadius(pts, qNew, radius)
+		neighbours := knn.BruteRadiusInto(pts, qNew, radius, a.near[:0])
+		a.near = neighbours
 		res.Work.KNNEvals += int64(len(pts))
 		bestParent := -1
 		bestCost := math.Inf(1)
-		if s.LocalPlan(res.Tree.Nodes[nearIdx].Q, qNew, &res.Work) {
+		if s.LocalPlanS(res.Tree.Nodes[nearIdx].Q, qNew, &a.sc, &res.Work) {
 			bestParent = nearIdx
 			bestCost = res.Tree.Cost[nearIdx] + s.Distance(res.Tree.Nodes[nearIdx].Q, qNew)
 		}
@@ -102,7 +109,7 @@ func GrowRegionStar(s *cspace.Space, reg *region.Region, p StarParams, r *rng.St
 			if cand >= bestCost {
 				continue
 			}
-			if s.LocalPlan(res.Tree.Nodes[nb.Index].Q, qNew, &res.Work) {
+			if s.LocalPlanS(res.Tree.Nodes[nb.Index].Q, qNew, &a.sc, &res.Work) {
 				bestParent = nb.Index
 				bestCost = cand
 			}
@@ -111,16 +118,17 @@ func GrowRegionStar(s *cspace.Space, reg *region.Region, p StarParams, r *rng.St
 			continue
 		}
 		newIdx := res.Tree.Len()
-		res.Tree.Nodes = append(res.Tree.Nodes, Node{Q: qNew, Parent: bestParent, Region: reg.ID})
+		kept := qNew.Clone()
+		res.Tree.Nodes = append(res.Tree.Nodes, Node{Q: kept, Parent: bestParent, Region: reg.ID})
 		res.Tree.Cost = append(res.Tree.Cost, bestCost)
 
 		// Rewire: route neighbours through the new node when cheaper.
 		for _, nb := range neighbours {
-			through := bestCost + s.Distance(qNew, res.Tree.Nodes[nb.Index].Q)
+			through := bestCost + s.Distance(kept, res.Tree.Nodes[nb.Index].Q)
 			if through >= res.Tree.Cost[nb.Index] {
 				continue
 			}
-			if s.LocalPlan(qNew, res.Tree.Nodes[nb.Index].Q, &res.Work) {
+			if s.LocalPlanS(kept, res.Tree.Nodes[nb.Index].Q, &a.sc, &res.Work) {
 				res.Tree.Nodes[nb.Index].Parent = newIdx
 				delta := res.Tree.Cost[nb.Index] - through
 				res.Tree.Cost[nb.Index] = through
