@@ -55,7 +55,11 @@ func main() {
 	fmt.Println(e)
 
 	// Region-level free volume and sample-count weights.
-	rg := region.UniformGrid(e.Bounds, region.SplitEvenly(e.Dim(), *regions, 0))
+	rg, err := region.UniformGrid(e.Bounds, region.SplitEvenly(e.Dim(), *regions, 0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "envinfo:", err)
+		os.Exit(2)
+	}
 	s := cspace.NewPointSpace(e)
 	n := rg.NumRegions()
 	vfree := make([]float64, n)
@@ -70,7 +74,10 @@ func main() {
 		n, metrics.CV(vfree), metrics.CV(weights))
 
 	region.NaiveColumnPartition(rg, *procs)
-	rg.SetWeights(weights)
+	if err := rg.SetWeights(weights); err != nil {
+		fmt.Fprintln(os.Stderr, "envinfo:", err)
+		os.Exit(2)
+	}
 	loads := rg.LoadPerProcessor(*procs)
 	fmt.Printf("naive map   : %d procs, load CV=%.3f, max/mean=%.2f\n",
 		*procs, metrics.CV(loads), metrics.Max(loads)/metrics.Mean(loads))

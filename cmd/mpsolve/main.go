@@ -11,15 +11,23 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"sort"
 	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
 
 	"parmp"
 	"parmp/internal/cspace"
 	"parmp/internal/prm"
+	"parmp/internal/rng"
 )
 
 func parseConfig(s string) (parmp.Config, error) {
@@ -47,6 +55,9 @@ func main() {
 	seed := flag.Uint64("seed", 1, "random seed")
 	samplerName := flag.String("sampler", "uniform", "sampling strategy (uniform, gaussian, bridge, mixed)")
 	shortcut := flag.Int("shortcut", 0, "post-process the path with this many shortcut iterations")
+	rounds := flag.Int("rounds", 1, "growth rounds (each adds -samples attempts per region)")
+	timeout := flag.Duration("timeout", 0, "wall-clock budget for growth; on expiry the committed rounds still serve (0 = none)")
+	queries := flag.Int("queries", 0, "serve mode: answer this many random queries against the final snapshot and report latency percentiles")
 	flag.Parse()
 
 	var e *parmp.Environment
@@ -116,21 +127,42 @@ func main() {
 	}
 
 	space := parmp.NewPointSpace(e)
-	res, err := parmp.PlanPRM(space, opts)
+	eng, err := parmp.NewEngine(space, opts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mpsolve:", err)
 		os.Exit(1)
 	}
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	growErr := eng.GrowN(ctx, *rounds)
+	snap := eng.Snapshot()
+	if growErr != nil {
+		if !errors.Is(growErr, parmp.ErrStopped) {
+			fmt.Fprintln(os.Stderr, "mpsolve:", growErr)
+			os.Exit(1)
+		}
+		fmt.Printf("growth      : timed out after %d/%d rounds; serving the committed roadmap\n",
+			snap.Rounds(), *rounds)
+	}
+	res := snap.PRM()
 	fmt.Printf("environment : %s\n", e)
-	fmt.Printf("roadmap     : %s\n", prm.ComputeStats(res.Roadmap))
+	fmt.Printf("roadmap     : %s (after %d rounds)\n", prm.ComputeStats(res.Roadmap), snap.Rounds())
 	fmt.Printf("virtual time: %.0f units on %d procs (%s)\n", res.TotalTime, *procs, *strategy)
 	fmt.Printf("phases      : sampling=%.0f redistribute=%.0f node-conn=%.0f region-conn=%.0f\n",
 		res.Phases.Sampling, res.Phases.Redistribution, res.Phases.NodeConnection, res.Phases.RegionConnection)
 	fmt.Printf("load CV     : %.3f -> %.3f (migrated %d regions)\n", res.CVBefore, res.CVAfter, res.MigratedRegions)
 
-	path, ok := parmp.Query(space, res.Roadmap, start, goal, 8)
+	if *queries > 0 {
+		serve(snap, space, *queries, *seed)
+	}
+
+	path, ok := snap.Query(start, goal, 8)
 	if !ok {
-		fmt.Println("query       : NO PATH FOUND (try more samples)")
+		fmt.Println("query       : NO PATH FOUND (try more samples or rounds)")
 		os.Exit(1)
 	}
 	if *shortcut > 0 {
@@ -142,4 +174,63 @@ func main() {
 	for i, q := range path {
 		fmt.Printf("  %3d: %v\n", i, q)
 	}
+}
+
+// serve answers n random queries against the frozen snapshot from one
+// goroutine per CPU — exercising the lock-free concurrent read path —
+// and reports wall-clock latency percentiles and the hit rate.
+func serve(snap *parmp.Snapshot, space *parmp.Space, n int, seed uint64) {
+	pairs := make([][2]parmp.Config, n)
+	r := rng.Derive(seed, 0x5e27e)
+	for i := range pairs {
+		pairs[i] = [2]parmp.Config{randomConfig(space, r), randomConfig(space, r)}
+	}
+	latencies := make([]time.Duration, n)
+	hits := make([]bool, n)
+	workers := runtime.GOMAXPROCS(0)
+	var wg sync.WaitGroup
+	var next atomic.Int64
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				t0 := time.Now()
+				_, ok := snap.Query(pairs[i][0], pairs[i][1], 8)
+				latencies[i] = time.Since(t0)
+				hits[i] = ok
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	sort.Slice(latencies, func(a, b int) bool { return latencies[a] < latencies[b] })
+	solved := 0
+	for _, ok := range hits {
+		if ok {
+			solved++
+		}
+	}
+	pct := func(p float64) time.Duration {
+		idx := int(p * float64(n-1))
+		return latencies[idx]
+	}
+	fmt.Printf("serve       : %d queries on %d workers in %v (%d solved)\n", n, workers, elapsed.Round(time.Millisecond), solved)
+	fmt.Printf("latency     : p50=%v p99=%v max=%v\n",
+		pct(0.50).Round(time.Microsecond), pct(0.99).Round(time.Microsecond), latencies[n-1].Round(time.Microsecond))
+}
+
+// randomConfig draws a uniform configuration in the space's bounds.
+func randomConfig(space *parmp.Space, r *rng.Stream) parmp.Config {
+	q := make(parmp.Config, space.Dim())
+	for d := 0; d < space.Dim(); d++ {
+		lo, hi := space.Bounds.Lo[d], space.Bounds.Hi[d]
+		q[d] = lo + r.Float64()*(hi-lo)
+	}
+	return q
 }

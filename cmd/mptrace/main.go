@@ -55,7 +55,11 @@ func main() {
 
 	// Build the node-connection workload exactly as the PRM driver does.
 	s := cspace.NewPointSpace(e)
-	rg := region.UniformGrid(s.Bounds, region.SplitEvenly(e.Dim(), *regions, 0))
+	rg, err := region.UniformGrid(s.Bounds, region.SplitEvenly(e.Dim(), *regions, 0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mptrace:", err)
+		os.Exit(2)
+	}
 	region.NaiveColumnPartition(rg, *procs)
 	params := prm.Params{SamplesPerRegion: *samples, K: 4}
 	cost := work.DefaultCostModel()

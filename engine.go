@@ -1,0 +1,206 @@
+package parmp
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+
+	"parmp/internal/core"
+	"parmp/internal/prm"
+)
+
+// ErrStopped is returned by Engine.Grow when the context is canceled
+// before the round commits. The engine's committed state is untouched:
+// the previous snapshot stays valid and Grow can be called again.
+var ErrStopped = core.ErrStopped
+
+// Engine is a resumable planner: where PlanPRM and PlanRRT build their
+// structure in one shot and return, an Engine owns the space and
+// options, grows its roadmap (or tree) incrementally — each Grow call
+// is one pass through the phase pipeline, reusing the region graph and
+// partition state — and serves queries concurrently through immutable
+// snapshots published atomically after each round.
+//
+// Grow is serialized internally; Snapshot (and every Snapshot method)
+// is safe to call from any number of goroutines at any time, including
+// while a Grow is in flight.
+type Engine struct {
+	space *Space
+
+	mu  sync.Mutex // serializes growth
+	prm *core.PRMEngine
+	rrt *core.RRTEngine
+
+	snap atomic.Pointer[Snapshot]
+}
+
+// NewEngine creates a PRM engine over space. The C-space is subdivided
+// and partitioned immediately; no planning work happens until Grow.
+// The initial snapshot is valid and empty (every query misses).
+func NewEngine(space *Space, opts Options) (*Engine, error) {
+	pe, err := core.NewPRMEngine(space, opts)
+	if err != nil {
+		return nil, err
+	}
+	e := &Engine{space: space, prm: pe}
+	e.publish()
+	return e, nil
+}
+
+// NewRRTEngine creates an RRT engine rooted at root: snapshots answer
+// goal queries with paths from root, and each Grow extends every
+// region's branch. The initial snapshot is valid and empty.
+func NewRRTEngine(space *Space, root Config, opts Options) (*Engine, error) {
+	re, err := core.NewRRTEngine(space, root, opts)
+	if err != nil {
+		return nil, err
+	}
+	e := &Engine{space: space, rrt: re}
+	e.publish()
+	return e, nil
+}
+
+// publish builds and atomically installs a fresh snapshot of the
+// engine's committed result. Called with mu held (or before the engine
+// escapes the constructor).
+func (e *Engine) publish() {
+	s := &Snapshot{space: e.space}
+	if e.prm != nil {
+		s.rounds = e.prm.Rounds()
+		s.prmRes = e.prm.Result()
+		s.prmIx = prm.BuildIndex(s.prmRes.Roadmap)
+	} else {
+		s.rounds = e.rrt.Rounds()
+		s.rrtRes = e.rrt.Result()
+		s.rrtIx = core.BuildTreeIndex(s.rrtRes)
+	}
+	e.snap.Store(s)
+}
+
+// Grow runs one growth round and publishes a new snapshot. It honours
+// ctx cooperatively: cancellation is observed at phase barriers and
+// between scheduler tasks, the partial round is discarded, and
+// ErrStopped is returned with the previous snapshot still in place — a
+// canceled engine is never torn and can keep growing later. A nil-like
+// background context makes Grow run to completion unconditionally.
+//
+// Determinism: an engine's sequence of snapshots depends only on the
+// options (seed included) and the number of committed rounds — growing
+// N rounds in one sitting or across N calls yields the same roadmap.
+func (e *Engine) Grow(ctx context.Context) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	var stop <-chan struct{}
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return ErrStopped
+		}
+		stop = ctx.Done()
+	}
+	var err error
+	if e.prm != nil {
+		err = e.prm.GrowRound(stop)
+	} else {
+		err = e.rrt.GrowRound(stop)
+	}
+	if err != nil {
+		return err
+	}
+	e.publish()
+	return nil
+}
+
+// GrowN runs up to n growth rounds, stopping early (with ErrStopped)
+// if ctx is canceled; every round committed before cancellation is
+// already published and stays queryable.
+func (e *Engine) GrowN(ctx context.Context, n int) error {
+	for i := 0; i < n; i++ {
+		if err := e.Grow(ctx); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Rounds returns the number of committed growth rounds.
+func (e *Engine) Rounds() int { return e.Snapshot().Rounds() }
+
+// Snapshot returns the engine's latest published state. The returned
+// value is immutable and safe for concurrent use; it remains valid
+// (answering queries against its own round's structure) forever, even
+// while the engine keeps growing past it.
+func (e *Engine) Snapshot() *Snapshot { return e.snap.Load() }
+
+// Snapshot is an immutable view of an Engine after some number of
+// committed growth rounds: the planner result plus a prebuilt kd index
+// (and, for PRM, connected-component labels), so queries need no
+// per-call gathering, sorting or roadmap mutation. All methods are safe
+// for concurrent use.
+type Snapshot struct {
+	space  *Space
+	rounds int
+
+	prmRes *PRMResult
+	prmIx  *prm.Index
+
+	rrtRes *RRTResult
+	rrtIx  *core.TreeIndex
+}
+
+// Rounds returns the number of growth rounds this snapshot reflects.
+func (s *Snapshot) Rounds() int { return s.rounds }
+
+// PRM returns the snapshot's PRM result, or nil for RRT engines. The
+// result (roadmap included) is frozen: treat it as read-only.
+func (s *Snapshot) PRM() *PRMResult { return s.prmRes }
+
+// RRT returns the snapshot's RRT result, or nil for PRM engines. The
+// result (branches included) is frozen: treat it as read-only.
+func (s *Snapshot) RRT() *RRTResult { return s.rrtRes }
+
+// NumNodes returns the number of indexed configurations (roadmap nodes
+// or tree nodes).
+func (s *Snapshot) NumNodes() int {
+	if s.prmIx != nil {
+		return s.prmIx.NumNodes()
+	}
+	return s.rrtIx.NumNodes()
+}
+
+// Query answers a motion-planning query against the frozen snapshot,
+// returning a collision-free path from start to goal (endpoints
+// included) or ok=false when the snapshot cannot connect them yet.
+//
+// For PRM snapshots, start and goal each attach to their k nearest
+// reachable roadmap nodes and a shortest-path search joins them —
+// without mutating the roadmap, unlike the package-level Query.
+//
+// For RRT snapshots the tree grows from the engine's root, so start
+// must be the root (or local-plannable to it, for a start a step away);
+// the path then follows tree edges to the node nearest goal. k is
+// ignored.
+func (s *Snapshot) Query(start, goal Config, k int) ([]Config, bool) {
+	if s.prmIx != nil {
+		return s.prmIx.Query(s.space, start, goal, k, nil)
+	}
+	return s.rrtQuery(start, goal)
+}
+
+func (s *Snapshot) rrtQuery(start, goal Config) ([]Config, bool) {
+	if s.rrtIx.NumNodes() == 0 {
+		return nil, false
+	}
+	root := s.rrtRes.Branches[0].Nodes[0].Q
+	path, ok := s.rrtIx.ExtractPath(s.space, goal, nil)
+	if !ok {
+		return nil, false
+	}
+	if start.Equal(root, 0) {
+		return path, true
+	}
+	// Off-root start: admit it only if one local plan reaches the root.
+	if !s.space.Valid(start, nil) || !s.space.LocalPlan(start, root, nil) {
+		return nil, false
+	}
+	return append([]Config{start.Clone()}, path...), true
+}

@@ -1,0 +1,373 @@
+package core
+
+import (
+	"errors"
+
+	"parmp/internal/cspace"
+	"parmp/internal/graph"
+	"parmp/internal/metrics"
+	"parmp/internal/prm"
+	"parmp/internal/region"
+	"parmp/internal/repart"
+	"parmp/internal/rng"
+	"parmp/internal/sched"
+	"parmp/internal/work"
+)
+
+// ErrStopped reports that a growth round was canceled at a cooperative
+// checkpoint. The engine discards the aborted round's partial buffers,
+// so the last committed result (and any snapshot built from it) stays
+// valid — cancellation never tears state.
+var ErrStopped = errors.New("core: growth round canceled")
+
+// roundSalt derives the per-region RNG stream id for a growth round.
+// Round 0 uses the bare region index, which makes an engine's first
+// round bit-identical to the one-shot planners; later rounds fold the
+// round number into the high bits so every round samples an
+// independent, deterministic stream.
+func roundSalt(round, i int) uint64 {
+	if round == 0 {
+		return uint64(i)
+	}
+	return uint64(round)<<32 | uint64(i)
+}
+
+// PRMEngine grows a roadmap incrementally: each GrowRound runs one full
+// pass of the paper's phase pipeline (sample → weight → [repartition] →
+// node connection → region connection → merge) over the SAME region
+// graph, kd indexes and ownership state, appending new samples to the
+// per-region roadmaps instead of starting over. The one-shot
+// ParallelPRM is exactly one round of this engine.
+//
+// A PRMEngine is not safe for concurrent use; the serving layer
+// (package parmp) serializes growth and publishes immutable snapshots
+// for concurrent queries.
+type PRMEngine struct {
+	s      *cspace.Space
+	opts   Options
+	pl     *pipeline
+	rg     *region.Graph
+	params prm.Params
+
+	// data accumulates each region's committed nodes and local edges
+	// across rounds. Edge indices are local to the region's node slice.
+	data []prmRegionData
+	// boundary accumulates committed cross-region edges across rounds.
+	boundary []boundaryEdge
+
+	res   *PRMResult // last committed cumulative result
+	round int        // rounds committed so far
+}
+
+// NewPRMEngine validates opts, subdivides the C-space and builds the
+// naive initial partition. No planning work happens until GrowRound.
+func NewPRMEngine(s *cspace.Space, opts Options) (*PRMEngine, error) {
+	opts = opts.Defaults()
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	dims := s.Env.Dim()
+	spec := region.SplitEvenly(dims, opts.Regions, opts.Overlap)
+	var rg *region.Graph
+	var err error
+	if opts.Adaptive {
+		rg, err = region.AdaptiveGrid(s.Env, region.AdaptiveSpec{
+			Base:     spec,
+			MaxDepth: opts.AdaptiveDepth,
+		})
+	} else {
+		rg, err = region.UniformGrid(s.Bounds, spec)
+	}
+	if err != nil {
+		return nil, err
+	}
+	region.NaiveColumnPartition(rg, opts.Procs)
+	e := &PRMEngine{
+		s:      s,
+		opts:   opts,
+		pl:     newPipeline(opts),
+		rg:     rg,
+		params: prm.Params{SamplesPerRegion: opts.SamplesPerRegion, K: opts.ConnectK, Sampler: opts.Sampler},
+		data:   make([]prmRegionData, rg.NumRegions()),
+	}
+	e.res = &PRMResult{Roadmap: prm.NewRoadmap(), RegionGraph: rg}
+	return e, nil
+}
+
+// Rounds returns the number of committed growth rounds.
+func (e *PRMEngine) Rounds() int { return e.round }
+
+// Result returns the cumulative result of all committed rounds. The
+// returned value is immutable: later rounds build a fresh result rather
+// than mutating this one, so callers may hold it (and index its
+// roadmap) while the engine keeps growing.
+func (e *PRMEngine) Result() *PRMResult { return e.res }
+
+// GrowRound runs one pipeline pass, appending SamplesPerRegion new
+// sampling attempts per region and connecting the accepted samples into
+// the roadmap. stop, when non-nil, cancels cooperatively: the runtime
+// backends observe it between tasks/events and the engine checks it at
+// every phase barrier. On cancellation GrowRound returns ErrStopped and
+// discards the round's partial buffers — the previously committed
+// result is untouched.
+func (e *PRMEngine) GrowRound(stop <-chan struct{}) error {
+	opts := e.opts
+	pl := e.pl
+	rg := e.rg
+	n := rg.NumRegions()
+	round := e.round
+
+	pl.stop = stop
+	defer func() { pl.stop = nil }()
+	reportMark := len(pl.reports)
+	ownerMark := append([]int(nil), rg.Owner...)
+	abort := func() error {
+		pl.reports = pl.reports[:reportMark]
+		copy(rg.Owner, ownerMark)
+		return ErrStopped
+	}
+
+	var phases PhaseBreakdown
+	if round == 0 {
+		phases.Setup = pl.barrier()
+	}
+
+	// --- Sampling phase: fresh per-round streams keep determinism.
+	type roundRegion struct {
+		nodes       []prm.Node
+		sampleWork  cspace.Counters
+		edges       [][2]int
+		connectWork cspace.Counters
+	}
+	fresh := make([]roundRegion, n)
+	sampleRep := pl.run(phaseSpec{
+		name: "sample",
+		queues: queuesByOwner(opts.Procs, rg.Owner, n, func(i int) work.Task {
+			return work.Task{
+				ID: i,
+				Run: func() (float64, int) {
+					r := rng.Derive(opts.Seed, roundSalt(round, i))
+					fresh[i].nodes, fresh[i].sampleWork = prm.SampleRegion(e.s, rg.Region(i).Box, i, e.params, r)
+					return opts.Cost.Time(fresh[i].sampleWork), len(fresh[i].nodes)
+				},
+			}
+		}),
+	})
+	if sampleRep.Stopped || sched.Canceled(stop) {
+		return abort()
+	}
+	phases.Sampling = sampleRep.Makespan + pl.barrier()
+	sampleCounts := make([]int, n)
+	for i := 0; i < n; i++ {
+		sampleCounts[i] = len(fresh[i].nodes)
+	}
+
+	// --- Weight phase: this round's sample counts estimate this round's
+	// connection work (the construct phase only processes new samples).
+	weights := repart.SampleCountWeights(sampleCounts)
+	if err := rg.SetWeights(weights); err != nil {
+		return err
+	}
+	cvBefore := metrics.CV(rg.LoadPerProcessor(opts.Procs))
+
+	// --- Optional repartitioning before the expensive phase.
+	migrated := 0
+	if opts.Strategy == Repartition {
+		var cost float64
+		migrated, cost = pl.rebalance(rg, weights, sampleCounts)
+		phases.Redistribution = cost + pl.barrier()
+	}
+	if sched.Canceled(stop) {
+		return abort()
+	}
+
+	// --- Node-connection phase (expensive; stealable). Each region
+	// connects only its new samples, querying against old + new nodes.
+	combined := make([][]prm.Node, n)
+	firstNew := make([]int, n)
+	for i := 0; i < n; i++ {
+		firstNew[i] = len(e.data[i].nodes)
+		combined[i] = make([]prm.Node, 0, firstNew[i]+len(fresh[i].nodes))
+		combined[i] = append(combined[i], e.data[i].nodes...)
+		combined[i] = append(combined[i], fresh[i].nodes...)
+	}
+	report := pl.run(phaseSpec{
+		name: "construct",
+		queues: queuesByOwner(opts.Procs, rg.Owner, n, func(i int) work.Task {
+			return work.Task{
+				ID:      i,
+				Payload: len(combined[i]), // stealing this region moves its samples
+				Run: func() (float64, int) {
+					fresh[i].edges, fresh[i].connectWork = prm.ConnectRegionIncremental(e.s, combined[i], firstNew[i], e.params)
+					return opts.Cost.Time(fresh[i].connectWork), len(combined[i])
+				},
+			}
+		}),
+		policy: pl.stealPolicy(),
+		salt:   saltPRMConstruct,
+	})
+	if report.Stopped || sched.Canceled(stop) {
+		return abort()
+	}
+	phases.NodeConnection = report.Makespan + pl.barrier()
+
+	// Work stealing permanently migrates the region and its data: record
+	// the final ownership so the region-connection phase sees it.
+	pl.applyOwnership(rg, report)
+
+	// --- Region-connection phase. Each adjacent pair connects its new
+	// nodes against the other side's full node set (new×all plus
+	// old×new), so pairs whose regions gained nothing cost nothing.
+	var pairs [][2]int
+	rg.ForEachAdjacentPair(func(a, b int) { pairs = append(pairs, [2]int{a, b}) })
+	brs := make([]prm.BoundaryResult, len(pairs))
+	connectTasks := [][]work.Task{make([]work.Task, len(pairs))}
+	for idx := range pairs {
+		idx := idx
+		a, b := pairs[idx][0], pairs[idx][1]
+		connectTasks[0][idx] = work.Task{
+			ID: idx,
+			Run: func() (float64, int) {
+				brs[idx] = e.connectPairIncremental(a, b, combined, firstNew)
+				return opts.Cost.Time(brs[idx].Work), 0
+			},
+		}
+	}
+	pl.hostExec("region-connect", connectTasks)
+	if sched.Canceled(stop) {
+		return abort()
+	}
+	connLoad := make([]float64, opts.Procs)
+	connQueues := make([][]work.Task, opts.Procs)
+	var newBoundary []boundaryEdge
+	regionRemote, roadmapRemote := 0, 0
+	for idx := range pairs {
+		a, b := pairs[idx][0], pairs[idx][1]
+		cost, _ := connectTasks[0][idx].Run() // memoized after the host pass
+		br := brs[idx]
+		ownerA, ownerB := rg.Owner[a], rg.Owner[b]
+		if ownerA != ownerB {
+			regionRemote++
+			roadmapRemote += br.Attempts
+			cost += opts.Profile.RemoteAccess * float64(1+br.Attempts)
+		} else {
+			cost += opts.Profile.LocalAccess * float64(1+br.Attempts)
+		}
+		runner := ownerA
+		if connLoad[ownerB] < connLoad[ownerA] {
+			runner = ownerB
+		}
+		connLoad[runner] += cost
+		connQueues[runner] = append(connQueues[runner], costTask(idx, cost))
+		newBoundary = append(newBoundary, boundaryEdge{a: a, b: b, pairs: br.Edges})
+	}
+	connRep := pl.replay(phaseSpec{name: "region-connect", queues: connQueues})
+	if connRep.Stopped || sched.Canceled(stop) {
+		return abort()
+	}
+	phases.RegionConnection = connRep.Makespan + pl.barrier()
+	phases.Other = pl.barrier()
+
+	// --- Commit: append the round's output, rebuild the roadmap, and
+	// publish a fresh cumulative result. Nothing before this point
+	// mutated e.data/e.boundary/e.res, so an abort above left the engine
+	// on its previous committed state.
+	for i := 0; i < n; i++ {
+		e.data[i].nodes = combined[i]
+		e.data[i].edges = append(e.data[i].edges, fresh[i].edges...)
+		e.data[i].sampleWork.Add(fresh[i].sampleWork)
+		e.data[i].connectWork.Add(fresh[i].connectWork)
+	}
+	e.boundary = append(e.boundary, newBoundary...)
+	e.round++
+
+	prev := e.res
+	res := &PRMResult{
+		Roadmap:         e.mergeRoadmap(),
+		RegionGraph:     rg,
+		ProcStats:       report.Workers,
+		PhaseReports:    pl.reports,
+		EdgeCut:         rg.EdgeCut(),
+		RegionRemote:    prev.RegionRemote + regionRemote,
+		RoadmapRemote:   prev.RoadmapRemote + roadmapRemote,
+		MigratedRegions: prev.MigratedRegions + migrated,
+		CVBefore:        prev.CVBefore,
+	}
+	if round == 0 {
+		res.CVBefore = cvBefore
+	}
+	res.Phases = prev.Phases
+	res.Phases.Setup += phases.Setup
+	res.Phases.Sampling += phases.Sampling
+	res.Phases.Redistribution += phases.Redistribution
+	res.Phases.NodeConnection += phases.NodeConnection
+	res.Phases.RegionConnection += phases.RegionConnection
+	res.Phases.Other += phases.Other
+	res.TotalTime = res.Phases.Total()
+	res.NodeLoads = make([]float64, opts.Procs)
+	for i := 0; i < n; i++ {
+		res.NodeLoads[rg.Owner[i]] += float64(len(e.data[i].nodes))
+	}
+	res.CVAfter = metrics.CV(res.NodeLoads)
+	e.res = res
+	return nil
+}
+
+// connectPairIncremental connects regions a and b after a round: a's new
+// nodes against all of b, then a's old nodes against b's new nodes.
+// Edge indices are mapped into the regions' final (committed) node
+// order. In round 0 "old" is empty, so the single new×all call is
+// exactly the one-shot ConnectBoundary.
+func (e *PRMEngine) connectPairIncremental(a, b int, combined [][]prm.Node, firstNew []int) prm.BoundaryResult {
+	var out prm.BoundaryResult
+	newA := combined[a][firstNew[a]:]
+	oldA := combined[a][:firstNew[a]]
+	newB := combined[b][firstNew[b]:]
+	if len(newA) > 0 {
+		br := prm.ConnectBoundary(e.s, newA, combined[b], e.opts.BoundaryK, e.opts.BoundaryFrontier)
+		out.Work.Add(br.Work)
+		out.Attempts += br.Attempts
+		for _, pr := range br.Edges {
+			out.Edges = append(out.Edges, [2]int{firstNew[a] + pr[0], pr[1]})
+		}
+	}
+	if len(oldA) > 0 && len(newB) > 0 {
+		br := prm.ConnectBoundary(e.s, oldA, newB, e.opts.BoundaryK, e.opts.BoundaryFrontier)
+		out.Work.Add(br.Work)
+		out.Attempts += br.Attempts
+		for _, pr := range br.Edges {
+			out.Edges = append(out.Edges, [2]int{pr[0], firstNew[b] + pr[1]})
+		}
+	}
+	return out
+}
+
+// mergeRoadmap rebuilds the cumulative roadmap from the committed
+// per-region data. Building fresh every round (rather than mutating the
+// previous roadmap) is what lets published results stay immutable for
+// concurrent readers.
+func (e *PRMEngine) mergeRoadmap() *prm.Roadmap {
+	n := e.rg.NumRegions()
+	m := prm.NewRoadmap()
+	base := make([]int, n)
+	for i := 0; i < n; i++ {
+		base[i] = m.NumNodes()
+		for _, nd := range e.data[i].nodes {
+			m.AddNode(nd)
+		}
+	}
+	for i := 0; i < n; i++ {
+		for _, ed := range e.data[i].edges {
+			a, b := graph.ID(base[i]+ed[0]), graph.ID(base[i]+ed[1])
+			m.G.AddEdge(a, b, e.s.Distance(e.data[i].nodes[ed[0]].Q, e.data[i].nodes[ed[1]].Q))
+		}
+	}
+	for _, be := range e.boundary {
+		for _, pr := range be.pairs {
+			a := graph.ID(base[be.a] + pr[0])
+			b := graph.ID(base[be.b] + pr[1])
+			m.G.AddEdge(a, b, e.s.Distance(e.data[be.a].nodes[pr[0]].Q, e.data[be.b].nodes[pr[1]].Q))
+		}
+	}
+	return m
+}

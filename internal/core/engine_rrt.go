@@ -1,0 +1,352 @@
+package core
+
+import (
+	"parmp/internal/cspace"
+	"parmp/internal/graph"
+	"parmp/internal/metrics"
+	"parmp/internal/region"
+	"parmp/internal/repart"
+	"parmp/internal/rng"
+	"parmp/internal/rrt"
+	"parmp/internal/sched"
+	"parmp/internal/work"
+)
+
+// RRTEngine grows the radial-subdivision parallel RRT incrementally:
+// each GrowRound extends every region's branch by NodesPerRegion more
+// nodes through the phase pipeline (growth stealable, then branch
+// connection with cycle pruning), reusing the region graph, cone
+// geometry and ownership state across rounds. The one-shot ParallelRRT
+// is exactly one round of this engine.
+//
+// An RRTEngine is not safe for concurrent use; the serving layer
+// (package parmp) serializes growth and publishes immutable snapshots.
+type RRTEngine struct {
+	s      *cspace.Space
+	root   cspace.Config
+	opts   Options
+	pl     *pipeline
+	rg     *region.Graph
+	params rrt.Params
+
+	// Committed growth state: exactly one of trees/starTrees is used.
+	trees     []*rrt.Tree
+	starTrees []*rrt.StarTree
+	// bridges and prunedCycles accumulate the committed branch
+	// connections; the per-round union-find is rebuilt from bridges.
+	bridges      [][4]int
+	prunedCycles int
+
+	res   *RRTResult // last committed cumulative result
+	round int
+}
+
+// NewRRTEngine validates opts and builds the radial subdivision about
+// root. No planning work happens until GrowRound.
+func NewRRTEngine(s *cspace.Space, root cspace.Config, opts Options) (*RRTEngine, error) {
+	opts = opts.Defaults()
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	apex := root.Clone()
+	setupRNG := rng.Derive(opts.Seed, 0xabcdef)
+	rg := region.RadialSubdivision(apex, region.RadialSpec{
+		Regions:      opts.Regions,
+		K:            opts.RegionK,
+		Radius:       opts.Radius,
+		OverlapAngle: opts.Overlap,
+	}, setupRNG)
+	// The naive mapping groups spatially adjacent cones on the same
+	// processor (contiguous blocks of a BFS sweep over the region graph),
+	// mirroring the paper's mesh-aligned distribution.
+	assignContiguous(rg, opts.Procs)
+	e := &RRTEngine{
+		s:      s,
+		root:   apex,
+		opts:   opts,
+		pl:     newPipeline(opts),
+		rg:     rg,
+		params: rrt.Params{Nodes: opts.NodesPerRegion, Step: opts.Step, GoalBias: opts.GoalBias},
+	}
+	n := rg.NumRegions()
+	if opts.Star {
+		e.starTrees = make([]*rrt.StarTree, n)
+	} else {
+		e.trees = make([]*rrt.Tree, n)
+	}
+	e.res = &RRTResult{RegionGraph: rg}
+	return e, nil
+}
+
+// Rounds returns the number of committed growth rounds.
+func (e *RRTEngine) Rounds() int { return e.round }
+
+// Result returns the cumulative result of all committed rounds. The
+// returned value is immutable — Branches are per-round copies, so
+// holding a result (or a snapshot built from it) is safe while the
+// engine keeps growing and RRT* rewiring keeps mutating parents.
+func (e *RRTEngine) Result() *RRTResult { return e.res }
+
+// GrowRound runs one pipeline pass, extending every region's branch by
+// NodesPerRegion nodes and attempting cross-region connections for
+// still-disconnected adjacent pairs. Cancellation semantics match
+// PRMEngine.GrowRound: on a fired stop channel the round's partial
+// buffers are discarded and ErrStopped returned.
+func (e *RRTEngine) GrowRound(stop <-chan struct{}) error {
+	opts := e.opts
+	pl := e.pl
+	rg := e.rg
+	n := rg.NumRegions()
+	round := e.round
+
+	pl.stop = stop
+	defer func() { pl.stop = nil }()
+	reportMark := len(pl.reports)
+	ownerMark := append([]int(nil), rg.Owner...)
+	abort := func() error {
+		pl.reports = pl.reports[:reportMark]
+		copy(rg.Owner, ownerMark)
+		return ErrStopped
+	}
+
+	var phases PhaseBreakdown
+	if round == 0 {
+		phases.Setup = pl.barrier()
+	}
+
+	// --- Weight phase with the k-ray estimate (round 0 only: the probe
+	// is a static workspace property, so later rounds reuse the
+	// partition it produced).
+	weights := make([]float64, n)
+	for i := range weights {
+		weights[i] = 1
+	}
+	migrated := 0
+	if round == 0 {
+		if e.s.Dim() == e.s.Env.Dim() {
+			weights = repart.KRayWeights(e.s.Env, rg, opts.KRays, opts.Seed)
+		}
+		if err := rg.SetWeights(weights); err != nil {
+			return err
+		}
+		e.res.CVBefore = metrics.CV(rg.LoadPerProcessor(opts.Procs))
+		if opts.Strategy == Repartition {
+			// The weight pass itself costs k rays per region on the owner.
+			rayCost := float64(opts.KRays) * opts.Cost.CDObstacle * float64(len(e.s.Env.Obstacles)+1)
+			rayRep := pl.replay(phaseSpec{
+				name: "weight",
+				queues: queuesByOwner(opts.Procs, rg.Owner, n, func(i int) work.Task {
+					return costTask(i, rayCost)
+				}),
+			})
+			phases.Redistribution = rayRep.Makespan + pl.barrier()
+			// Note: unlike PRM there is no balanced-already escape hatch
+			// here — the k-ray estimate CLAIMS imbalance whether or not it
+			// is real, which is the paper's point. Migration proceeds
+			// whenever the estimated loads look improvable.
+			var cost float64
+			migrated, cost = pl.rebalance(rg, weights, nil)
+			phases.Redistribution += cost
+		}
+	}
+	if sched.Canceled(stop) {
+		return abort()
+	}
+
+	// --- Branch growth phase (expensive; stealable). Each round grows
+	// toward a cumulative per-region target on a round-local copy of the
+	// committed tree, so an aborted round leaves the branches untouched.
+	targetNodes := (round + 1) * opts.NodesPerRegion
+	params := e.params
+	params.Nodes = targetNodes
+	results := make([]rrt.Result, n)
+	starResults := make([]*rrt.StarTree, n)
+	rewires := make([]int, n)
+	report := pl.run(phaseSpec{
+		name: "construct",
+		queues: queuesByOwner(opts.Procs, rg.Owner, n, func(i int) work.Task {
+			return work.Task{
+				ID: i,
+				Run: func() (float64, int) {
+					r := rng.Derive(opts.Seed, roundSalt(round, i))
+					if opts.Star {
+						tree := e.roundStarTree(i)
+						starRes := rrt.GrowStarTree(e.s, rg.Region(i), tree,
+							rrt.StarParams{Params: params, RewireRadius: opts.RewireRadius}, r)
+						starResults[i] = starRes.Tree
+						results[i] = rrt.Result{
+							Tree:  &rrt.Tree{Nodes: starRes.Tree.Nodes},
+							Work:  starRes.Work,
+							Iters: starRes.Iters,
+						}
+						rewires[i] = starRes.Rewires
+					} else {
+						results[i] = rrt.GrowTree(e.s, rg.Region(i), e.roundTree(i), params, r)
+					}
+					return opts.Cost.Time(results[i].Work), results[i].Tree.Len()
+				},
+			}
+		}),
+		policy: pl.stealPolicy(),
+		salt:   saltRRTConstruct,
+	})
+	if report.Stopped || sched.Canceled(stop) {
+		return abort()
+	}
+	phases.NodeConnection = report.Makespan + pl.barrier()
+	pl.applyOwnership(rg, report)
+
+	// Correlation between weight estimate and measured cost (round 0,
+	// where the estimate was computed).
+	weightCorr := e.res.WeightActualCorr
+	if round == 0 && opts.Strategy == Repartition {
+		costs := make([]float64, n)
+		for i := 0; i < n; i++ {
+			costs[i] = report.Cost[i]
+		}
+		weightCorr = metrics.Pearson(weights, costs)
+	}
+
+	// --- Branch connection phase with cycle pruning. The union-find is
+	// rebuilt from the committed bridges, so already-connected pairs are
+	// pruned consistently across rounds and an aborted round costs
+	// nothing to undo.
+	branches := make([]*rrt.Tree, n)
+	for i := 0; i < n; i++ {
+		branches[i] = results[i].Tree
+	}
+	var pairs [][2]int
+	rg.ForEachAdjacentPair(func(a, b int) { pairs = append(pairs, [2]int{a, b}) })
+	type connResult struct {
+		ia, ib int
+		ok     bool
+	}
+	conns := make([]connResult, len(pairs))
+	connectTasks := [][]work.Task{make([]work.Task, len(pairs))}
+	for idx := range pairs {
+		idx := idx
+		a, b := pairs[idx][0], pairs[idx][1]
+		connectTasks[0][idx] = work.Task{
+			ID: idx,
+			Run: func() (float64, int) {
+				var c cspace.Counters
+				target := region.ConeTarget(rg.Region(b))
+				ia, ib, ok := rrt.Connect(e.s, branches[a], branches[b], target, 3, &c)
+				conns[idx] = connResult{ia: ia, ib: ib, ok: ok}
+				return opts.Cost.Time(c), 0
+			},
+		}
+	}
+	pl.hostExec("region-connect", connectTasks)
+	if sched.Canceled(stop) {
+		return abort()
+	}
+	uf := graph.NewUnionFind(n)
+	for _, br := range e.bridges {
+		uf.Union(br[0], br[2])
+	}
+	connQueues := make([][]work.Task, opts.Procs)
+	regionRemote := 0
+	var newBridges [][4]int
+	newPruned := 0
+	for idx := range pairs {
+		a, b := pairs[idx][0], pairs[idx][1]
+		cost, _ := connectTasks[0][idx].Run() // memoized after the host pass
+		ownerA, ownerB := rg.Owner[a], rg.Owner[b]
+		if ownerA != ownerB {
+			regionRemote++
+			cost += opts.Profile.RemoteAccess
+		} else {
+			cost += opts.Profile.LocalAccess
+		}
+		connQueues[ownerA] = append(connQueues[ownerA], costTask(idx, cost))
+		if conns[idx].ok {
+			// "If any edge connection creates a cycle, the tree is pruned
+			// so as to remove the cycle": keep the bridge only if it
+			// merges two distinct components.
+			if uf.Union(a, b) {
+				newBridges = append(newBridges, [4]int{a, conns[idx].ia, b, conns[idx].ib})
+			} else {
+				newPruned++
+			}
+		}
+	}
+	connRep := pl.replay(phaseSpec{name: "region-connect", queues: connQueues})
+	if connRep.Stopped || sched.Canceled(stop) {
+		return abort()
+	}
+	phases.RegionConnection = connRep.Makespan + pl.barrier()
+	phases.Other = pl.barrier()
+
+	// --- Commit.
+	if opts.Star {
+		copy(e.starTrees, starResults)
+	} else {
+		for i := 0; i < n; i++ {
+			e.trees[i] = results[i].Tree
+		}
+	}
+	e.bridges = append(e.bridges, newBridges...)
+	e.prunedCycles += newPruned
+	e.round++
+
+	prev := e.res
+	res := &RRTResult{
+		Branches:         branches,
+		Bridges:          e.bridges,
+		PrunedCycles:     e.prunedCycles,
+		RegionGraph:      rg,
+		ProcStats:        report.Workers,
+		PhaseReports:     pl.reports,
+		EdgeCut:          rg.EdgeCut(),
+		RegionRemote:     prev.RegionRemote + regionRemote,
+		MigratedRegions:  prev.MigratedRegions + migrated,
+		CVBefore:         prev.CVBefore,
+		Rewires:          prev.Rewires,
+		WeightActualCorr: weightCorr,
+	}
+	for i := 0; i < n; i++ {
+		res.Rewires += rewires[i]
+	}
+	res.Phases = prev.Phases
+	res.Phases.Setup += phases.Setup
+	res.Phases.Redistribution += phases.Redistribution
+	res.Phases.NodeConnection += phases.NodeConnection
+	res.Phases.RegionConnection += phases.RegionConnection
+	res.Phases.Other += phases.Other
+	res.TotalTime = res.Phases.Total()
+	res.NodeLoads = make([]float64, opts.Procs)
+	for i := 0; i < n; i++ {
+		res.NodeLoads[rg.Owner[i]] += float64(branches[i].Len())
+	}
+	res.CVAfter = metrics.CV(res.NodeLoads)
+	e.res = res
+	return nil
+}
+
+// roundTree returns a round-local working copy of region i's committed
+// branch: a fresh single-node tree on round 0 (exactly the one-shot
+// starting state), a deep node copy afterwards so an aborted round
+// never mutates committed state shared with published results.
+func (e *RRTEngine) roundTree(i int) *rrt.Tree {
+	if e.trees[i] == nil {
+		reg := e.rg.Region(i)
+		return rrt.NewTree(reg.Apex, reg.ID)
+	}
+	return &rrt.Tree{Nodes: append([]rrt.Node(nil), e.trees[i].Nodes...)}
+}
+
+// roundStarTree is roundTree for RRT* branches (costs copied too).
+func (e *RRTEngine) roundStarTree(i int) *rrt.StarTree {
+	if e.starTrees[i] == nil {
+		reg := e.rg.Region(i)
+		return &rrt.StarTree{
+			Nodes: []rrt.Node{{Q: reg.Apex.Clone(), Parent: -1, Region: reg.ID}},
+			Cost:  []float64{0},
+		}
+	}
+	return &rrt.StarTree{
+		Nodes: append([]rrt.Node(nil), e.starTrees[i].Nodes...),
+		Cost:  append([]float64(nil), e.starTrees[i].Cost...),
+	}
+}

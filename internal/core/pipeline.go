@@ -60,6 +60,11 @@ type pipeline struct {
 	// reports accumulates every replayed phase's runtime report, in
 	// replay order, for the planner results' PhaseReports.
 	reports []PhaseReport
+	// stop, when non-nil, cooperatively cancels phase execution: both
+	// backends observe it between tasks/events and return early with
+	// Report.Stopped set. The engines set it per growth round from the
+	// caller's context; one-shot runs leave it nil (zero overhead).
+	stop <-chan struct{}
 }
 
 func newPipeline(opts Options) *pipeline {
@@ -93,6 +98,7 @@ func (pl *pipeline) hostExec(name string, queues [][]work.Task) {
 		Workers: pl.opts.HostWorkers,
 		Policy:  steal.RandK{K: 2},
 		Seed:    pl.opts.Seed,
+		Stop:    pl.stop,
 	}, pre)
 	if hostPhaseObserver != nil {
 		hostPhaseObserver(name, rep)
@@ -111,6 +117,7 @@ func (pl *pipeline) replay(ph phaseSpec) sched.Report {
 		StealChunk: pl.opts.StealChunk,
 		MaxRounds:  pl.opts.maxRounds(),
 		Seed:       pl.opts.Seed ^ ph.salt,
+		Stop:       pl.stop,
 	}, ph.queues)
 	pl.reports = append(pl.reports, PhaseReport{Phase: ph.name, Round: len(pl.reports), Report: rep})
 	return rep

@@ -2,14 +2,9 @@ package core
 
 import (
 	"parmp/internal/cspace"
-	"parmp/internal/graph"
-	"parmp/internal/metrics"
 	"parmp/internal/prm"
 	"parmp/internal/region"
-	"parmp/internal/repart"
-	"parmp/internal/rng"
 	"parmp/internal/sched"
-	"parmp/internal/work"
 )
 
 // PRMResult is the outcome of a parallel PRM run.
@@ -54,173 +49,19 @@ type prmRegionData struct {
 // connection, merge — executes through the scheduler runtime pipeline,
 // so heavy phases parallelize on the host (Options.HostWorkers) while
 // the virtual-time accounting stays deterministic.
+//
+// ParallelPRM is exactly one growth round of a PRMEngine; long-lived
+// callers that want to keep growing the same roadmap (or cancel
+// mid-build) should construct the engine directly.
 func ParallelPRM(s *cspace.Space, opts Options) (*PRMResult, error) {
-	opts = opts.Defaults()
-	if err := opts.Validate(); err != nil {
+	eng, err := NewPRMEngine(s, opts)
+	if err != nil {
 		return nil, err
 	}
-	res := &PRMResult{Roadmap: prm.NewRoadmap()}
-	pl := newPipeline(opts)
-
-	// --- Setup: subdivide C-space, build region graph, naive partition.
-	dims := s.Env.Dim()
-	spec := region.SplitEvenly(dims, opts.Regions, opts.Overlap)
-	var rg *region.Graph
-	if opts.Adaptive {
-		rg = region.AdaptiveGrid(s.Env, region.AdaptiveSpec{
-			Base:     spec,
-			MaxDepth: opts.AdaptiveDepth,
-		})
-	} else {
-		rg = region.UniformGrid(s.Bounds, spec)
+	if err := eng.GrowRound(nil); err != nil {
+		return nil, err
 	}
-	region.NaiveColumnPartition(rg, opts.Procs)
-	res.RegionGraph = rg
-	n := rg.NumRegions()
-	res.Phases.Setup = pl.barrier()
-
-	params := prm.Params{SamplesPerRegion: opts.SamplesPerRegion, K: opts.ConnectK, Sampler: opts.Sampler}
-	data := make([]prmRegionData, n)
-
-	// --- Sampling phase (cheap, bulk-synchronous, host-parallel).
-	sampleRep := pl.run(phaseSpec{
-		name: "sample",
-		queues: queuesByOwner(opts.Procs, rg.Owner, n, func(i int) work.Task {
-			return work.Task{
-				ID: i,
-				Run: func() (float64, int) {
-					r := rng.Derive(opts.Seed, uint64(i))
-					data[i].nodes, data[i].sampleWork = prm.SampleRegion(s, rg.Region(i).Box, i, params, r)
-					return opts.Cost.Time(data[i].sampleWork), len(data[i].nodes)
-				},
-			}
-		}),
-	})
-	res.Phases.Sampling = sampleRep.Makespan + pl.barrier()
-	sampleCounts := make([]int, n)
-	for i := 0; i < n; i++ {
-		sampleCounts[i] = len(data[i].nodes)
-	}
-
-	// --- Weight phase: sample counts estimate region work (a good
-	// estimator for PRM — the paper's Fig. 4/5 contrast with RRT).
-	weights := repart.SampleCountWeights(sampleCounts)
-	rg.SetWeights(weights)
-	res.CVBefore = metrics.CV(rg.LoadPerProcessor(opts.Procs))
-
-	// --- Optional repartitioning before the expensive phase.
-	if opts.Strategy == Repartition {
-		// Rebalance only when the candidate meaningfully lowers the
-		// bottleneck load; an already-balanced run (e.g. the free
-		// environment) keeps its partition and pays only the check.
-		migrated, cost := pl.rebalance(rg, weights, sampleCounts)
-		res.MigratedRegions = migrated
-		res.Phases.Redistribution = cost + pl.barrier()
-	}
-
-	// --- Node-connection phase (expensive; stealable).
-	report := pl.run(phaseSpec{
-		name: "construct",
-		queues: queuesByOwner(opts.Procs, rg.Owner, n, func(i int) work.Task {
-			return work.Task{
-				ID:      i,
-				Payload: len(data[i].nodes), // stealing this region moves its samples
-				Run: func() (float64, int) {
-					data[i].edges, data[i].connectWork = prm.ConnectRegion(s, data[i].nodes, params)
-					return opts.Cost.Time(data[i].connectWork), len(data[i].nodes)
-				},
-			}
-		}),
-		policy: pl.stealPolicy(),
-		salt:   saltPRMConstruct,
-	})
-	res.ProcStats = report.Workers
-	res.Phases.NodeConnection = report.Makespan + pl.barrier()
-
-	// Work stealing permanently migrates the region and its data: record
-	// the final ownership so the region-connection phase sees it.
-	pl.applyOwnership(rg, report)
-	res.EdgeCut = rg.EdgeCut()
-
-	// --- Region-connection phase (Algorithm 1, lines 10-12). The
-	// boundary-connection work per cut edge runs host-parallel; a cut
-	// edge's connection can then run on either endpoint's owner, and the
-	// currently lighter one takes it (both owners hold the region graph,
-	// so this needs no extra coordination).
-	var pairs [][2]int
-	rg.ForEachAdjacentPair(func(a, b int) { pairs = append(pairs, [2]int{a, b}) })
-	brs := make([]prm.BoundaryResult, len(pairs))
-	connectTasks := [][]work.Task{make([]work.Task, len(pairs))}
-	for idx := range pairs {
-		idx := idx
-		a, b := pairs[idx][0], pairs[idx][1]
-		connectTasks[0][idx] = work.Task{
-			ID: idx,
-			Run: func() (float64, int) {
-				brs[idx] = prm.ConnectBoundary(s, data[a].nodes, data[b].nodes, opts.BoundaryK, opts.BoundaryFrontier)
-				return opts.Cost.Time(brs[idx].Work), 0
-			},
-		}
-	}
-	pl.hostExec("region-connect", connectTasks)
-	connLoad := make([]float64, opts.Procs)
-	connQueues := make([][]work.Task, opts.Procs)
-	var boundaryEdges []boundaryEdge
-	for idx := range pairs {
-		a, b := pairs[idx][0], pairs[idx][1]
-		cost, _ := connectTasks[0][idx].Run() // memoized after the host pass
-		br := brs[idx]
-		ownerA, ownerB := rg.Owner[a], rg.Owner[b]
-		if ownerA != ownerB {
-			res.RegionRemote++
-			res.RoadmapRemote += br.Attempts
-			cost += opts.Profile.RemoteAccess * float64(1+br.Attempts)
-		} else {
-			cost += opts.Profile.LocalAccess * float64(1+br.Attempts)
-		}
-		runner := ownerA
-		if connLoad[ownerB] < connLoad[ownerA] {
-			runner = ownerB
-		}
-		connLoad[runner] += cost
-		connQueues[runner] = append(connQueues[runner], costTask(idx, cost))
-		boundaryEdges = append(boundaryEdges, boundaryEdge{a: a, b: b, pairs: br.Edges})
-	}
-	connRep := pl.replay(phaseSpec{name: "region-connect", queues: connQueues})
-	res.Phases.RegionConnection = connRep.Makespan + pl.barrier()
-
-	// --- Merge into a single roadmap.
-	base := make([]int, n)
-	for i := 0; i < n; i++ {
-		base[i] = res.Roadmap.NumNodes()
-		for _, nd := range data[i].nodes {
-			res.Roadmap.AddNode(nd)
-		}
-	}
-	for i := 0; i < n; i++ {
-		for _, e := range data[i].edges {
-			a, b := graph.ID(base[i]+e[0]), graph.ID(base[i]+e[1])
-			res.Roadmap.G.AddEdge(a, b, s.Distance(data[i].nodes[e[0]].Q, data[i].nodes[e[1]].Q))
-		}
-	}
-	for _, be := range boundaryEdges {
-		for _, pr := range be.pairs {
-			a := graph.ID(base[be.a] + pr[0])
-			b := graph.ID(base[be.b] + pr[1])
-			res.Roadmap.G.AddEdge(a, b, s.Distance(data[be.a].nodes[pr[0]].Q, data[be.b].nodes[pr[1]].Q))
-		}
-	}
-	res.Phases.Other = pl.barrier()
-
-	// --- Load profile and totals.
-	res.NodeLoads = make([]float64, opts.Procs)
-	for i := 0; i < n; i++ {
-		res.NodeLoads[rg.Owner[i]] += float64(len(data[i].nodes))
-	}
-	res.CVAfter = metrics.CV(res.NodeLoads)
-	res.TotalTime = res.Phases.Total()
-	res.PhaseReports = pl.reports
-	return res, nil
+	return eng.Result(), nil
 }
 
 // boundaryEdge records cross-region connections for the merge step.

@@ -12,6 +12,11 @@ import (
 // branches, connected to goal with the local planner, and walked back to
 // the root along parent links. ok is false when the goal cannot be
 // attached to the tree.
+//
+// Deprecated: ExtractPath re-gathers and fully sorts every tree node on
+// every call. Callers answering repeated queries against a frozen
+// result should build a TreeIndex once and use TreeIndex.ExtractPath
+// (what engine snapshots do); this remains for one-shot compatibility.
 func (r *RRTResult) ExtractPath(s *cspace.Space, goal cspace.Config, c *cspace.Counters) ([]cspace.Config, bool) {
 	if !s.Valid(goal, c) {
 		return nil, false

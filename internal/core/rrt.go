@@ -1,17 +1,10 @@
 package core
 
 import (
-	"math"
-
 	"parmp/internal/cspace"
-	"parmp/internal/graph"
-	"parmp/internal/metrics"
 	"parmp/internal/region"
-	"parmp/internal/repart"
-	"parmp/internal/rng"
 	"parmp/internal/rrt"
 	"parmp/internal/sched"
-	"parmp/internal/work"
 )
 
 // RRTResult is the outcome of a parallel radial RRT run.
@@ -64,181 +57,19 @@ func (r *RRTResult) TotalNodes() int {
 // ParallelPRM it is a phase pipeline over the scheduler runtime: weight,
 // repartition, branch growth (stealable) and branch connection all
 // execute through the runtime, sharing the PRM pipeline's skeleton.
+//
+// ParallelRRT is exactly one growth round of an RRTEngine; long-lived
+// callers that want to keep extending the same branches (or cancel
+// mid-build) should construct the engine directly.
 func ParallelRRT(s *cspace.Space, root cspace.Config, opts Options) (*RRTResult, error) {
-	opts = opts.Defaults()
-	if err := opts.Validate(); err != nil {
+	eng, err := NewRRTEngine(s, root, opts)
+	if err != nil {
 		return nil, err
 	}
-	res := &RRTResult{}
-	pl := newPipeline(opts)
-
-	// --- Setup: radial subdivision about the root. The subdivision
-	// sphere lives in the full d-dimensional C-space ("a hypersphere is
-	// created in d-dimensional C-space centered at q_root"), so cones are
-	// joint-space sectors for articulated robots.
-	apex := root.Clone()
-	setupRNG := rng.Derive(opts.Seed, 0xabcdef)
-	rg := region.RadialSubdivision(apex, region.RadialSpec{
-		Regions:      opts.Regions,
-		K:            opts.RegionK,
-		Radius:       opts.Radius,
-		OverlapAngle: opts.Overlap,
-	}, setupRNG)
-	// The naive mapping groups spatially adjacent cones on the same
-	// processor (contiguous blocks of a BFS sweep over the region graph),
-	// mirroring the paper's mesh-aligned distribution. This is what makes
-	// workload heterogeneity hit whole processors rather than averaging
-	// out across random cone assignments.
-	assignContiguous(rg, opts.Procs)
-	res.RegionGraph = rg
-	n := rg.NumRegions()
-	res.Phases.Setup = pl.barrier()
-
-	// --- Weight phase with the k-ray estimate (computed up front: unlike
-	// PRM there is no cheap sampling phase whose output predicts work,
-	// which is exactly the paper's point). The ray probe is a workspace
-	// concept, so it only applies when the C-space is the workspace
-	// (point robots); articulated robots fall back to uniform weights,
-	// making repartitioning a no-op for them.
-	weights := make([]float64, n)
-	for i := range weights {
-		weights[i] = 1
+	if err := eng.GrowRound(nil); err != nil {
+		return nil, err
 	}
-	if s.Dim() == s.Env.Dim() {
-		weights = repart.KRayWeights(s.Env, rg, opts.KRays, opts.Seed)
-	}
-	rg.SetWeights(weights)
-	res.CVBefore = metrics.CV(rg.LoadPerProcessor(opts.Procs))
-	if opts.Strategy == Repartition {
-		// The weight pass itself costs k rays per region on the owner.
-		rayCost := float64(opts.KRays) * opts.Cost.CDObstacle * float64(len(s.Env.Obstacles)+1)
-		rayRep := pl.replay(phaseSpec{
-			name: "weight",
-			queues: queuesByOwner(opts.Procs, rg.Owner, n, func(i int) work.Task {
-				return costTask(i, rayCost)
-			}),
-		})
-		res.Phases.Redistribution = rayRep.Makespan + pl.barrier()
-		// Note: unlike PRM there is no balanced-already escape hatch
-		// here — the k-ray estimate CLAIMS imbalance whether or not it is
-		// real, which is the paper's point. Migration proceeds whenever
-		// the estimated loads look improvable.
-		migrated, cost := pl.rebalance(rg, weights, nil)
-		res.MigratedRegions = migrated
-		res.Phases.Redistribution += cost
-	}
-
-	// --- Branch growth phase (expensive; stealable).
-	params := rrt.Params{Nodes: opts.NodesPerRegion, Step: opts.Step, GoalBias: opts.GoalBias}
-	results := make([]rrt.Result, n)
-	rewires := make([]int, n)
-	report := pl.run(phaseSpec{
-		name: "construct",
-		queues: queuesByOwner(opts.Procs, rg.Owner, n, func(i int) work.Task {
-			return work.Task{
-				ID: i,
-				Run: func() (float64, int) {
-					if opts.Star {
-						starRes := rrt.GrowRegionStar(s, rg.Region(i),
-							rrt.StarParams{Params: params, RewireRadius: opts.RewireRadius},
-							rng.Derive(opts.Seed, uint64(i)))
-						results[i] = rrt.Result{
-							Tree:  &rrt.Tree{Nodes: starRes.Tree.Nodes},
-							Work:  starRes.Work,
-							Iters: starRes.Iters,
-						}
-						rewires[i] = starRes.Rewires
-					} else {
-						results[i] = rrt.GrowRegion(s, rg.Region(i), params, rng.Derive(opts.Seed, uint64(i)))
-					}
-					return opts.Cost.Time(results[i].Work), results[i].Tree.Len()
-				},
-			}
-		}),
-		policy: pl.stealPolicy(),
-		salt:   saltRRTConstruct,
-	})
-	res.ProcStats = report.Workers
-	res.Phases.NodeConnection = report.Makespan + pl.barrier()
-	pl.applyOwnership(rg, report)
-	res.EdgeCut = rg.EdgeCut()
-	res.Branches = make([]*rrt.Tree, n)
-	for i := 0; i < n; i++ {
-		res.Branches[i] = results[i].Tree
-		res.Rewires += rewires[i]
-	}
-
-	// Correlation between weight estimate and measured cost.
-	if opts.Strategy == Repartition {
-		costs := make([]float64, n)
-		for i := 0; i < n; i++ {
-			costs[i] = report.Cost[i]
-		}
-		res.WeightActualCorr = pearson(weights, costs)
-	}
-
-	// --- Branch connection phase with cycle pruning. The connection
-	// attempts run host-parallel; the cycle check is a deterministic
-	// sequential sweep in region-graph order.
-	var pairs [][2]int
-	rg.ForEachAdjacentPair(func(a, b int) { pairs = append(pairs, [2]int{a, b}) })
-	type connResult struct {
-		ia, ib int
-		ok     bool
-	}
-	conns := make([]connResult, len(pairs))
-	connectTasks := [][]work.Task{make([]work.Task, len(pairs))}
-	for idx := range pairs {
-		idx := idx
-		a, b := pairs[idx][0], pairs[idx][1]
-		connectTasks[0][idx] = work.Task{
-			ID: idx,
-			Run: func() (float64, int) {
-				var c cspace.Counters
-				target := region.ConeTarget(rg.Region(b))
-				ia, ib, ok := rrt.Connect(s, res.Branches[a], res.Branches[b], target, 3, &c)
-				conns[idx] = connResult{ia: ia, ib: ib, ok: ok}
-				return opts.Cost.Time(c), 0
-			},
-		}
-	}
-	pl.hostExec("region-connect", connectTasks)
-	uf := graph.NewUnionFind(n)
-	connQueues := make([][]work.Task, opts.Procs)
-	for idx := range pairs {
-		a, b := pairs[idx][0], pairs[idx][1]
-		cost, _ := connectTasks[0][idx].Run() // memoized after the host pass
-		ownerA, ownerB := rg.Owner[a], rg.Owner[b]
-		if ownerA != ownerB {
-			res.RegionRemote++
-			cost += opts.Profile.RemoteAccess
-		} else {
-			cost += opts.Profile.LocalAccess
-		}
-		connQueues[ownerA] = append(connQueues[ownerA], costTask(idx, cost))
-		if conns[idx].ok {
-			// "If any edge connection creates a cycle, the tree is pruned
-			// so as to remove the cycle": keep the bridge only if it
-			// merges two distinct components.
-			if uf.Union(a, b) {
-				res.Bridges = append(res.Bridges, [4]int{a, conns[idx].ia, b, conns[idx].ib})
-			} else {
-				res.PrunedCycles++
-			}
-		}
-	}
-	connRep := pl.replay(phaseSpec{name: "region-connect", queues: connQueues})
-	res.Phases.RegionConnection = connRep.Makespan + pl.barrier()
-	res.Phases.Other = pl.barrier()
-
-	res.NodeLoads = make([]float64, opts.Procs)
-	for i := 0; i < n; i++ {
-		res.NodeLoads[rg.Owner[i]] += float64(res.Branches[i].Len())
-	}
-	res.CVAfter = metrics.CV(res.NodeLoads)
-	res.TotalTime = res.Phases.Total()
-	res.PhaseReports = pl.reports
-	return res, nil
+	return eng.Result(), nil
 }
 
 // assignContiguous partitions regions into equal-count contiguous chunks
@@ -272,25 +103,4 @@ func assignContiguous(rg *region.Graph, procs int) {
 		}
 		rg.Owner[ri] = owner
 	}
-}
-
-// pearson returns the Pearson correlation coefficient of xs and ys
-// (0 when undefined).
-func pearson(xs, ys []float64) float64 {
-	n := float64(len(xs))
-	if n == 0 || len(xs) != len(ys) {
-		return 0
-	}
-	mx, my := metrics.Mean(xs), metrics.Mean(ys)
-	var sxy, sxx, syy float64
-	for i := range xs {
-		dx, dy := xs[i]-mx, ys[i]-my
-		sxy += dx * dy
-		sxx += dx * dx
-		syy += dy * dy
-	}
-	if sxx == 0 || syy == 0 {
-		return 0
-	}
-	return sxy / math.Sqrt(sxx*syy)
 }

@@ -1,0 +1,98 @@
+package core
+
+import (
+	"parmp/internal/cspace"
+	"parmp/internal/geom"
+	"parmp/internal/knn"
+)
+
+// treeRef maps a flattened point index back to (branch, node).
+type treeRef struct{ branch, node int }
+
+// TreeIndex is a prebuilt query accelerator over a frozen RRT result:
+// every branch node is gathered once and indexed in a kd-tree at build
+// time, so extracting a path to a goal costs a handful of kNN lookups
+// instead of re-gathering and fully sorting every tree node per call
+// (what the legacy RRTResult.ExtractPath does). A TreeIndex never
+// mutates its result, which is what makes a published engine snapshot
+// safe for concurrent readers.
+type TreeIndex struct {
+	res  *RRTResult
+	pts  []geom.Vec
+	refs []treeRef
+	tree *knn.KDTree
+}
+
+// BuildTreeIndex gathers r's branch nodes and builds the kd-tree (in
+// parallel for large trees). The index keeps references into r; the
+// result must not be mutated afterwards — engine results are immutable
+// by construction, so any Result()/snapshot value qualifies.
+func BuildTreeIndex(r *RRTResult) *TreeIndex {
+	var pts []geom.Vec
+	var refs []treeRef
+	for bi, tree := range r.Branches {
+		if tree == nil {
+			continue
+		}
+		for ni, n := range tree.Nodes {
+			pts = append(pts, n.Q)
+			refs = append(refs, treeRef{branch: bi, node: ni})
+		}
+	}
+	return &TreeIndex{res: r, pts: pts, refs: refs, tree: knn.BuildParallel(pts, 0)}
+}
+
+// Result returns the indexed RRT result (read-only by contract).
+func (ix *TreeIndex) Result() *RRTResult { return ix.res }
+
+// NumNodes returns the number of indexed tree nodes.
+func (ix *TreeIndex) NumNodes() int { return len(ix.pts) }
+
+// ExtractPath returns a collision-free path from the RRT root to goal,
+// like RRTResult.ExtractPath but against the prebuilt index: candidates
+// come from kd-tree lookups with a doubling neighbourhood instead of a
+// full per-call sort, so the common case (a nearby node connects) costs
+// O(log n) per lookup. Like the legacy path it keeps widening until
+// every node has been tried, so reachability semantics are identical;
+// only the candidate order among metric ties may differ. Safe for
+// concurrent use.
+func (ix *TreeIndex) ExtractPath(s *cspace.Space, goal cspace.Config, c *cspace.Counters) ([]cspace.Config, bool) {
+	if !s.Valid(goal, c) {
+		return nil, false
+	}
+	n := len(ix.pts)
+	if n == 0 {
+		return nil, false
+	}
+	tried := 0
+	for k := 8; tried < n; k *= 2 {
+		hits, evals := ix.tree.Nearest(goal, k)
+		if c != nil {
+			c.KNNQueries++
+			c.KNNEvals += int64(evals)
+		}
+		// hits are sorted closest-first; the first `tried` were already
+		// attempted in the previous, smaller neighbourhood.
+		for _, h := range hits[tried:] {
+			rf := ix.refs[h.Index]
+			branch := ix.res.Branches[rf.branch]
+			// Plan tree → goal: steering may be asymmetric (a forward-only
+			// car cannot drive a path backwards).
+			if !s.LocalPlan(branch.Nodes[rf.node].Q, goal, c) {
+				continue
+			}
+			idxPath := branch.PathToRoot(rf.node)
+			path := make([]cspace.Config, 0, len(idxPath)+1)
+			for i := len(idxPath) - 1; i >= 0; i-- {
+				path = append(path, branch.Nodes[idxPath[i]].Q.Clone())
+			}
+			path = append(path, goal.Clone())
+			return path, true
+		}
+		tried = len(hits)
+		if len(hits) < k {
+			break // neighbourhood already covered the whole tree
+		}
+	}
+	return nil, false
+}

@@ -146,6 +146,14 @@ func Run(cfg Config, queues [][]work.Task) Report {
 		s.schedule(0, &event{kind: evPop, proc: p})
 	}
 	for s.events.Len() > 0 {
+		// Event boundaries are the simulator's cancellation checkpoints:
+		// the nil fast path in sched.Canceled makes this free when no Stop
+		// channel is configured, and a stopped run returns the partial
+		// report (executed tasks keep their recorded costs).
+		if sched.Canceled(cfg.Stop) {
+			s.report.Stopped = true
+			break
+		}
 		e := heap.Pop(&s.events).(*event)
 		switch e.kind {
 		case evPop:
@@ -168,7 +176,7 @@ func Run(cfg Config, queues [][]work.Task) Report {
 	// barriers so the overhead grows with log2(P) as in practical
 	// implementations; a serial token ring would scale O(P) and swamp the
 	// stealing benefit at thousands of processors.
-	if cfg.Policy != nil && cfg.Workers > 1 && s.report.TotalTasks > 0 {
+	if cfg.Policy != nil && cfg.Workers > 1 && s.report.TotalTasks > 0 && !s.report.Stopped {
 		// Two barrier-equivalent reduction waves confirm quiescence.
 		s.report.TerminationCost = 2 * cfg.Profile.Barrier(cfg.Workers)
 		s.report.Makespan += s.report.TerminationCost

@@ -111,6 +111,7 @@ func Run(cfg Config, queues [][]work.Task) Report {
 	queues = sched.Reshard(queues, w)
 
 	deques := make([]*deque, w)
+	var stopped atomic.Bool
 	var remaining int64
 	for i := 0; i < w; i++ {
 		deques[i] = &deque{}
@@ -167,6 +168,16 @@ func Run(cfg Config, queues [][]work.Task) Report {
 			stealing := cfg.Policy != nil && w > 1
 			attempt := 0
 			for {
+				// Cooperative cancellation: between tasks is the worker's
+				// checkpoint, so a running task finishes (its result stays
+				// valid) and no new one starts after the stop fires.
+				if sched.Canceled(cfg.Stop) {
+					stopped.Store(true)
+					if stealing {
+						emit("retire", id, -1, -1)
+					}
+					return
+				}
 				if atomic.LoadInt64(&remaining) <= 0 {
 					// All work executed. With stealing enabled a worker
 					// retires exactly once, with a trace event, on every
@@ -234,8 +245,20 @@ func Run(cfg Config, queues [][]work.Task) Report {
 				// Nothing stealable right now: sleep a bounded exponential
 				// backoff (the simulator's virtual-time curve, in wall
 				// time) instead of hot-spinning on runtime.Gosched, which
-				// hammers the victims' deque mutexes while they work.
-				time.Sleep(time.Duration(sched.Backoff(attempt, float64(stealBackoffBase), cfg.MaxBackoff)))
+				// hammers the victims' deque mutexes while they work. A
+				// stop during the sleep wakes the thief immediately so
+				// cancellation latency is not a backoff period.
+				backoff := time.Duration(sched.Backoff(attempt, float64(stealBackoffBase), cfg.MaxBackoff))
+				if cfg.Stop != nil {
+					timer := time.NewTimer(backoff)
+					select {
+					case <-cfg.Stop:
+						timer.Stop()
+					case <-timer.C:
+					}
+				} else {
+					time.Sleep(backoff)
+				}
 			}
 		}()
 	}
@@ -250,6 +273,7 @@ func Run(cfg Config, queues [][]work.Task) Report {
 		ExecutedBy: map[int]int{},
 		Cost:       map[int]float64{},
 		Payload:    map[int]int{},
+		Stopped:    stopped.Load(),
 	}
 	for id := range states {
 		st := &states[id]

@@ -47,6 +47,27 @@ func CV(xs []float64) float64 {
 	return StdDev(xs) / mu
 }
 
+// Pearson returns the Pearson correlation coefficient of xs and ys. It
+// returns 0 when the correlation is undefined: mismatched or empty
+// inputs, or either series with zero variance.
+func Pearson(xs, ys []float64) float64 {
+	if len(xs) == 0 || len(xs) != len(ys) {
+		return 0
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var sxy, sxx, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}
+
 // Max returns the maximum of xs (0 for empty input).
 func Max(xs []float64) float64 {
 	var m float64

@@ -33,6 +33,41 @@ func TestEmptyInputs(t *testing.T) {
 	}
 }
 
+func TestPearson(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	if got := Pearson(xs, xs); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("self correlation = %v, want 1", got)
+	}
+	neg := []float64{5, 4, 3, 2, 1}
+	if got := Pearson(xs, neg); math.Abs(got+1) > 1e-12 {
+		t.Fatalf("anti correlation = %v, want -1", got)
+	}
+	// Affine transforms preserve the coefficient.
+	scaled := []float64{10, 30, 50, 70, 90} // 20x - 10
+	if got := Pearson(xs, scaled); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("affine correlation = %v, want 1", got)
+	}
+	// Independently computed reference value: sxy=10, sxx=10, syy=14.8,
+	// so r = 10/sqrt(148) ≈ 0.82199.
+	ys := []float64{2, 1, 4, 3, 6}
+	want := 10 / math.Sqrt(148)
+	if got := Pearson(xs, ys); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("Pearson = %v, want %v", got, want)
+	}
+}
+
+func TestPearsonUndefined(t *testing.T) {
+	if Pearson(nil, nil) != 0 {
+		t.Fatal("empty inputs should be 0")
+	}
+	if Pearson([]float64{1, 2}, []float64{1, 2, 3}) != 0 {
+		t.Fatal("mismatched lengths should be 0")
+	}
+	if Pearson([]float64{1, 1, 1}, []float64{1, 2, 3}) != 0 {
+		t.Fatal("zero-variance series should be 0")
+	}
+}
+
 func TestCVZeroMean(t *testing.T) {
 	if CV([]float64{0, 0, 0}) != 0 {
 		t.Fatal("zero-mean CV should be 0")

@@ -24,9 +24,10 @@ type Model struct {
 // Env returns the concrete 2D environment for the model.
 func (m Model) Env() *env.Environment { return env.Model2D(m.Blocked) }
 
-// Regions returns the uniform Grid×Grid region graph over the model.
+// Regions returns the uniform Grid×Grid region graph over the model. The
+// spec is valid by construction for any positive Grid.
 func (m Model) Regions() *region.Graph {
-	return region.UniformGrid(m.Env().Bounds, region.GridSpec{Cells: []int{m.Grid, m.Grid}})
+	return region.MustUniformGrid(m.Env().Bounds, region.GridSpec{Cells: []int{m.Grid, m.Grid}})
 }
 
 // VFree returns each region's exact free-space volume, in region-ID
@@ -46,9 +47,13 @@ func (m Model) VFree() []float64 {
 // column partition of the region mesh.
 func (m Model) NaiveLoads(p int) []float64 {
 	rg := m.Regions()
-	rg.SetWeights(m.VFree())
+	w := m.VFree()
 	region.NaiveColumnPartition(rg, p)
-	return rg.LoadPerProcessor(p)
+	load := make([]float64, p)
+	for i, wi := range w {
+		load[rg.Owner[i]] += wi
+	}
+	return load
 }
 
 // BestLoads returns the per-processor V_free totals under the greedy

@@ -136,15 +136,34 @@ func ConnectRegion(s *cspace.Space, nodes []Node, p Params) ([][2]int, cspace.Co
 // all live in the arena, so the only retained allocation is the returned
 // edge list.
 func ConnectRegionArena(s *cspace.Space, nodes []Node, p Params, a *Arena) ([][2]int, cspace.Counters) {
+	return ConnectRegionIncrementalArena(s, nodes, 0, p, a)
+}
+
+// ConnectRegionIncremental is ConnectRegionIncrementalArena through a
+// pooled arena.
+func ConnectRegionIncremental(s *cspace.Space, nodes []Node, firstNew int, p Params) ([][2]int, cspace.Counters) {
+	a := GetArena()
+	defer PutArena(a)
+	return ConnectRegionIncrementalArena(s, nodes, firstNew, p, a)
+}
+
+// ConnectRegionIncrementalArena is the round-growth variant of
+// ConnectRegionArena: only nodes[firstNew:] issue kNN queries, against
+// the full node set, so a later engine round pays for its new samples
+// without re-attempting the previous rounds' pairs. firstNew = 0 is
+// exactly ConnectRegionArena (the one-shot planners route through here),
+// so the first round of an engine run is bit-identical to the one-shot
+// pipeline.
+func ConnectRegionIncrementalArena(s *cspace.Space, nodes []Node, firstNew int, p Params, a *Arena) ([][2]int, cspace.Counters) {
 	var work cspace.Counters
-	if len(nodes) < 2 {
+	if len(nodes) < 2 || firstNew >= len(nodes) {
 		return nil, work
 	}
 	pts := a.points(nodes)
 	a.tree.Reset(pts)
 	seen := a.resetSeen()
 	a.edges = a.edges[:0]
-	for i := range pts {
+	for i := firstNew; i < len(pts); i++ {
 		k := p.K
 		if k > len(pts)-1 {
 			k = len(pts) - 1
@@ -280,8 +299,15 @@ func ConnectBoundaryArena(s *cspace.Space, aNodes, bNodes []Node, k, maxSources 
 // Query connects start and goal to the roadmap (each to its k nearest
 // nodes) and extracts a shortest path. It returns the configuration
 // sequence including start and goal, and ok=false if no path exists.
-// The roadmap is left unchanged: the transient attachment vertices are
-// removed before returning, so repeated querying is side-effect free.
+// The roadmap is left unchanged on return, but it IS temporarily
+// mutated (transient attachment vertices are added and removed), so
+// concurrent callers must serialize.
+//
+// Deprecated: Query re-gathers every roadmap point and rebuilds the
+// kd-tree per call. Build an Index once and use Index.Query, which is
+// non-mutating, concurrency-safe and amortizes the build cost across
+// calls. Query remains for one-shot callers that issue a single query
+// per roadmap.
 func Query(s *cspace.Space, m *Roadmap, start, goal cspace.Config, k int, c *cspace.Counters) ([]cspace.Config, bool) {
 	if !s.Valid(start, c) || !s.Valid(goal, c) {
 		return nil, false

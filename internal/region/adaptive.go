@@ -50,9 +50,13 @@ func (a AdaptiveSpec) band() (lo, hi float64) {
 // whose free fraction lies strictly inside (MinFree, MaxFree) are split
 // in half along their longest axis, recursively up to MaxDepth. Region
 // adjacency is rebuilt from face overlap, so the region graph stays
-// consistent across refinement levels.
-func AdaptiveGrid(e *env.Environment, spec AdaptiveSpec) *Graph {
-	base := UniformGrid(e.Bounds, spec.Base)
+// consistent across refinement levels. A malformed base grid surfaces as
+// an error, as in UniformGrid.
+func AdaptiveGrid(e *env.Environment, spec AdaptiveSpec) (*Graph, error) {
+	base, err := UniformGrid(e.Bounds, spec.Base)
+	if err != nil {
+		return nil, err
+	}
 	lo, hi := spec.band()
 
 	type cell struct {
@@ -98,7 +102,7 @@ func AdaptiveGrid(e *env.Environment, spec AdaptiveSpec) *Graph {
 			}
 		}
 	}
-	return &Graph{G: g, Owner: make([]int, len(leaves))}
+	return &Graph{G: g, Owner: make([]int, len(leaves))}, nil
 }
 
 // freeFraction estimates the free fraction of box.

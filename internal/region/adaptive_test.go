@@ -8,12 +8,27 @@ import (
 	"parmp/internal/geom"
 )
 
+func mustAdaptive(t *testing.T, e *env.Environment, spec AdaptiveSpec) *Graph {
+	t.Helper()
+	rg, err := AdaptiveGrid(e, spec)
+	if err != nil {
+		t.Fatalf("AdaptiveGrid: %v", err)
+	}
+	return rg
+}
+
+func TestAdaptiveGridErrorsOnBadBase(t *testing.T) {
+	if _, err := AdaptiveGrid(env.Free(), AdaptiveSpec{Base: GridSpec{Cells: []int{2, 2, 2, 2}}}); err == nil {
+		t.Fatal("expected error for base dims > bounds dim")
+	}
+}
+
 func TestAdaptiveGridRefinesBoundaryCells(t *testing.T) {
 	// A 5x5 base grid does NOT align with the obstacle edges at
 	// 0.25/0.75, so boundary cells straddle and must split.
 	e := env.Model2D(0.25)
 	spec := AdaptiveSpec{Base: GridSpec{Cells: []int{5, 5}}, MaxDepth: 2}
-	rg := AdaptiveGrid(e, spec)
+	rg := mustAdaptive(t, e, spec)
 	if rg.NumRegions() <= 25 {
 		t.Fatalf("regions = %d, expected refinement beyond 25", rg.NumRegions())
 	}
@@ -39,7 +54,7 @@ func TestAdaptiveGridRefinesBoundaryCells(t *testing.T) {
 func TestAdaptiveGridFreeEnvironmentStaysCoarse(t *testing.T) {
 	e := env.Free()
 	spec := AdaptiveSpec{Base: GridSpec{Cells: []int{3, 3, 3}}, MaxDepth: 3}
-	rg := AdaptiveGrid(e, spec)
+	rg := mustAdaptive(t, e, spec)
 	if rg.NumRegions() != 27 {
 		t.Fatalf("free environment should not refine: %d regions", rg.NumRegions())
 	}
@@ -47,7 +62,7 @@ func TestAdaptiveGridFreeEnvironmentStaysCoarse(t *testing.T) {
 
 func TestAdaptiveGridAdjacencyConnected(t *testing.T) {
 	e := env.Model2D(0.25)
-	rg := AdaptiveGrid(e, AdaptiveSpec{Base: GridSpec{Cells: []int{5, 5}}, MaxDepth: 2})
+	rg := mustAdaptive(t, e, AdaptiveSpec{Base: GridSpec{Cells: []int{5, 5}}, MaxDepth: 2})
 	// The region graph over a box tiling must be connected.
 	labels, count := rg.G.ConnectedComponents()
 	if count != 1 {
@@ -64,8 +79,8 @@ func TestAdaptiveGridAdjacencyConnected(t *testing.T) {
 func TestAdaptiveGridDeterministic(t *testing.T) {
 	e := env.MedCube()
 	spec := AdaptiveSpec{Base: GridSpec{Cells: []int{3, 3, 3}}, MaxDepth: 1}
-	a := AdaptiveGrid(e, spec)
-	b := AdaptiveGrid(e, spec)
+	a := mustAdaptive(t, e, spec)
+	b := mustAdaptive(t, e, spec)
 	if a.NumRegions() != b.NumRegions() {
 		t.Fatal("adaptive grid not deterministic")
 	}

@@ -54,11 +54,20 @@ func SplitEvenly(dims, n int, overlap float64) GridSpec {
 
 // UniformGrid subdivides bounds into the spec's cells and builds the
 // region graph with edges between face-adjacent cells. Region IDs are
-// row-major over the grid coordinates.
-func UniformGrid(bounds geom.AABB, spec GridSpec) *Graph {
+// row-major over the grid coordinates. A spec whose dimensionality does
+// not fit the bounds (or with a non-positive cell count) is a
+// configuration error, not a crash: serving processes validate plans
+// built from user input, so malformed subdivisions must surface as
+// errors.
+func UniformGrid(bounds geom.AABB, spec GridSpec) (*Graph, error) {
 	dims := len(spec.Cells)
 	if dims == 0 || dims > bounds.Dim() {
-		panic(fmt.Sprintf("region: grid dims %d incompatible with bounds dim %d", dims, bounds.Dim()))
+		return nil, fmt.Errorf("region: grid subdivides %d dimensions but the C-space bounds have %d; configure at most bounds-many cell dimensions", dims, bounds.Dim())
+	}
+	for i, c := range spec.Cells {
+		if c <= 0 {
+			return nil, fmt.Errorf("region: grid dimension %d has non-positive cell count %d", i, c)
+		}
 	}
 	n := spec.NumRegions()
 	g := graph.New[*Region](n)
@@ -124,7 +133,19 @@ func UniformGrid(bounds geom.AABB, spec GridSpec) *Graph {
 		}
 	}
 
-	return &Graph{G: g, Owner: make([]int, n)}
+	return &Graph{G: g, Owner: make([]int, n)}, nil
+}
+
+// MustUniformGrid is UniformGrid for specs that are valid by construction
+// (analytic models, tests). It panics on error — never use it on
+// user-supplied configuration; the planning entry points validate and
+// return errors instead.
+func MustUniformGrid(bounds geom.AABB, spec GridSpec) *Graph {
+	g, err := UniformGrid(bounds, spec)
+	if err != nil {
+		panic(err)
+	}
+	return g
 }
 
 func maxf(a, b float64) float64 {

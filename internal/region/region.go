@@ -111,15 +111,17 @@ func (rg *Graph) EdgeCut() int {
 	return cut
 }
 
-// SetWeights stores w[i] into each region's Weight. len(w) must equal the
-// region count.
-func (rg *Graph) SetWeights(w []float64) {
+// SetWeights stores w[i] into each region's Weight. It returns a
+// descriptive error (instead of crashing the caller) when the vector
+// length does not match the region count.
+func (rg *Graph) SetWeights(w []float64) error {
 	if len(w) != rg.NumRegions() {
-		panic("region: weight vector length mismatch")
+		return fmt.Errorf("region: weight vector has %d entries for %d regions", len(w), rg.NumRegions())
 	}
 	for i, v := range w {
 		rg.Region(i).Weight = v
 	}
+	return nil
 }
 
 // Weights returns a copy of all region weights in ID order.

@@ -2,6 +2,7 @@ package region
 
 import (
 	"math"
+	"strings"
 	"testing"
 
 	"parmp/internal/geom"
@@ -24,7 +25,7 @@ func TestSplitEvenly(t *testing.T) {
 
 func TestUniformGridStructure(t *testing.T) {
 	b := geom.Box2(0, 0, 1, 1)
-	rg := UniformGrid(b, GridSpec{Cells: []int{4, 4}})
+	rg := MustUniformGrid(b, GridSpec{Cells: []int{4, 4}})
 	if rg.NumRegions() != 16 {
 		t.Fatalf("NumRegions = %d", rg.NumRegions())
 	}
@@ -45,7 +46,7 @@ func TestUniformGridStructure(t *testing.T) {
 
 func TestUniformGridCellsTile(t *testing.T) {
 	b := geom.Box2(0, 0, 2, 1)
-	rg := UniformGrid(b, GridSpec{Cells: []int{4, 2}})
+	rg := MustUniformGrid(b, GridSpec{Cells: []int{4, 2}})
 	var total float64
 	for _, r := range rg.Regions() {
 		total += r.Core.Volume()
@@ -66,7 +67,7 @@ func TestUniformGridCellsTile(t *testing.T) {
 
 func TestUniformGridOverlap(t *testing.T) {
 	b := geom.Box2(0, 0, 1, 1)
-	rg := UniformGrid(b, GridSpec{Cells: []int{2, 2}, Overlap: 0.1})
+	rg := MustUniformGrid(b, GridSpec{Cells: []int{2, 2}, Overlap: 0.1})
 	r := rg.Region(0)
 	if r.Box.Volume() <= r.Core.Volume() {
 		t.Fatal("overlap should expand the sampling box")
@@ -79,7 +80,7 @@ func TestUniformGridOverlap(t *testing.T) {
 
 func TestGridCoordRoundTrip(t *testing.T) {
 	b := geom.Box3(0, 0, 0, 1, 1, 1)
-	rg := UniformGrid(b, GridSpec{Cells: []int{3, 4, 5}})
+	rg := MustUniformGrid(b, GridSpec{Cells: []int{3, 4, 5}})
 	for _, r := range rg.Regions() {
 		c := r.GridCoord
 		id := (c[0]*4+c[1])*5 + c[2]
@@ -95,7 +96,7 @@ func TestGridCoordRoundTrip(t *testing.T) {
 
 func TestNaiveColumnPartitionBalancedCounts(t *testing.T) {
 	b := geom.Box2(0, 0, 1, 1)
-	rg := UniformGrid(b, GridSpec{Cells: []int{8, 8}})
+	rg := MustUniformGrid(b, GridSpec{Cells: []int{8, 8}})
 	NaiveColumnPartition(rg, 4)
 	counts := make([]int, 4)
 	for _, o := range rg.Owner {
@@ -116,7 +117,7 @@ func TestNaiveColumnPartitionBalancedCounts(t *testing.T) {
 
 func TestEdgeCutChangesWithPartition(t *testing.T) {
 	b := geom.Box2(0, 0, 1, 1)
-	rg := UniformGrid(b, GridSpec{Cells: []int{4, 4}})
+	rg := MustUniformGrid(b, GridSpec{Cells: []int{4, 4}})
 	NaiveColumnPartition(rg, 4)
 	cut := rg.EdgeCut()
 	// Column partition of a 4x4 grid with 4 procs: each proc owns one
@@ -135,8 +136,10 @@ func TestEdgeCutChangesWithPartition(t *testing.T) {
 
 func TestWeightsRoundTrip(t *testing.T) {
 	b := geom.Box2(0, 0, 1, 1)
-	rg := UniformGrid(b, GridSpec{Cells: []int{2, 2}})
-	rg.SetWeights([]float64{1, 2, 3, 4})
+	rg := MustUniformGrid(b, GridSpec{Cells: []int{2, 2}})
+	if err := rg.SetWeights([]float64{1, 2, 3, 4}); err != nil {
+		t.Fatalf("SetWeights: %v", err)
+	}
 	w := rg.Weights()
 	for i, v := range []float64{1, 2, 3, 4} {
 		if w[i] != v {
@@ -150,15 +153,16 @@ func TestWeightsRoundTrip(t *testing.T) {
 	}
 }
 
-func TestSetWeightsPanicsOnLengthMismatch(t *testing.T) {
+func TestSetWeightsErrorsOnLengthMismatch(t *testing.T) {
 	b := geom.Box2(0, 0, 1, 1)
-	rg := UniformGrid(b, GridSpec{Cells: []int{2, 2}})
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic")
-		}
-	}()
-	rg.SetWeights([]float64{1})
+	rg := MustUniformGrid(b, GridSpec{Cells: []int{2, 2}})
+	err := rg.SetWeights([]float64{1})
+	if err == nil {
+		t.Fatal("expected error for mismatched weight vector")
+	}
+	if !strings.Contains(err.Error(), "1 entries for 4 regions") {
+		t.Fatalf("undescriptive error: %v", err)
+	}
 }
 
 func TestRadialSubdivision3D(t *testing.T) {
@@ -260,7 +264,7 @@ func TestRadialRandomDirections(t *testing.T) {
 
 func TestRegionString(t *testing.T) {
 	b := geom.Box2(0, 0, 1, 1)
-	rg := UniformGrid(b, GridSpec{Cells: []int{2, 2}})
+	rg := MustUniformGrid(b, GridSpec{Cells: []int{2, 2}})
 	if rg.Region(0).String() == "" {
 		t.Fatal("empty String")
 	}
@@ -270,13 +274,28 @@ func TestRegionString(t *testing.T) {
 	}
 }
 
-func TestUniformGridPanicsOnBadDims(t *testing.T) {
+func TestUniformGridErrorsOnBadSpec(t *testing.T) {
+	if _, err := UniformGrid(geom.Box2(0, 0, 1, 1), GridSpec{Cells: []int{2, 2, 2}}); err == nil {
+		t.Fatal("expected error for dims > bounds dim")
+	}
+	if _, err := UniformGrid(geom.Box2(0, 0, 1, 1), GridSpec{}); err == nil {
+		t.Fatal("expected error for empty spec")
+	}
+	if _, err := UniformGrid(geom.Box2(0, 0, 1, 1), GridSpec{Cells: []int{2, 0}}); err == nil {
+		t.Fatal("expected error for zero cell count")
+	}
+	if _, err := UniformGrid(geom.Box2(0, 0, 1, 1), GridSpec{Cells: []int{2, -1}}); err == nil {
+		t.Fatal("expected error for negative cell count")
+	}
+}
+
+func TestMustUniformGridPanicsOnBadSpec(t *testing.T) {
 	defer func() {
 		if recover() == nil {
-			t.Fatal("expected panic for dims > bounds dim")
+			t.Fatal("Must variant should panic on invalid spec")
 		}
 	}()
-	UniformGrid(geom.Box2(0, 0, 1, 1), GridSpec{Cells: []int{2, 2, 2}})
+	MustUniformGrid(geom.Box2(0, 0, 1, 1), GridSpec{Cells: []int{2, 2, 2}})
 }
 
 func TestGridSpecNumRegions(t *testing.T) {

@@ -13,7 +13,7 @@ import (
 )
 
 func grid4x4() *region.Graph {
-	return region.UniformGrid(geom.Box2(0, 0, 1, 1), region.GridSpec{Cells: []int{4, 4}})
+	return region.MustUniformGrid(geom.Box2(0, 0, 1, 1), region.GridSpec{Cells: []int{4, 4}})
 }
 
 func TestGreedyLPTBalances(t *testing.T) {
@@ -134,7 +134,7 @@ func TestGreedySpatialBalancesAndKeepsLocality(t *testing.T) {
 }
 
 func TestGreedySpatialVsLPTEdgeCut(t *testing.T) {
-	rg := region.UniformGrid(geom.Box2(0, 0, 1, 1), region.GridSpec{Cells: []int{8, 8}})
+	rg := region.MustUniformGrid(geom.Box2(0, 0, 1, 1), region.GridSpec{Cells: []int{8, 8}})
 	r := rng.New(5)
 	w := make([]float64, 64)
 	for i := range w {

@@ -96,7 +96,24 @@ func GrowRegion(s *cspace.Space, reg *region.Region, p Params, r *rng.Stream) Re
 // RNG consumption is identical to the allocating path, so the grown tree
 // is the same for the same stream.
 func GrowRegionArena(s *cspace.Space, reg *region.Region, p Params, r *rng.Stream, a *Arena) Result {
-	res := Result{Tree: NewTree(reg.Apex, reg.ID)}
+	return GrowTreeArena(s, reg, NewTree(reg.Apex, reg.ID), p, r, a)
+}
+
+// GrowTree continues growing an existing branch inside reg until it has
+// p.Nodes nodes (total, not additional) or the iteration budget runs
+// out. Passing a fresh single-node tree is exactly GrowRegion — the
+// one-shot planners route through here — so an engine's first round is
+// bit-identical to the one-shot pipeline; later rounds pass the
+// previous round's tree to resume growth.
+func GrowTree(s *cspace.Space, reg *region.Region, tree *Tree, p Params, r *rng.Stream) Result {
+	a := GetArena()
+	defer PutArena(a)
+	return GrowTreeArena(s, reg, tree, p, r, a)
+}
+
+// GrowTreeArena is GrowTree through an explicit arena.
+func GrowTreeArena(s *cspace.Space, reg *region.Region, tree *Tree, p Params, r *rng.Stream, a *Arena) Result {
+	res := Result{Tree: tree}
 	target := region.ConeTarget(reg)
 	// Brute-force nearest neighbour: the tree is rebuilt incrementally and
 	// stays small per region; metering matches kd usage elsewhere.

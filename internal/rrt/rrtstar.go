@@ -51,12 +51,22 @@ type StarResult struct {
 // root. The extra local planning makes region costs even more
 // heterogeneous, which is why it is interesting for load balancing.
 func GrowRegionStar(s *cspace.Space, reg *region.Region, p StarParams, r *rng.Stream) StarResult {
-	a := GetArena()
-	defer PutArena(a)
-	res := StarResult{Tree: &StarTree{
+	return GrowStarTree(s, reg, &StarTree{
 		Nodes: []Node{{Q: reg.Apex.Clone(), Parent: -1, Region: reg.ID}},
 		Cost:  []float64{0},
-	}}
+	}, p, r)
+}
+
+// GrowStarTree continues growing an existing RRT* branch until it has
+// p.Nodes nodes (total) or the iteration budget runs out. Like
+// rrt.GrowTree, a fresh single-node tree reproduces GrowRegionStar
+// exactly; an engine's later rounds pass the previous round's tree
+// (with its cost-to-root vector) so choose-parent and rewiring keep
+// improving the existing branch.
+func GrowStarTree(s *cspace.Space, reg *region.Region, tree *StarTree, p StarParams, r *rng.Stream) StarResult {
+	a := GetArena()
+	defer PutArena(a)
+	res := StarResult{Tree: tree}
 	target := region.ConeTarget(reg)
 	radius := p.rewireRadius()
 	for res.Iters = 0; res.Iters < p.maxIters() && res.Tree.Len() < p.Nodes; res.Iters++ {

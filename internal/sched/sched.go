@@ -47,6 +47,13 @@ type Config struct {
 	// processors stop polling, leaving residual imbalance when work is
 	// scarce — the paper's "low probability of finding work" effect.
 	MaxRounds int
+	// Stop, when non-nil, requests cooperative cancellation: the host
+	// executor observes it between tasks (and while an idle thief sleeps),
+	// the simulator between virtual events. A stopped run returns a
+	// Report with Stopped set; already-executed tasks keep their recorded
+	// results, unexecuted ones are simply absent from the report. Wire a
+	// context's Done channel here to make a phase deadline-bounded.
+	Stop <-chan struct{}
 	// Trace, when non-nil, receives execution events (see TraceEvent):
 	// in virtual-time order from the simulator, serialized but
 	// real-time-ordered from the host executor. Debugging only.
@@ -102,6 +109,26 @@ type Report struct {
 	// TerminationCost is the virtual time spent detecting global
 	// termination (simulator only; zero when stealing is disabled).
 	TerminationCost float64
+	// Stopped reports that the run was cancelled through Config.Stop
+	// before all tasks executed. Executed tasks' entries in ExecutedBy/
+	// Cost/Payload remain valid; makespans and worker stats cover only
+	// the work done before the stop was observed.
+	Stopped bool
+}
+
+// Canceled reports whether stop is non-nil and has fired, without
+// blocking. Both runtime backends use this one check so "between tasks"
+// and "between events" observe cancellation identically.
+func Canceled(stop <-chan struct{}) bool {
+	if stop == nil {
+		return false
+	}
+	select {
+	case <-stop:
+		return true
+	default:
+		return false
+	}
 }
 
 // Runtime executes per-worker task queues to completion: queues[w] is

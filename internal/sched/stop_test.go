@@ -1,0 +1,141 @@
+package sched_test
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"parmp/internal/dist"
+	"parmp/internal/exec"
+	"parmp/internal/sched"
+	"parmp/internal/steal"
+	"parmp/internal/work"
+)
+
+// queuesOf builds w queues of n tasks each; every task increments ran and
+// reports the given cost.
+func queuesOf(w, n int, cost float64, ran *int64) [][]work.Task {
+	queues := make([][]work.Task, w)
+	id := 0
+	for p := 0; p < w; p++ {
+		for i := 0; i < n; i++ {
+			queues[p] = append(queues[p], work.Task{ID: id, Run: func() (float64, int) {
+				if ran != nil {
+					atomic.AddInt64(ran, 1)
+				}
+				return cost, 0
+			}})
+			id++
+		}
+	}
+	return queues
+}
+
+func TestCanceledNilStop(t *testing.T) {
+	if sched.Canceled(nil) {
+		t.Fatal("nil stop must never read as canceled")
+	}
+	ch := make(chan struct{})
+	if sched.Canceled(ch) {
+		t.Fatal("open stop must not read as canceled")
+	}
+	close(ch)
+	if !sched.Canceled(ch) {
+		t.Fatal("closed stop must read as canceled")
+	}
+}
+
+func TestDistStopReturnsPartialReport(t *testing.T) {
+	stop := make(chan struct{})
+	close(stop) // already canceled: the run must stop at the first event
+	var ran int64
+	rep := dist.Runtime.Run(sched.Config{
+		Workers: 4,
+		Profile: work.Hopper(),
+		Stop:    stop,
+	}, queuesOf(4, 8, 10, &ran))
+	if !rep.Stopped {
+		t.Fatal("report must be marked Stopped")
+	}
+	if ran != 0 {
+		t.Fatalf("pre-canceled run executed %d tasks", ran)
+	}
+	if rep.TerminationCost != 0 {
+		t.Fatal("stopped run must not charge termination detection")
+	}
+}
+
+func TestDistNoStopUnaffected(t *testing.T) {
+	var ran int64
+	base := dist.Runtime.Run(sched.Config{Workers: 4, Profile: work.Hopper()},
+		queuesOf(4, 8, 10, &ran))
+	var ran2 int64
+	withStop := dist.Runtime.Run(sched.Config{
+		Workers: 4, Profile: work.Hopper(), Stop: make(chan struct{}),
+	}, queuesOf(4, 8, 10, &ran2))
+	if base.Stopped || withStop.Stopped {
+		t.Fatal("unfired stop must not mark reports stopped")
+	}
+	if base.Makespan != withStop.Makespan || ran != ran2 {
+		t.Fatal("an unfired Stop channel must not perturb the simulation")
+	}
+}
+
+func TestExecStopBetweenTasks(t *testing.T) {
+	stop := make(chan struct{})
+	var ran int64
+	started := make(chan struct{})
+	release := make(chan struct{})
+	// Worker 0's first task signals that it is in flight and blocks until
+	// released; cancellation fires while it runs, so it must complete but
+	// no later task may start.
+	queues := make([][]work.Task, 1)
+	queues[0] = append(queues[0], work.Task{ID: 0, Run: func() (float64, int) {
+		close(started)
+		<-release
+		atomic.AddInt64(&ran, 1)
+		return 1, 0
+	}})
+	for i := 1; i < 16; i++ {
+		queues[0] = append(queues[0], work.Task{ID: i, Run: func() (float64, int) {
+			atomic.AddInt64(&ran, 1)
+			return 1, 0
+		}})
+	}
+	done := make(chan sched.Report, 1)
+	go func() {
+		done <- exec.Runtime.Run(sched.Config{Workers: 1, Stop: stop}, queues)
+	}()
+	<-started
+	close(stop)
+	close(release)
+	rep := <-done
+	if !rep.Stopped {
+		t.Fatal("report must be marked Stopped")
+	}
+	if got := atomic.LoadInt64(&ran); got != 1 {
+		t.Fatalf("expected only the in-flight task to finish, ran %d", got)
+	}
+}
+
+func TestExecStopLeavesNoGoroutines(t *testing.T) {
+	before := runtime.NumGoroutine()
+	stop := make(chan struct{})
+	close(stop)
+	rep := exec.Runtime.Run(sched.Config{
+		Workers: 8,
+		Policy:  steal.RandK{K: 2},
+		Stop:    stop,
+	}, queuesOf(8, 4, 1, nil))
+	if !rep.Stopped {
+		t.Fatal("report must be marked Stopped")
+	}
+	for i := 0; i < 50; i++ {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("goroutines leaked: before=%d after=%d", before, runtime.NumGoroutine())
+}
