@@ -53,6 +53,7 @@ func main() {
 		os.Exit(2)
 	}
 	fmt.Println(e)
+	fmt.Printf("planners    : %s\n", strings.Join(parmp.PlannerNames(), ", "))
 
 	// Region-level free volume and sample-count weights.
 	rg, err := region.UniformGrid(e.Bounds, region.SplitEvenly(e.Dim(), *regions, 0))

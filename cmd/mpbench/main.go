@@ -33,17 +33,22 @@ import (
 
 	"parmp/internal/experiments"
 	"parmp/internal/kernelbench"
+	"parmp/internal/metrics"
 )
 
 func main() {
 	testing.Init() // registers test.* flags so -kernels can set benchtime
 	exp := flag.String("exp", "all", "experiment id ("+strings.Join(experiments.Names(), ", ")+")")
+	planner := flag.String("planner", "", "with -exp planners, race only these planners (comma-separated: rrt, rrtconnect)")
 	scale := flag.String("scale", "quick", "sweep scale (quick, full)")
 	format := flag.String("format", "text", "output format (text, csv, json)")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	kernels := flag.String("kernels", "", "benchmark the compute kernels and write JSON results to this file (\"-\" for stdout)")
 	kernelsMaxAllocs := flag.Int64("kernels-max-allocs", -1, "with -kernels, exit non-zero if any kernel exceeds this allocs/op")
 	kernelsBenchtime := flag.String("kernels-benchtime", "100x", "with -kernels, benchtime per kernel (e.g. 100x, 1s)")
+	kernelsBatchMaxRatio := flag.Float64("kernels-batch-max-ratio", -1, "with -kernels, exit non-zero if any batch kernel's ns/item exceeds its scalar counterpart's by this ratio (e.g. 1.15)")
+	kernelsBaseline := flag.String("kernels-baseline", "", "with -kernels, compare ns/op against this baseline JSON file")
+	kernelsMaxRegress := flag.Float64("kernels-max-regress", 0.15, "with -kernels-baseline, exit non-zero if any kernel's ns/op regresses by more than this fraction")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
 	flag.Parse()
@@ -56,7 +61,13 @@ func main() {
 	}
 
 	if *kernels != "" {
-		if err := runKernels(*kernels, *kernelsBenchtime, *kernelsMaxAllocs); err != nil {
+		gates := kernelGates{
+			maxAllocs:     *kernelsMaxAllocs,
+			batchMaxRatio: *kernelsBatchMaxRatio,
+			baselinePath:  *kernelsBaseline,
+			maxRegress:    *kernelsMaxRegress,
+		}
+		if err := runKernels(*kernels, *kernelsBenchtime, gates); err != nil {
 			fmt.Fprintln(os.Stderr, "mpbench:", err)
 			os.Exit(1)
 		}
@@ -99,10 +110,30 @@ func main() {
 		os.Exit(2)
 	}
 	start := time.Now()
-	tables, ok := experiments.ByName(*exp, sc)
-	if !ok {
-		fmt.Fprintf(os.Stderr, "mpbench: unknown experiment %q; try -list\n", *exp)
-		os.Exit(2)
+	var tables []*metrics.Table
+	if *planner != "" {
+		if *exp != "planners" && *exp != "all" {
+			fmt.Fprintf(os.Stderr, "mpbench: -planner only applies to -exp planners\n")
+			os.Exit(2)
+		}
+		names := strings.Split(*planner, ",")
+		for i, n := range names {
+			names[i] = strings.TrimSpace(n)
+			switch names[i] {
+			case "rrt", "rrtconnect":
+			default:
+				fmt.Fprintf(os.Stderr, "mpbench: unknown planner %q (want rrt, rrtconnect)\n", names[i])
+				os.Exit(2)
+			}
+		}
+		tables = experiments.Planners(sc, names)
+	} else {
+		var ok bool
+		tables, ok = experiments.ByName(*exp, sc)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "mpbench: unknown experiment %q; try -list\n", *exp)
+			os.Exit(2)
+		}
 	}
 	for i, tb := range tables {
 		if i > 0 {
@@ -127,10 +158,19 @@ func main() {
 	fmt.Fprintf(os.Stderr, "mpbench: %s at scale %s in %v\n", *exp, sc.Name, time.Since(start).Round(time.Millisecond))
 }
 
+// kernelGates bundles the -kernels mode's regression thresholds.
+type kernelGates struct {
+	maxAllocs     int64   // < 0 disables
+	batchMaxRatio float64 // <= 0 disables
+	baselinePath  string  // "" disables
+	maxRegress    float64
+}
+
 // runKernels benchmarks the kernel suite, writes JSON results to path
-// ("-" for stdout), and enforces the allocs/op ceiling when maxAllocs
-// is non-negative.
-func runKernels(path, benchtime string, maxAllocs int64) error {
+// ("-" for stdout), and enforces the configured regression gates: the
+// allocs/op ceiling, the batch-vs-scalar ns/item ratio, and the
+// baseline-file ns/op comparison.
+func runKernels(path, benchtime string, gates kernelGates) error {
 	if err := flag.Set("test.benchtime", benchtime); err != nil {
 		return fmt.Errorf("bad -kernels-benchtime: %w", err)
 	}
@@ -149,12 +189,33 @@ func runKernels(path, benchtime string, maxAllocs int64) error {
 		return err
 	}
 	for _, r := range results {
-		fmt.Fprintf(os.Stderr, "mpbench: kernel %-16s %12.1f ns/op %8d B/op %6d allocs/op\n",
-			r.Name, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp)
+		fmt.Fprintf(os.Stderr, "mpbench: kernel %-20s %12.1f ns/op %9.1f ns/item %8d B/op %6d allocs/op\n",
+			r.Name, r.NsPerOp, r.NsPerItem, r.BytesPerOp, r.AllocsPerOp)
 	}
 	fmt.Fprintf(os.Stderr, "mpbench: %d kernels in %v\n", len(results), time.Since(start).Round(time.Millisecond))
-	if maxAllocs >= 0 {
-		return kernelbench.CheckMaxAllocs(results, maxAllocs)
+	if gates.maxAllocs >= 0 {
+		if err := kernelbench.CheckMaxAllocs(results, gates.maxAllocs); err != nil {
+			return err
+		}
+	}
+	if gates.batchMaxRatio > 0 {
+		if err := kernelbench.CheckBatchNs(results, gates.batchMaxRatio); err != nil {
+			return err
+		}
+	}
+	if gates.baselinePath != "" {
+		f, err := os.Open(gates.baselinePath)
+		if err != nil {
+			return err
+		}
+		baseline, err := kernelbench.ReadJSON(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("bad baseline %s: %w", gates.baselinePath, err)
+		}
+		if err := kernelbench.CheckNsRegression(results, baseline, gates.maxRegress); err != nil {
+			return err
+		}
 	}
 	return nil
 }

@@ -1,10 +1,12 @@
 // Command mpsolve plans a motion query in one of the benchmark
-// environments with parallel PRM and prints the resulting path.
+// environments with a parallel sampling-based planner (PRM, RRT or
+// RRT-Connect) and prints the resulting path.
 //
 // Usage:
 //
 //	mpsolve -env med-cube -strategy repartition -procs 16 \
 //	        -start 0.05,0.05,0.05 -goal 0.95,0.95,0.95
+//	mpsolve -env med-cube -planner rrtconnect -rounds 3
 //
 // The planner runs on the simulated distributed machine; the printed
 // breakdown reports virtual-time per phase and the load balance achieved.
@@ -15,6 +17,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"runtime"
 	"sort"
@@ -46,10 +49,12 @@ func parseConfig(s string) (parmp.Config, error) {
 func main() {
 	envName := flag.String("env", "med-cube", "environment ("+strings.Join(parmp.EnvironmentNames(), ", ")+")")
 	envFile := flag.String("envfile", "", "load the environment from a file in the env text format instead")
+	planner := flag.String("planner", "prm", "planner ("+strings.Join(parmp.PlannerNames(), ", ")+")")
 	strategy := flag.String("strategy", "repartition", "load balancing (none, repartition, hybrid, rand-8, diffusive)")
 	procs := flag.Int("procs", 16, "virtual processors")
 	regions := flag.Int("regions", 0, "regions (default 8x procs)")
-	samples := flag.Int("samples", 16, "sampling attempts per region")
+	samples := flag.Int("samples", 16, "sampling attempts per region (PRM) or tree nodes per region (RRT, RRT-Connect)")
+	radius := flag.Float64("radius", 0, "radial region reach for the tree planners (0 = the environment diagonal, so corner-to-corner queries are reachable)")
 	startStr := flag.String("start", "0.05,0.05,0.05", "start configuration (comma-separated)")
 	goalStr := flag.String("goal", "0.95,0.95,0.95", "goal configuration")
 	seed := flag.Uint64("seed", 1, "random seed")
@@ -104,8 +109,20 @@ func main() {
 		Procs:            *procs,
 		Regions:          *regions,
 		SamplesPerRegion: *samples,
+		NodesPerRegion:   *samples,
+		Radius:           *radius,
 		Seed:             *seed,
 		Sampler:          sampler,
+	}
+	if opts.Radius == 0 {
+		// Default the radial reach to the environment diagonal so the
+		// benchmark corner-to-corner queries stay inside every cone.
+		var d2 float64
+		for d := 0; d < e.Dim(); d++ {
+			span := e.Bounds.Hi[d] - e.Bounds.Lo[d]
+			d2 += span * span
+		}
+		opts.Radius = math.Sqrt(d2)
 	}
 	switch *strategy {
 	case "none":
@@ -127,7 +144,19 @@ func main() {
 	}
 
 	space := parmp.NewPointSpace(e)
-	eng, err := parmp.NewEngine(space, opts)
+	var eng *parmp.Engine
+	switch *planner {
+	case "prm":
+		eng, err = parmp.NewEngine(space, opts)
+	case "rrt":
+		eng, err = parmp.NewRRTEngine(space, start, opts)
+	case "rrtconnect":
+		eng, err = parmp.NewRRTConnectEngine(space, start, goal, opts)
+	default:
+		fmt.Fprintf(os.Stderr, "mpsolve: unknown planner %q (want %s)\n",
+			*planner, strings.Join(parmp.PlannerNames(), ", "))
+		os.Exit(2)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mpsolve:", err)
 		os.Exit(1)
@@ -148,13 +177,27 @@ func main() {
 		fmt.Printf("growth      : timed out after %d/%d rounds; serving the committed roadmap\n",
 			snap.Rounds(), *rounds)
 	}
-	res := snap.PRM()
 	fmt.Printf("environment : %s\n", e)
-	fmt.Printf("roadmap     : %s (after %d rounds)\n", prm.ComputeStats(res.Roadmap), snap.Rounds())
-	fmt.Printf("virtual time: %.0f units on %d procs (%s)\n", res.TotalTime, *procs, *strategy)
-	fmt.Printf("phases      : sampling=%.0f redistribute=%.0f node-conn=%.0f region-conn=%.0f\n",
-		res.Phases.Sampling, res.Phases.Redistribution, res.Phases.NodeConnection, res.Phases.RegionConnection)
-	fmt.Printf("load CV     : %.3f -> %.3f (migrated %d regions)\n", res.CVBefore, res.CVAfter, res.MigratedRegions)
+	if *planner == "prm" {
+		res := snap.PRM()
+		fmt.Printf("roadmap     : %s (after %d rounds)\n", prm.ComputeStats(res.Roadmap), snap.Rounds())
+		fmt.Printf("virtual time: %.0f units on %d procs (%s)\n", res.TotalTime, *procs, *strategy)
+		fmt.Printf("phases      : sampling=%.0f redistribute=%.0f node-conn=%.0f region-conn=%.0f\n",
+			res.Phases.Sampling, res.Phases.Redistribution, res.Phases.NodeConnection, res.Phases.RegionConnection)
+		fmt.Printf("load CV     : %.3f -> %.3f (migrated %d regions)\n", res.CVBefore, res.CVAfter, res.MigratedRegions)
+	} else {
+		res := snap.RRT()
+		fmt.Printf("forest      : %d nodes in %d branches, %d bridges, %d cycles pruned (after %d rounds)\n",
+			res.TotalNodes(), len(res.Branches), len(res.Bridges), res.PrunedCycles, snap.Rounds())
+		if *planner == "rrtconnect" {
+			fmt.Printf("two-tree    : %d/%d region pairs met, goal connected: %v\n",
+				res.TreesMet, len(res.Branches), res.GoalConnected)
+		}
+		fmt.Printf("virtual time: %.0f units on %d procs (%s)\n", res.TotalTime, *procs, *strategy)
+		fmt.Printf("phases      : redistribute=%.0f grow=%.0f region-conn=%.0f\n",
+			res.Phases.Redistribution, res.Phases.NodeConnection, res.Phases.RegionConnection)
+		fmt.Printf("load CV     : %.3f -> %.3f\n", res.CVBefore, res.CVAfter)
+	}
 
 	if *queries > 0 {
 		serve(snap, space, *queries, *seed)

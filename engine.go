@@ -27,9 +27,10 @@ var ErrStopped = core.ErrStopped
 type Engine struct {
 	space *Space
 
-	mu  sync.Mutex // serializes growth
-	prm *core.PRMEngine
-	rrt *core.RRTEngine
+	mu   sync.Mutex // serializes growth
+	prm  *core.PRMEngine
+	rrt  *core.RRTEngine
+	rrtc *core.RRTConnectEngine
 
 	snap atomic.Pointer[Snapshot]
 }
@@ -60,16 +61,37 @@ func NewRRTEngine(space *Space, root Config, opts Options) (*Engine, error) {
 	return e, nil
 }
 
+// NewRRTConnectEngine creates an RRT-Connect engine rooted at root and
+// aimed at goal: every region grows a pair of trees (root-side and
+// goal-side) that greedily connect, and snapshots answer goal queries
+// with paths from root through the merged branches. Steered spaces
+// (Dubins) are rejected — RRT-Connect needs symmetric local motions.
+// The initial snapshot is valid and empty.
+func NewRRTConnectEngine(space *Space, root, goal Config, opts Options) (*Engine, error) {
+	ce, err := core.NewRRTConnectEngine(space, root, goal, opts)
+	if err != nil {
+		return nil, err
+	}
+	e := &Engine{space: space, rrtc: ce}
+	e.publish()
+	return e, nil
+}
+
 // publish builds and atomically installs a fresh snapshot of the
 // engine's committed result. Called with mu held (or before the engine
 // escapes the constructor).
 func (e *Engine) publish() {
 	s := &Snapshot{space: e.space}
-	if e.prm != nil {
+	switch {
+	case e.prm != nil:
 		s.rounds = e.prm.Rounds()
 		s.prmRes = e.prm.Result()
 		s.prmIx = prm.BuildIndex(s.prmRes.Roadmap)
-	} else {
+	case e.rrtc != nil:
+		s.rounds = e.rrtc.Rounds()
+		s.rrtRes = e.rrtc.Result()
+		s.rrtIx = core.BuildTreeIndex(s.rrtRes)
+	default:
 		s.rounds = e.rrt.Rounds()
 		s.rrtRes = e.rrt.Result()
 		s.rrtIx = core.BuildTreeIndex(s.rrtRes)
@@ -98,9 +120,12 @@ func (e *Engine) Grow(ctx context.Context) error {
 		stop = ctx.Done()
 	}
 	var err error
-	if e.prm != nil {
+	switch {
+	case e.prm != nil:
 		err = e.prm.GrowRound(stop)
-	} else {
+	case e.rrtc != nil:
+		err = e.rrtc.GrowRound(stop)
+	default:
 		err = e.rrt.GrowRound(stop)
 	}
 	if err != nil {

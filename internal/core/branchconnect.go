@@ -1,0 +1,93 @@
+package core
+
+import (
+	"parmp/internal/cspace"
+	"parmp/internal/graph"
+	"parmp/internal/region"
+	"parmp/internal/rrt"
+	"parmp/internal/sched"
+	"parmp/internal/work"
+)
+
+// branchConnectOutcome is the branch-connection phase's product: the
+// round's new cycle-free bridges, how many candidates were pruned, how
+// many attempts crossed processors, and the phase's virtual makespan.
+type branchConnectOutcome struct {
+	newBridges   [][4]int
+	newPruned    int
+	regionRemote int
+	makespan     float64
+	stopped      bool
+}
+
+// runBranchConnect executes the tree planners' shared branch-connection
+// phase: for every adjacent region pair, attempt a bridge between the
+// two branches (host-concurrent, then replayed in virtual time on the
+// pair's owner), and keep only bridges that merge distinct components
+// of the committed region-level tree ("if any edge connection creates a
+// cycle, the tree is pruned so as to remove the cycle"). The union-find
+// is rebuilt from committedBridges each round, so an aborted round
+// costs nothing to undo.
+func runBranchConnect(pl *pipeline, rg *region.Graph, s *cspace.Space, opts Options,
+	branches []*rrt.Tree, committedBridges [][4]int, stop <-chan struct{}) branchConnectOutcome {
+
+	n := rg.NumRegions()
+	var pairs [][2]int
+	rg.ForEachAdjacentPair(func(a, b int) { pairs = append(pairs, [2]int{a, b}) })
+	type connResult struct {
+		ia, ib int
+		ok     bool
+	}
+	conns := make([]connResult, len(pairs))
+	connectTasks := [][]work.Task{make([]work.Task, len(pairs))}
+	for idx := range pairs {
+		idx := idx
+		a, b := pairs[idx][0], pairs[idx][1]
+		connectTasks[0][idx] = work.Task{
+			ID: idx,
+			Run: func() (float64, int) {
+				var c cspace.Counters
+				target := region.ConeTarget(rg.Region(b))
+				ia, ib, ok := rrt.Connect(s, branches[a], branches[b], target, 3, &c)
+				conns[idx] = connResult{ia: ia, ib: ib, ok: ok}
+				return opts.Cost.Time(c), 0
+			},
+		}
+	}
+	pl.hostExec("region-connect", connectTasks)
+	if sched.Canceled(stop) {
+		return branchConnectOutcome{stopped: true}
+	}
+	uf := graph.NewUnionFind(n)
+	for _, br := range committedBridges {
+		uf.Union(br[0], br[2])
+	}
+	var out branchConnectOutcome
+	connQueues := make([][]work.Task, opts.Procs)
+	for idx := range pairs {
+		a, b := pairs[idx][0], pairs[idx][1]
+		cost, _ := connectTasks[0][idx].Run() // memoized after the host pass
+		ownerA, ownerB := rg.Owner[a], rg.Owner[b]
+		if ownerA != ownerB {
+			out.regionRemote++
+			cost += opts.Profile.RemoteAccess
+		} else {
+			cost += opts.Profile.LocalAccess
+		}
+		connQueues[ownerA] = append(connQueues[ownerA], costTask(idx, cost))
+		if conns[idx].ok {
+			if uf.Union(a, b) {
+				out.newBridges = append(out.newBridges, [4]int{a, conns[idx].ia, b, conns[idx].ib})
+			} else {
+				out.newPruned++
+			}
+		}
+	}
+	connRep := pl.replay(phaseSpec{name: "region-connect", queues: connQueues})
+	if connRep.Stopped || sched.Canceled(stop) {
+		out.stopped = true
+		return out
+	}
+	out.makespan = connRep.Makespan
+	return out
+}

@@ -1,0 +1,313 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"parmp/internal/cspace"
+	"parmp/internal/geom"
+	"parmp/internal/metrics"
+	"parmp/internal/region"
+	"parmp/internal/repart"
+	"parmp/internal/rng"
+	"parmp/internal/rrt"
+	"parmp/internal/sched"
+	"parmp/internal/work"
+)
+
+// RRTConnectEngine grows the radial-subdivision parallel RRT-Connect
+// incrementally: every region grows TWO trees — one rooted at the shared
+// root (the subdivision apex), one at the goal side of its cone (at the
+// global goal for the region containing it) — alternately extending and
+// greedily connecting until they meet. Met regions stop growing; their
+// merged, root-anchored branch joins the cross-region connection phase
+// exactly like a plain RRT branch, so the whole load-balancing pipeline
+// (k-ray weights, repartitioning, work stealing, bridge pruning) applies
+// unchanged. The one-shot ParallelRRTConnect is exactly one round.
+//
+// An RRTConnectEngine is not safe for concurrent use; the serving layer
+// (package parmp) serializes growth and publishes immutable snapshots.
+type RRTConnectEngine struct {
+	s      *cspace.Space
+	root   cspace.Config
+	goal   cspace.Config
+	opts   Options
+	pl     *pipeline
+	rg     *region.Graph
+	params rrt.Params
+
+	// bis holds each region's committed tree pair (nil before the
+	// region's first committed round).
+	bis          []*rrt.BiTree
+	bridges      [][4]int
+	prunedCycles int
+
+	res   *RRTResult // last committed cumulative result
+	round int
+}
+
+// NewRRTConnectEngine validates opts and builds the radial subdivision
+// about root. RRT-Connect marches both trees along straight local plans
+// in both directions, so it requires symmetric local motions: spaces
+// with a steering function (Dubins) are rejected. The goal must be a
+// valid-length configuration; it seeds the goal-side tree of whichever
+// region contains it.
+func NewRRTConnectEngine(s *cspace.Space, root, goal cspace.Config, opts Options) (*RRTConnectEngine, error) {
+	opts = opts.Defaults()
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	if s.Steer != nil {
+		return nil, errors.New("core: RRT-Connect requires symmetric local motions (steered spaces are not supported)")
+	}
+	if goal == nil {
+		return nil, errors.New("core: RRT-Connect requires a goal configuration")
+	}
+	if goal.Dim() != root.Dim() {
+		return nil, fmt.Errorf("core: goal dimension %d != root dimension %d", goal.Dim(), root.Dim())
+	}
+	apex := root.Clone()
+	setupRNG := rng.Derive(opts.Seed, 0xabcdef)
+	rg := region.RadialSubdivision(apex, region.RadialSpec{
+		Regions:      opts.Regions,
+		K:            opts.RegionK,
+		Radius:       opts.Radius,
+		OverlapAngle: opts.Overlap,
+	}, setupRNG)
+	assignContiguous(rg, opts.Procs)
+	// Random radial cones cover direction space only approximately (each
+	// half-angle is the nearest-ray spacing), so the goal's direction can
+	// fall in a gap between every cone. Deterministically widen the cone
+	// nearest the goal until it contains it: RRT-Connect's advantage
+	// hinges on exactly one region rooting its goal-side tree at the goal.
+	if goal.Dim() == apex.Dim() {
+		if v := goal.Sub(apex); v.Norm() > 0 && v.Norm() <= opts.Radius {
+			best, bestAngle := -1, math.MaxFloat64
+			for i := 0; i < rg.NumRegions(); i++ {
+				if a := geom.AngleBetween(v, rg.Region(i).Ray); a < bestAngle {
+					best, bestAngle = i, a
+				}
+			}
+			if reg := rg.Region(best); reg.HalfAngle <= bestAngle {
+				reg.HalfAngle = bestAngle + 1e-9
+			}
+		}
+	}
+	e := &RRTConnectEngine{
+		s:      s,
+		root:   apex,
+		goal:   goal.Clone(),
+		opts:   opts,
+		pl:     newPipeline(opts),
+		rg:     rg,
+		params: rrt.Params{Nodes: opts.NodesPerRegion, Step: opts.Step, GoalBias: opts.GoalBias},
+	}
+	e.bis = make([]*rrt.BiTree, rg.NumRegions())
+	e.res = &RRTResult{RegionGraph: rg}
+	return e, nil
+}
+
+// Rounds returns the number of committed growth rounds.
+func (e *RRTConnectEngine) Rounds() int { return e.round }
+
+// Result returns the cumulative result of all committed rounds. The
+// returned value is immutable: Branches are freshly merged per round, so
+// holding a result (or a snapshot built from it) is safe while the
+// engine keeps growing.
+func (e *RRTConnectEngine) Result() *RRTResult { return e.res }
+
+// GrowRound runs one pipeline pass: every unmet region's tree pair grows
+// toward a cumulative node target (met pairs are no-ops), then adjacent
+// regions' merged branches attempt cross-region bridges. Cancellation
+// semantics match RRTEngine.GrowRound: on a fired stop channel the
+// round's partial buffers are discarded and ErrStopped returned.
+func (e *RRTConnectEngine) GrowRound(stop <-chan struct{}) error {
+	opts := e.opts
+	pl := e.pl
+	rg := e.rg
+	n := rg.NumRegions()
+	round := e.round
+
+	pl.stop = stop
+	defer func() { pl.stop = nil }()
+	reportMark := len(pl.reports)
+	ownerMark := append([]int(nil), rg.Owner...)
+	abort := func() error {
+		pl.reports = pl.reports[:reportMark]
+		copy(rg.Owner, ownerMark)
+		return ErrStopped
+	}
+
+	var phases PhaseBreakdown
+	if round == 0 {
+		phases.Setup = pl.barrier()
+	}
+
+	// --- Weight phase with the k-ray estimate (round 0 only), exactly as
+	// in RRTEngine: the probe is a static workspace property.
+	weights := make([]float64, n)
+	for i := range weights {
+		weights[i] = 1
+	}
+	migrated := 0
+	if round == 0 {
+		if e.s.Dim() == e.s.Env.Dim() {
+			weights = repart.KRayWeights(e.s.Env, rg, opts.KRays, opts.Seed)
+		}
+		if err := rg.SetWeights(weights); err != nil {
+			return err
+		}
+		e.res.CVBefore = metrics.CV(rg.LoadPerProcessor(opts.Procs))
+		if opts.Strategy == Repartition {
+			rayCost := float64(opts.KRays) * opts.Cost.CDObstacle * float64(len(e.s.Env.Obstacles)+1)
+			rayRep := pl.replay(phaseSpec{
+				name: "weight",
+				queues: queuesByOwner(opts.Procs, rg.Owner, n, func(i int) work.Task {
+					return costTask(i, rayCost)
+				}),
+			})
+			phases.Redistribution = rayRep.Makespan + pl.barrier()
+			var cost float64
+			migrated, cost = pl.rebalance(rg, weights, nil)
+			phases.Redistribution += cost
+		}
+	}
+	if sched.Canceled(stop) {
+		return abort()
+	}
+
+	// --- Tree-pair growth phase (expensive; stealable). Round 0 roots
+	// each pair (consuming the region's stream before growth, so the
+	// one-shot planner and the engine agree); later rounds grow a
+	// round-local copy of the committed pair, so an aborted round leaves
+	// committed state untouched.
+	targetNodes := (round + 1) * opts.NodesPerRegion
+	params := e.params
+	params.Nodes = targetNodes
+	results := make([]rrt.BiResult, n)
+	report := pl.run(phaseSpec{
+		name: "construct",
+		queues: queuesByOwner(opts.Procs, rg.Owner, n, func(i int) work.Task {
+			return work.Task{
+				ID: i,
+				Run: func() (float64, int) {
+					r := rng.Derive(opts.Seed, roundSalt(round, i))
+					bi := e.roundBiTree(i)
+					var rootWork cspace.Counters
+					if bi == nil {
+						bi, rootWork = rrt.NewBiTree(e.s, rg.Region(i), e.goal, r)
+					}
+					results[i] = rrt.GrowBiTree(e.s, rg.Region(i), bi, params, r)
+					results[i].Work.Add(rootWork)
+					return opts.Cost.Time(results[i].Work), bi.Len()
+				},
+			}
+		}),
+		policy: pl.stealPolicy(),
+		salt:   saltConnectConstruct,
+	})
+	if report.Stopped || sched.Canceled(stop) {
+		return abort()
+	}
+	phases.NodeConnection = report.Makespan + pl.barrier()
+	pl.applyOwnership(rg, report)
+
+	weightCorr := e.res.WeightActualCorr
+	if round == 0 && opts.Strategy == Repartition {
+		costs := make([]float64, n)
+		for i := 0; i < n; i++ {
+			costs[i] = report.Cost[i]
+		}
+		weightCorr = metrics.Pearson(weights, costs)
+	}
+
+	// --- Branch connection phase over the merged, root-anchored
+	// branches. Unmet goal-side trees are excluded (their nodes cannot
+	// reach the root), but stay in the engine to keep growing next round.
+	branches := make([]*rrt.Tree, n)
+	for i := 0; i < n; i++ {
+		branches[i] = rrt.MergeBiTree(results[i].Bi)
+	}
+	conn := runBranchConnect(pl, rg, e.s, opts, branches, e.bridges, stop)
+	if conn.stopped {
+		return abort()
+	}
+	phases.RegionConnection = conn.makespan + pl.barrier()
+	phases.Other = pl.barrier()
+
+	// --- Commit.
+	for i := 0; i < n; i++ {
+		e.bis[i] = results[i].Bi
+	}
+	e.bridges = append(e.bridges, conn.newBridges...)
+	e.prunedCycles += conn.newPruned
+	e.round++
+
+	prev := e.res
+	res := &RRTResult{
+		Branches:         branches,
+		Bridges:          e.bridges,
+		PrunedCycles:     e.prunedCycles,
+		RegionGraph:      rg,
+		ProcStats:        report.Workers,
+		PhaseReports:     pl.reports,
+		EdgeCut:          rg.EdgeCut(),
+		RegionRemote:     prev.RegionRemote + conn.regionRemote,
+		MigratedRegions:  prev.MigratedRegions + migrated,
+		CVBefore:         prev.CVBefore,
+		WeightActualCorr: weightCorr,
+	}
+	for i := 0; i < n; i++ {
+		bi := e.bis[i]
+		if bi == nil || !bi.Met {
+			continue
+		}
+		res.TreesMet++
+		if bi.B != nil && bi.B.Nodes[0].Q.Equal(e.goal, 0) {
+			res.GoalConnected = true
+		}
+	}
+	res.Phases = prev.Phases
+	res.Phases.Setup += phases.Setup
+	res.Phases.Redistribution += phases.Redistribution
+	res.Phases.NodeConnection += phases.NodeConnection
+	res.Phases.RegionConnection += phases.RegionConnection
+	res.Phases.Other += phases.Other
+	res.TotalTime = res.Phases.Total()
+	res.NodeLoads = make([]float64, opts.Procs)
+	for i := 0; i < n; i++ {
+		res.NodeLoads[rg.Owner[i]] += float64(branches[i].Len())
+	}
+	res.CVAfter = metrics.CV(res.NodeLoads)
+	e.res = res
+	return nil
+}
+
+// roundBiTree returns a round-local deep copy of region i's committed
+// tree pair, or nil before the region's first committed round (the
+// growth task then roots a fresh pair, consuming the round's stream
+// exactly like the one-shot planner).
+func (e *RRTConnectEngine) roundBiTree(i int) *rrt.BiTree {
+	if e.bis[i] == nil {
+		return nil
+	}
+	return e.bis[i].Copy()
+}
+
+// ParallelRRTConnect runs the radial-subdivision parallel RRT-Connect
+// rooted at root, with every region's goal-side tree anchored toward
+// goal (exactly at goal for the region containing it). It is exactly one
+// growth round of an RRTConnectEngine; long-lived callers that want to
+// keep extending the same pairs (or cancel mid-build) should construct
+// the engine directly.
+func ParallelRRTConnect(s *cspace.Space, root, goal cspace.Config, opts Options) (*RRTResult, error) {
+	eng, err := NewRRTConnectEngine(s, root, goal, opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := eng.GrowRound(nil); err != nil {
+		return nil, err
+	}
+	return eng.Result(), nil
+}

@@ -2,7 +2,6 @@ package core
 
 import (
 	"parmp/internal/cspace"
-	"parmp/internal/graph"
 	"parmp/internal/metrics"
 	"parmp/internal/region"
 	"parmp/internal/repart"
@@ -207,75 +206,17 @@ func (e *RRTEngine) GrowRound(stop <-chan struct{}) error {
 		weightCorr = metrics.Pearson(weights, costs)
 	}
 
-	// --- Branch connection phase with cycle pruning. The union-find is
-	// rebuilt from the committed bridges, so already-connected pairs are
-	// pruned consistently across rounds and an aborted round costs
-	// nothing to undo.
+	// --- Branch connection phase with cycle pruning (shared with the
+	// RRT-Connect engine; see runBranchConnect).
 	branches := make([]*rrt.Tree, n)
 	for i := 0; i < n; i++ {
 		branches[i] = results[i].Tree
 	}
-	var pairs [][2]int
-	rg.ForEachAdjacentPair(func(a, b int) { pairs = append(pairs, [2]int{a, b}) })
-	type connResult struct {
-		ia, ib int
-		ok     bool
-	}
-	conns := make([]connResult, len(pairs))
-	connectTasks := [][]work.Task{make([]work.Task, len(pairs))}
-	for idx := range pairs {
-		idx := idx
-		a, b := pairs[idx][0], pairs[idx][1]
-		connectTasks[0][idx] = work.Task{
-			ID: idx,
-			Run: func() (float64, int) {
-				var c cspace.Counters
-				target := region.ConeTarget(rg.Region(b))
-				ia, ib, ok := rrt.Connect(e.s, branches[a], branches[b], target, 3, &c)
-				conns[idx] = connResult{ia: ia, ib: ib, ok: ok}
-				return opts.Cost.Time(c), 0
-			},
-		}
-	}
-	pl.hostExec("region-connect", connectTasks)
-	if sched.Canceled(stop) {
+	conn := runBranchConnect(pl, rg, e.s, opts, branches, e.bridges, stop)
+	if conn.stopped {
 		return abort()
 	}
-	uf := graph.NewUnionFind(n)
-	for _, br := range e.bridges {
-		uf.Union(br[0], br[2])
-	}
-	connQueues := make([][]work.Task, opts.Procs)
-	regionRemote := 0
-	var newBridges [][4]int
-	newPruned := 0
-	for idx := range pairs {
-		a, b := pairs[idx][0], pairs[idx][1]
-		cost, _ := connectTasks[0][idx].Run() // memoized after the host pass
-		ownerA, ownerB := rg.Owner[a], rg.Owner[b]
-		if ownerA != ownerB {
-			regionRemote++
-			cost += opts.Profile.RemoteAccess
-		} else {
-			cost += opts.Profile.LocalAccess
-		}
-		connQueues[ownerA] = append(connQueues[ownerA], costTask(idx, cost))
-		if conns[idx].ok {
-			// "If any edge connection creates a cycle, the tree is pruned
-			// so as to remove the cycle": keep the bridge only if it
-			// merges two distinct components.
-			if uf.Union(a, b) {
-				newBridges = append(newBridges, [4]int{a, conns[idx].ia, b, conns[idx].ib})
-			} else {
-				newPruned++
-			}
-		}
-	}
-	connRep := pl.replay(phaseSpec{name: "region-connect", queues: connQueues})
-	if connRep.Stopped || sched.Canceled(stop) {
-		return abort()
-	}
-	phases.RegionConnection = connRep.Makespan + pl.barrier()
+	phases.RegionConnection = conn.makespan + pl.barrier()
 	phases.Other = pl.barrier()
 
 	// --- Commit.
@@ -286,8 +227,8 @@ func (e *RRTEngine) GrowRound(stop <-chan struct{}) error {
 			e.trees[i] = results[i].Tree
 		}
 	}
-	e.bridges = append(e.bridges, newBridges...)
-	e.prunedCycles += newPruned
+	e.bridges = append(e.bridges, conn.newBridges...)
+	e.prunedCycles += conn.newPruned
 	e.round++
 
 	prev := e.res
@@ -299,7 +240,7 @@ func (e *RRTEngine) GrowRound(stop <-chan struct{}) error {
 		ProcStats:        report.Workers,
 		PhaseReports:     pl.reports,
 		EdgeCut:          rg.EdgeCut(),
-		RegionRemote:     prev.RegionRemote + regionRemote,
+		RegionRemote:     prev.RegionRemote + conn.regionRemote,
 		MigratedRegions:  prev.MigratedRegions + migrated,
 		CVBefore:         prev.CVBefore,
 		Rewires:          prev.Rewires,

@@ -15,8 +15,9 @@ import (
 // Phase seed salts keep victim randomization independent across the
 // pipeline's stealable phases (and across PRM vs RRT).
 const (
-	saltPRMConstruct = 0x9e37
-	saltRRTConstruct = 0x51ab
+	saltPRMConstruct     = 0x9e37
+	saltRRTConstruct     = 0x51ab
+	saltConnectConstruct = 0x77cd
 )
 
 // phaseSpec describes one pipeline phase as a first-class record: named

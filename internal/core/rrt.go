@@ -34,6 +34,14 @@ type RRTResult struct {
 	MigratedRegions   int
 	// Rewires counts RRT* parent improvements (0 for plain RRT).
 	Rewires int
+	// TreesMet counts regions whose RRT-Connect tree pairs have bridged
+	// (0 for single-tree RRT).
+	TreesMet int
+	// GoalConnected reports that the region containing the goal rooted
+	// its goal-side tree at the goal configuration and that pair met —
+	// i.e. the merged forest contains a path from the root to the exact
+	// goal (RRT-Connect only).
+	GoalConnected bool
 	// WeightActualCorr is the Pearson correlation between the k-ray
 	// weight estimate and the measured branch cost — the paper's evidence
 	// that the estimator is poor (only populated when Strategy is

@@ -1,0 +1,146 @@
+package env
+
+import (
+	"testing"
+
+	"parmp/internal/geom"
+	"parmp/internal/rng"
+)
+
+// batchEnvs returns environments covering every column kernel: boxes
+// (med-cube), boxes+spheres (mixed-30), a polygon for the gather
+// fallback, and an empty scene.
+func batchEnvs(t *testing.T) []*Environment {
+	t.Helper()
+	poly, ok := NewConvexPolygon([]geom.Vec{geom.V(0.3, 0.3), geom.V(0.7, 0.35), geom.V(0.5, 0.7)})
+	if !ok {
+		t.Fatal("polygon construction failed")
+	}
+	polyEnv := &Environment{
+		Name:      "poly",
+		Bounds:    geom.Box2(0, 0, 1, 1),
+		Obstacles: []Obstacle{poly, SphereObstacle{Center: geom.V(0.8, 0.2), Radius: 0.1}},
+	}
+	return []*Environment{MedCube(), Mixed30(), polyEnv, Free()}
+}
+
+func toCols(pts []geom.Vec, d int) [][]float64 {
+	cols := make([][]float64, d)
+	for k := range cols {
+		cols[k] = make([]float64, len(pts))
+		for i, p := range pts {
+			cols[k][i] = p[k]
+		}
+	}
+	return cols
+}
+
+// TestCheckPointsSoAParity sweeps random batches through every
+// environment: outcome must match the scalar point-major sweep, and on
+// all-free batches the test counts must agree exactly.
+func TestCheckPointsSoAParity(t *testing.T) {
+	for _, e := range batchEnvs(t) {
+		r := rng.New(7)
+		d := e.Dim()
+		var sc BatchScratch
+		for trial := 0; trial < 200; trial++ {
+			n := 1 + r.Intn(17)
+			pts := make([]geom.Vec, n)
+			for i := range pts {
+				p := make(geom.Vec, d)
+				for k := range p {
+					// Overshoot bounds occasionally to hit the bounds sweep.
+					p[k] = r.Range(e.Bounds.Lo[k]-0.1, e.Bounds.Hi[k]+0.1)
+				}
+				pts[i] = p
+			}
+			wantFree := true
+			wantTests := 0
+			for _, p := range pts {
+				free, tests := e.CheckPoint(p)
+				wantTests += tests
+				if !free {
+					wantFree = false
+					break
+				}
+			}
+			gotFree, gotTests := e.CheckPointsSoA(toCols(pts, d), n, &sc)
+			if gotFree != wantFree {
+				t.Fatalf("%s trial %d: batch free=%v, scalar free=%v", e.Name, trial, gotFree, wantFree)
+			}
+			if wantFree && gotTests != wantTests {
+				t.Fatalf("%s trial %d: all-free batch counted %d tests, scalar %d", e.Name, trial, gotTests, wantTests)
+			}
+		}
+	}
+}
+
+// TestSegmentsFreeSoAParity does the same for the segment kernel.
+func TestSegmentsFreeSoAParity(t *testing.T) {
+	for _, e := range batchEnvs(t) {
+		r := rng.New(11)
+		d := e.Dim()
+		var sc BatchScratch
+		for trial := 0; trial < 200; trial++ {
+			n := 1 + r.Intn(17)
+			as := make([]geom.Vec, n)
+			bs := make([]geom.Vec, n)
+			for i := range as {
+				a := make(geom.Vec, d)
+				b := make(geom.Vec, d)
+				for k := range a {
+					a[k] = r.Range(e.Bounds.Lo[k], e.Bounds.Hi[k])
+					// Mostly short segments, some degenerate (zero-length)
+					// to hit the slab test's parallel-axis branch.
+					if trial%5 == 0 {
+						b[k] = a[k]
+					} else {
+						b[k] = a[k] + r.Range(-0.2, 0.2)
+					}
+				}
+				as[i], bs[i] = a, b
+			}
+			wantFree := true
+			wantTests := 0
+			for i := range as {
+				free, tests := e.SegmentFree(as[i], bs[i])
+				wantTests += tests
+				if !free {
+					wantFree = false
+					break
+				}
+			}
+			gotFree, gotTests := e.SegmentsFreeSoA(toCols(as, d), toCols(bs, d), n, &sc)
+			if gotFree != wantFree {
+				t.Fatalf("%s trial %d: batch free=%v, scalar free=%v", e.Name, trial, gotFree, wantFree)
+			}
+			if wantFree && gotTests != wantTests {
+				t.Fatalf("%s trial %d: all-free batch counted %d tests, scalar %d", e.Name, trial, gotTests, wantTests)
+			}
+		}
+	}
+}
+
+// TestBatchKernelsEmptyBatch checks the n=0 edge case.
+func TestBatchKernelsEmptyBatch(t *testing.T) {
+	e := MedCube()
+	var sc BatchScratch
+	if free, tests := e.CheckPointsSoA(nil, 0, &sc); !free || tests != 0 {
+		t.Fatalf("empty point batch: got (%v, %d), want (true, 0)", free, tests)
+	}
+	if free, tests := e.SegmentsFreeSoA(nil, nil, 0, &sc); !free || tests != 0 {
+		t.Fatalf("empty segment batch: got (%v, %d), want (true, 0)", free, tests)
+	}
+}
+
+// TestCheckPointsSoAOutOfBounds confirms the scalar convention that
+// out-of-bounds rejections cost zero obstacle tests.
+func TestCheckPointsSoAOutOfBounds(t *testing.T) {
+	e := MedCube()
+	var sc BatchScratch
+	pts := []geom.Vec{geom.V(0.1, 0.1, 0.1), geom.V(2, 2, 2)}
+	free, tests := e.CheckPointsSoA(toCols(pts, 3), len(pts), &sc)
+	if free || tests != 0 {
+		t.Fatalf("out-of-bounds batch: got (%v, %d), want (false, 0)", free, tests)
+	}
+}

@@ -50,6 +50,11 @@ type Scale struct {
 	RRTRegions       int
 	NodesPerRegion   int
 	Seed             uint64
+	// RaceSeeds/RaceRounds size the RRT vs RRT-Connect planner race
+	// (seeds per planner, growth-round budget per seed). Zero values
+	// fall back to the quick defaults.
+	RaceSeeds  int
+	RaceRounds int
 }
 
 // Quick returns the fast scale used in tests and benchmarks.
@@ -72,6 +77,8 @@ func Quick() Scale {
 		RRTRegions:       256,
 		NodesPerRegion:   10,
 		Seed:             42,
+		RaceSeeds:        5,
+		RaceRounds:       64,
 	}
 }
 
@@ -96,6 +103,8 @@ func Full() Scale {
 		RRTRegions:       2048,
 		NodesPerRegion:   16,
 		Seed:             42,
+		RaceSeeds:        5,
+		RaceRounds:       128,
 	}
 }
 
@@ -606,6 +615,8 @@ func ByName(id string, sc Scale) ([]*metrics.Table, bool) {
 		return []*metrics.Table{AblationVictimPolicy(sc)}, true
 	case "ablation-rrtstar":
 		return []*metrics.Table{AblationRRTStar(sc)}, true
+	case "planners":
+		return Planners(sc, nil), true
 	case "ablations":
 		return []*metrics.Table{
 			AblationDecomposition(sc), AblationStealChunk(sc),
@@ -624,5 +635,5 @@ func Names() []string {
 		"fig7a", "fig7b", "fig8", "fig9", "fig10",
 		"ablation-decomposition", "ablation-stealchunk", "ablation-weights",
 		"ablation-partitioner", "ablation-victims", "ablation-rrtstar",
-		"ablations", "all"}
+		"ablations", "planners", "all"}
 }

@@ -33,11 +33,20 @@ type Result struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
+	// ItemsPerOp is how many logical items (configurations, edges, kNN
+	// queries) one op processes; NsPerItem = NsPerOp / ItemsPerOp. Batch
+	// kernels amortize per-call overhead over many items, so per-item
+	// time — not per-op time — is what the batch regression gate compares
+	// against the scalar counterpart.
+	ItemsPerOp int     `json:"items_per_op"`
+	NsPerItem  float64 `json:"ns_per_item"`
 }
 
-// Kernel names a benchmark body runnable via testing.Benchmark.
+// Kernel names a benchmark body runnable via testing.Benchmark. Items is
+// the number of logical items one benchmark op processes (0 = 1).
 type Kernel struct {
 	Name  string
+	Items int
 	Bench func(b *testing.B)
 }
 
@@ -47,9 +56,13 @@ func Kernels() []Kernel {
 		{Name: "ConnectRegion", Bench: benchConnectRegion},
 		{Name: "ConnectBoundary", Bench: benchConnectBoundary},
 		{Name: "ConfigFree", Bench: benchConfigFree},
+		{Name: "ConfigFreeBatch", Items: batchConfigs, Bench: benchConfigFreeBatch},
 		{Name: "EdgeFreeLinkage", Bench: benchEdgeFreeLinkage},
+		{Name: "EdgeFreeBatchLinkage", Items: batchEdges, Bench: benchEdgeFreeBatchLinkage},
 		{Name: "LocalPlan", Bench: benchLocalPlan},
+		{Name: "LocalPlanBatch", Bench: benchLocalPlanBatch},
 		{Name: "NearestInto", Bench: benchNearestInto},
+		{Name: "NearestBatch", Items: batchQueries, Bench: benchNearestBatch},
 		{Name: "DynamicNearest", Bench: benchDynamicNearest},
 		{Name: "KDTreeBuild", Bench: benchKDTreeBuild},
 	}
@@ -63,12 +76,19 @@ func RunAll() []Result {
 	out := make([]Result, 0, len(ks))
 	for _, k := range ks {
 		r := testing.Benchmark(k.Bench)
+		items := k.Items
+		if items <= 0 {
+			items = 1
+		}
+		ns := float64(r.T.Nanoseconds()) / float64(r.N)
 		out = append(out, Result{
 			Name:        k.Name,
 			Iterations:  r.N,
-			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			NsPerOp:     ns,
 			AllocsPerOp: r.AllocsPerOp(),
 			BytesPerOp:  r.AllocedBytesPerOp(),
+			ItemsPerOp:  items,
+			NsPerItem:   ns / float64(items),
 		})
 	}
 	return out
@@ -96,6 +116,83 @@ func CheckMaxAllocs(rs []Result, max int64) error {
 	return nil
 }
 
+// batchPairs maps each batched kernel to its scalar counterpart. Both
+// sides of a pair process the same inputs (the scalar kernel one item
+// per op, the batch kernel the whole set), so per-item times are
+// directly comparable on any machine.
+var batchPairs = []struct{ batch, scalar string }{
+	{"ConfigFreeBatch", "ConfigFree"},
+	{"EdgeFreeBatchLinkage", "EdgeFreeLinkage"},
+	{"LocalPlanBatch", "LocalPlan"},
+	{"NearestBatch", "NearestInto"},
+}
+
+// CheckBatchNs enforces the batched kernels' ns regression gate: each
+// batch kernel's per-item time must stay within maxRatio of its scalar
+// counterpart's (e.g. 1.15 = at most 15% slower per item). The ratio is
+// machine-independent — both sides run on the same host in the same
+// process — so CI needs no stored baseline for this check.
+func CheckBatchNs(rs []Result, maxRatio float64) error {
+	byName := make(map[string]Result, len(rs))
+	for _, r := range rs {
+		byName[r.Name] = r
+	}
+	var bad []string
+	for _, p := range batchPairs {
+		b, okB := byName[p.batch]
+		s, okS := byName[p.scalar]
+		if !okB || !okS {
+			continue
+		}
+		if s.NsPerItem <= 0 {
+			continue
+		}
+		if ratio := b.NsPerItem / s.NsPerItem; ratio > maxRatio {
+			bad = append(bad, fmt.Sprintf("%s %.1f ns/item vs %s %.1f ns/item (%.2fx > %.2fx)",
+				p.batch, b.NsPerItem, p.scalar, s.NsPerItem, ratio, maxRatio))
+		}
+	}
+	if len(bad) > 0 {
+		return fmt.Errorf("batch kernels regressed past the scalar baseline: %v", bad)
+	}
+	return nil
+}
+
+// ReadJSON parses results previously written by WriteJSON.
+func ReadJSON(r io.Reader) ([]Result, error) {
+	var rs []Result
+	if err := json.NewDecoder(r).Decode(&rs); err != nil {
+		return nil, err
+	}
+	return rs, nil
+}
+
+// CheckNsRegression compares current results against a stored baseline:
+// any kernel present in both whose ns/op grew by more than maxRegress
+// (0.15 = 15%) fails the gate. Kernels absent from the baseline are
+// skipped, so adding a kernel never breaks an old baseline file.
+func CheckNsRegression(cur, baseline []Result, maxRegress float64) error {
+	base := make(map[string]Result, len(baseline))
+	for _, r := range baseline {
+		base[r.Name] = r
+	}
+	var bad []string
+	for _, r := range cur {
+		b, ok := base[r.Name]
+		if !ok || b.NsPerOp <= 0 {
+			continue
+		}
+		if r.NsPerOp > b.NsPerOp*(1+maxRegress) {
+			bad = append(bad, fmt.Sprintf("%s %.1f ns/op vs baseline %.1f ns/op (+%.0f%%)",
+				r.Name, r.NsPerOp, b.NsPerOp, (r.NsPerOp/b.NsPerOp-1)*100))
+		}
+	}
+	if len(bad) > 0 {
+		return fmt.Errorf("kernels regressed more than %.0f%% over baseline: %v", maxRegress*100, bad)
+	}
+	return nil
+}
+
 func benchConnectRegion(b *testing.B) {
 	s := cspace.NewPointSpace(env.MedCube())
 	nodes, _ := prm.SampleRegion(s, s.Bounds, 0, prm.Params{SamplesPerRegion: 200}, rng.New(7))
@@ -118,15 +215,39 @@ func benchConnectBoundary(b *testing.B) {
 	}
 }
 
+// Batch sizes for the batched kernels; the scalar counterparts iterate
+// the same fixture sets one item per op, so per-item times compare the
+// exact same work.
+const (
+	batchConfigs = 64
+	batchEdges   = 16
+	batchQueries = 64
+)
+
+// freeConfigs rejection-samples n collision-free configurations.
+func freeConfigs(s *cspace.Space, n int, seed uint64) []cspace.Config {
+	r := rng.New(seed)
+	var sc cspace.Scratch
+	var c cspace.Counters
+	out := make([]cspace.Config, 0, n)
+	for len(out) < n {
+		q := s.SampleIn(s.Bounds, r, nil)
+		if s.ValidS(q, &sc, &c) {
+			out = append(out, q)
+		}
+	}
+	return out
+}
+
+func rigidBenchSpace() *cspace.Space {
+	return cspace.NewRigidBodySpace(env.MedCube(), cspace.NewRigidBox(0.03, 0.02, 0.01))
+}
+
 func benchConfigFree(b *testing.B) {
-	s := cspace.NewRigidBodySpace(env.MedCube(), cspace.NewRigidBox(0.03, 0.02, 0.01))
-	r := rng.New(11)
+	s := rigidBenchSpace()
 	var c cspace.Counters
 	var sc cspace.Scratch
-	qs := make([]cspace.Config, 64)
-	for i := range qs {
-		qs[i] = s.SampleIn(s.Bounds, r, nil)
-	}
+	qs := freeConfigs(s, batchConfigs, 11)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -134,34 +255,102 @@ func benchConfigFree(b *testing.B) {
 	}
 }
 
-func benchEdgeFreeLinkage(b *testing.B) {
-	e := env.Maze2D(4, 0.2)
-	l := cspace.Linkage{Base: geom.V(0.5, 0.5), LinkLen: []float64{0.1, 0.1, 0.08, 0.06}}
-	s := cspace.NewLinkageSpace(e, l)
-	r := rng.New(13)
-	var sc cspace.Scratch
-	qa := s.SampleIn(s.Bounds, r, nil)
-	qb := qa.Clone()
-	for i := range qb {
-		qb[i] += 0.01
+func benchConfigFreeBatch(b *testing.B) {
+	s := rigidBenchSpace()
+	robot := s.Robot.(cspace.BatchRobot)
+	qs := freeConfigs(s, batchConfigs, 11)
+	var bt cspace.Batch
+	bt.Reset(s.Dim())
+	for _, q := range qs {
+		bt.Append(q)
 	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		l.EdgeFreeS(e, qa, qb, &sc)
+		robot.ConfigFreeBatch(s.Env, &bt)
 	}
+}
+
+// linkageBenchEdges returns n short edges whose swept motion is free, so
+// a batch sweep never fails fast and every item costs full validation.
+func linkageBenchEdges(e *env.Environment, l cspace.Linkage, s *cspace.Space, n int, seed uint64) (qa, qb []cspace.Config) {
+	r := rng.New(seed)
+	var sc cspace.Scratch
+	for len(qa) < n {
+		a := s.SampleIn(s.Bounds, r, nil)
+		bb := a.Clone()
+		for i := range bb {
+			bb[i] += 0.01
+		}
+		if ok, _ := l.EdgeFreeS(e, a, bb, &sc); ok {
+			qa = append(qa, a)
+			qb = append(qb, bb)
+		}
+	}
+	return qa, qb
+}
+
+func linkageBenchSpace() (*env.Environment, cspace.Linkage, *cspace.Space) {
+	e := env.Maze2D(4, 0.2)
+	l := cspace.Linkage{Base: geom.V(0.5, 0.5), LinkLen: []float64{0.1, 0.1, 0.08, 0.06}}
+	return e, l, cspace.NewLinkageSpace(e, l)
+}
+
+func benchEdgeFreeLinkage(b *testing.B) {
+	e, l, s := linkageBenchSpace()
+	qa, qb := linkageBenchEdges(e, l, s, batchEdges, 13)
+	var sc cspace.Scratch
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j := i % len(qa)
+		l.EdgeFreeS(e, qa[j], qb[j], &sc)
+	}
+}
+
+func benchEdgeFreeBatchLinkage(b *testing.B) {
+	e, l, s := linkageBenchSpace()
+	qa, qb := linkageBenchEdges(e, l, s, batchEdges, 13)
+	var bt cspace.Batch
+	bt.Reset(s.Dim())
+	for j := range qa {
+		bt.AppendEdge(qa[j], qb[j])
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.EdgeFreeBatch(e, &bt)
+	}
+}
+
+// localPlanEdge is a free edge of the med-cube point space (it skirts
+// the central cube), so both local planners sweep the full resolution —
+// the accepted-edge hot path that dominates PRM connection cost.
+func localPlanEdge() (geom.Vec, geom.Vec) {
+	return geom.V(0.05, 0.05, 0.05), geom.V(0.1, 0.9, 0.1)
 }
 
 func benchLocalPlan(b *testing.B) {
 	s := cspace.NewPointSpace(env.MedCube())
 	var c cspace.Counters
 	var sc cspace.Scratch
-	qa := geom.V(0.1, 0.1, 0.1)
-	qb := geom.V(0.35, 0.3, 0.32)
+	qa, qb := localPlanEdge()
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		s.LocalPlanS(qa, qb, &sc, &c)
+	}
+}
+
+func benchLocalPlanBatch(b *testing.B) {
+	s := cspace.NewPointSpace(env.MedCube())
+	var c cspace.Counters
+	var bt cspace.Batch
+	qa, qb := localPlanEdge()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.LocalPlanBatch(qa, qb, &bt, &c)
 	}
 }
 
@@ -187,6 +376,21 @@ func benchNearestInto(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		dst, _ = tree.NearestInto(&sc, qs[i%len(qs)], 8, -1, dst[:0])
+	}
+}
+
+func benchNearestBatch(b *testing.B) {
+	r := rng.New(17)
+	pts := randomPoints(r, 1000, 3)
+	tree := knn.Build(pts)
+	qs := randomPoints(r, batchQueries, 3)
+	var sc knn.QueryScratch
+	var dst []knn.Result
+	var offs []int
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst, offs, _ = tree.NearestBatch(&sc, qs, 8, -1, dst[:0], offs)
 	}
 }
 

@@ -56,6 +56,79 @@ func TestWriteJSONRoundTrip(t *testing.T) {
 	}
 }
 
+// TestRunBatchKernel smoke-tests a batched kernel body and its
+// steady-state allocation contract.
+func TestRunBatchKernel(t *testing.T) {
+	if err := flag.Set("test.benchtime", "10x"); err != nil {
+		t.Fatal(err)
+	}
+	r := testing.Benchmark(benchLocalPlanBatch)
+	if r.N < 10 {
+		t.Fatalf("benchmark ran %d iterations, want >= 10", r.N)
+	}
+	if a := r.AllocsPerOp(); a > 5 {
+		t.Fatalf("LocalPlanBatch kernel allocates %d allocs/op, want near zero", a)
+	}
+}
+
+func TestCheckBatchNs(t *testing.T) {
+	rs := []Result{
+		{Name: "LocalPlan", NsPerOp: 100, ItemsPerOp: 1, NsPerItem: 100},
+		{Name: "LocalPlanBatch", NsPerOp: 110, ItemsPerOp: 1, NsPerItem: 110},
+		{Name: "NearestInto", NsPerOp: 100, ItemsPerOp: 1, NsPerItem: 100},
+		{Name: "NearestBatch", NsPerOp: 6400, ItemsPerOp: 64, NsPerItem: 100},
+	}
+	if err := CheckBatchNs(rs, 1.15); err != nil {
+		t.Fatalf("within-ratio results failed the gate: %v", err)
+	}
+	rs[1].NsPerItem = 120 // 1.2x > 1.15x
+	err := CheckBatchNs(rs, 1.15)
+	if err == nil {
+		t.Fatal("expected ratio gate failure")
+	}
+	if !strings.Contains(err.Error(), "LocalPlanBatch") || strings.Contains(err.Error(), "NearestBatch") {
+		t.Fatalf("error should name only the offending pair: %v", err)
+	}
+	// Pairs with a missing side are skipped, not failed.
+	if err := CheckBatchNs(rs[:2][1:], 1.15); err != nil {
+		t.Fatalf("missing scalar side should be skipped: %v", err)
+	}
+}
+
+func TestCheckNsRegression(t *testing.T) {
+	base := []Result{
+		{Name: "LocalPlan", NsPerOp: 100},
+		{Name: "NearestInto", NsPerOp: 200},
+	}
+	cur := []Result{
+		{Name: "LocalPlan", NsPerOp: 110},    // +10%: fine at 15%
+		{Name: "NearestInto", NsPerOp: 260},  // +30%: regression
+		{Name: "BrandNewKernel", NsPerOp: 1}, // absent from baseline: skipped
+	}
+	err := CheckNsRegression(cur, base, 0.15)
+	if err == nil {
+		t.Fatal("expected regression error")
+	}
+	if !strings.Contains(err.Error(), "NearestInto") || strings.Contains(err.Error(), "LocalPlan ") {
+		t.Fatalf("error should name only the offender: %v", err)
+	}
+	if err := CheckNsRegression(cur, base, 0.5); err != nil {
+		t.Fatalf("generous threshold should pass: %v", err)
+	}
+
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, base); err != nil {
+		t.Fatal(err)
+	}
+	round, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(round) != len(base) || round[0] != base[0] {
+		t.Fatalf("ReadJSON round trip: got %+v, want %+v", round, base)
+	}
+}
+
 func TestCheckMaxAllocs(t *testing.T) {
 	rs := []Result{
 		{Name: "ok", AllocsPerOp: 2},

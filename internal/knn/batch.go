@@ -1,0 +1,40 @@
+package knn
+
+import (
+	"parmp/internal/geom"
+)
+
+// NearestBatch answers a batch of kNN queries through one scratch,
+// amortizing the visit stack, heap and result storage across the whole
+// batch. Query j's hits are appended flat to dst and delimited by offs:
+// after the call, dst[offs[j]:offs[j+1]] holds query j's neighbours,
+// closest first with the package's deterministic tie-break. Each query
+// answers exactly what NearestInto answers for the same arguments.
+//
+// skipStart, when >= 0, excludes point index skipStart+j from query j —
+// the self-join pattern of incremental roadmap connection, where query
+// j is the point at index skipStart+j itself. Negative skipStart
+// excludes nothing.
+//
+// offs is resized (reusing capacity) to len(queries)+1; the returned
+// evals is the total number of distance evaluations. With reused dst
+// and offs the batch performs no allocations in steady state.
+func (t *KDTree) NearestBatch(sc *QueryScratch, queries []geom.Vec, k, skipStart int, dst []Result, offs []int) ([]Result, []int, int) {
+	if cap(offs) < len(queries)+1 {
+		offs = make([]int, len(queries)+1)
+	}
+	offs = offs[:len(queries)+1]
+	offs[0] = len(dst)
+	evals := 0
+	for j, q := range queries {
+		skip := -1
+		if skipStart >= 0 {
+			skip = skipStart + j
+		}
+		var ev int
+		dst, ev = t.NearestInto(sc, q, k, skip, dst)
+		evals += ev
+		offs[j+1] = len(dst)
+	}
+	return dst, offs, evals
+}

@@ -1,0 +1,100 @@
+package knn
+
+import (
+	"testing"
+
+	"parmp/internal/geom"
+	"parmp/internal/rng"
+)
+
+func randomBatchPoints(r *rng.Stream, n, d int) []geom.Vec {
+	pts := make([]geom.Vec, n)
+	for i := range pts {
+		p := make(geom.Vec, d)
+		for k := range p {
+			p[k] = r.Float64()
+		}
+		pts[i] = p
+	}
+	return pts
+}
+
+// TestNearestBatchMatchesNearestInto checks the batched query answers
+// exactly what per-query NearestInto answers, including the self-join
+// skip pattern and the total eval count.
+func TestNearestBatchMatchesNearestInto(t *testing.T) {
+	r := rng.New(5)
+	pts := randomBatchPoints(r, 300, 3)
+	tree := Build(pts)
+	for _, skipStart := range []int{-1, 100} {
+		queries := pts[100:140]
+		var sc QueryScratch
+		dst, offs, evals := tree.NearestBatch(&sc, queries, 6, skipStart, nil, nil)
+		if len(offs) != len(queries)+1 {
+			t.Fatalf("offs length %d, want %d", len(offs), len(queries)+1)
+		}
+		wantEvals := 0
+		var ssc QueryScratch
+		for j, q := range queries {
+			skip := -1
+			if skipStart >= 0 {
+				skip = skipStart + j
+			}
+			want, ev := tree.NearestInto(&ssc, q, 6, skip, nil)
+			wantEvals += ev
+			got := dst[offs[j]:offs[j+1]]
+			if len(got) != len(want) {
+				t.Fatalf("skipStart=%d query %d: %d hits, want %d", skipStart, j, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("skipStart=%d query %d hit %d: %+v, want %+v", skipStart, j, i, got[i], want[i])
+				}
+			}
+			if skip >= 0 {
+				for _, h := range got {
+					if h.Index == skip {
+						t.Fatalf("query %d returned its own index %d", j, skip)
+					}
+				}
+			}
+		}
+		if evals != wantEvals {
+			t.Fatalf("skipStart=%d: batch evals %d, per-query sum %d", skipStart, evals, wantEvals)
+		}
+	}
+}
+
+// TestNearestBatchEmpty covers zero queries and an empty tree.
+func TestNearestBatchEmpty(t *testing.T) {
+	var sc QueryScratch
+	r := rng.New(9)
+	tree := Build(randomBatchPoints(r, 50, 2))
+	dst, offs, evals := tree.NearestBatch(&sc, nil, 4, -1, nil, nil)
+	if len(dst) != 0 || len(offs) != 1 || evals != 0 {
+		t.Fatalf("empty query batch: got (%d hits, %d offs, %d evals)", len(dst), len(offs), evals)
+	}
+	empty := Build(nil)
+	queries := []geom.Vec{geom.V(0.5, 0.5)}
+	dst, offs, _ = empty.NearestBatch(&sc, queries, 4, -1, dst[:0], offs)
+	if len(dst) != 0 || offs[1] != 0 {
+		t.Fatalf("empty tree: got %d hits, offs[1]=%d", len(dst), offs[1])
+	}
+}
+
+// TestNearestBatchSteadyStateAllocs confirms reuse of dst/offs/scratch
+// makes the batch allocation-free.
+func TestNearestBatchSteadyStateAllocs(t *testing.T) {
+	r := rng.New(13)
+	pts := randomBatchPoints(r, 400, 3)
+	tree := Build(pts)
+	queries := pts[50:114]
+	var sc QueryScratch
+	dst, offs, _ := tree.NearestBatch(&sc, queries, 8, 50, nil, nil)
+	allocs := testing.AllocsPerRun(50, func() {
+		dst, offs, _ = tree.NearestBatch(&sc, queries, 8, 50, dst[:0], offs)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state NearestBatch allocates %v per op, want 0", allocs)
+	}
+}

@@ -16,11 +16,13 @@ import (
 // Arena is not safe for concurrent use.
 type Arena struct {
 	sc       cspace.Scratch
+	bt       cspace.Batch
 	qsc      knn.QueryScratch
 	tree     knn.KDTree
 	pts      []geom.Vec
 	aux      []geom.Vec
 	hits     []knn.Result
+	offs     []int
 	edges    [][2]int
 	sources  []int
 	centroid geom.Vec

@@ -163,16 +163,20 @@ func ConnectRegionIncrementalArena(s *cspace.Space, nodes []Node, firstNew int, 
 	a.tree.Reset(pts)
 	seen := a.resetSeen()
 	a.edges = a.edges[:0]
+	k := p.K
+	if k > len(pts)-1 {
+		k = len(pts) - 1
+	}
+	// All kNN queries run as one batch through shared scratch (the tree
+	// is static during connection), then candidate edges validate through
+	// the batched SoA collision kernels.
+	var evals int
+	a.hits, a.offs, evals = a.tree.NearestBatch(&a.qsc, pts[firstNew:], k, firstNew, a.hits[:0], a.offs)
+	work.KNNQueries += int64(len(pts) - firstNew)
+	work.KNNEvals += int64(evals)
 	for i := firstNew; i < len(pts); i++ {
-		k := p.K
-		if k > len(pts)-1 {
-			k = len(pts) - 1
-		}
-		var evals int
-		a.hits, evals = a.tree.NearestInto(&a.qsc, pts[i], k, i, a.hits[:0])
-		work.KNNQueries++
-		work.KNNEvals += int64(evals)
-		for _, h := range a.hits {
+		j := i - firstNew
+		for _, h := range a.hits[a.offs[j]:a.offs[j+1]] {
 			x, y := i, h.Index
 			if x > y {
 				x, y = y, x
@@ -182,7 +186,7 @@ func ConnectRegionIncrementalArena(s *cspace.Space, nodes []Node, firstNew int, 
 				continue
 			}
 			seen[key] = true
-			if s.LocalPlanS(pts[x], pts[y], &a.sc, &work) {
+			if s.LocalPlanBatch(pts[x], pts[y], &a.bt, &work) {
 				a.edges = append(a.edges, key)
 			}
 		}
@@ -286,7 +290,7 @@ func ConnectBoundaryArena(s *cspace.Space, aNodes, bNodes []Node, k, maxSources 
 		res.Work.KNNEvals += int64(evals)
 		for _, h := range ar.hits {
 			res.Attempts++
-			if s.LocalPlanS(aNodes[i].Q, bNodes[h.Index].Q, &ar.sc, &res.Work) {
+			if s.LocalPlanBatch(aNodes[i].Q, bNodes[h.Index].Q, &ar.bt, &res.Work) {
 				ar.edges = append(ar.edges, [2]int{i, h.Index})
 				break // one bridge per source node suffices
 			}

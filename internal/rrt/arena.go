@@ -15,6 +15,7 @@ import (
 // nodes. An Arena is not safe for concurrent use.
 type Arena struct {
 	sc    cspace.Scratch
+	bt    cspace.Batch
 	qsc   knn.QueryScratch
 	tree  knn.KDTree
 	pts   []geom.Vec

@@ -156,7 +156,7 @@ func GrowTreeArena(s *cspace.Space, reg *region.Region, tree *Tree, p Params, r 
 		if !s.ValidS(qNew, &a.sc, &res.Work) {
 			continue
 		}
-		if !s.LocalPlanS(qNear, qNew, &a.sc, &res.Work) {
+		if !s.LocalPlanBatch(qNear, qNew, &a.bt, &res.Work) {
 			continue
 		}
 		res.Tree.Nodes = append(res.Tree.Nodes, Node{Q: qNew.Clone(), Parent: nearIdx, Region: reg.ID})
@@ -196,7 +196,7 @@ func ConnectArena(s *cspace.Space, a, b *Tree, bTarget geom.Vec, kFrontier int, 
 			c.KNNEvals += int64(evals)
 		}
 		for _, h := range ar.hits {
-			if s.LocalPlanS(aPts[f.Index], bPts[h.Index], &ar.sc, c) {
+			if s.LocalPlanBatch(aPts[f.Index], bPts[h.Index], &ar.bt, c) {
 				return f.Index, h.Index, true
 			}
 		}

@@ -100,6 +100,18 @@ func PlanRRT(space *Space, root Config, opts Options) (*RRTResult, error) {
 	return core.ParallelRRT(space, root, opts)
 }
 
+// PlanRRTConnect grows a pair of trees per region (root-side and
+// goal-side, greedily connected) with the uniform radial subdivision
+// parallel RRT-Connect under opts. Requires symmetric local motions:
+// steered spaces (Dubins) return an error.
+func PlanRRTConnect(space *Space, root, goal Config, opts Options) (*RRTResult, error) {
+	return core.ParallelRRTConnect(space, root, goal, opts)
+}
+
+// PlannerNames lists the planners understood by the command-line tools'
+// -planner flags and servable by an Engine.
+func PlannerNames() []string { return []string{"prm", "rrt", "rrtconnect"} }
+
 // Query connects start and goal to a roadmap (each to its k nearest
 // nodes) and extracts a path, returning ok=false if none exists.
 func Query(space *Space, m *Roadmap, start, goal Config, k int) ([]Config, bool) {
