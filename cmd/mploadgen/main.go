@@ -1,0 +1,346 @@
+// Command mploadgen drives a running mpserved with a reproducible query
+// load — closed-loop (fixed concurrency) or open-loop (fixed arrival
+// rate) — and writes the latency percentiles in the BENCH_serve.json
+// schema, optionally failing against a checked-in baseline.
+//
+// Usage:
+//
+//	mpserved -addr :8931 &
+//	mploadgen -url http://localhost:8931 -n 1000000 -workers 64 \
+//	          -env med-cube -hot 0.5 -out BENCH_serve.json
+//
+// Every query's endpoints are sampled collision-free client-side, so an
+// unsolved query means the roadmap genuinely lacks coverage, not that
+// the generator asked for a config inside an obstacle. A -hot fraction
+// of queries draws from a small fixed set of (start, goal) pairs to
+// exercise the server's path cache; the rest draw from a large cold
+// pool. The load is a pure function of -seed, independent of worker
+// scheduling.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"parmp"
+	"parmp/internal/rng"
+	"parmp/internal/serve"
+	"parmp/internal/servebench"
+)
+
+type pair struct {
+	start, goal []float64
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "mploadgen: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func main() {
+	url := flag.String("url", "http://localhost:8931", "mpserved base URL")
+	n := flag.Int("n", 1_000_000, "total queries to issue")
+	workers := flag.Int("workers", 64, "concurrent client connections")
+	rate := flag.Float64("rate", 0, "open-loop arrival rate in queries/sec (0 = closed loop: workers fire back-to-back)")
+	envName := flag.String("env", "med-cube", "benchmark environment to query")
+	tenants := flag.Int("tenants", 1, "tenant mix: spread queries over this many tenants (distinct seeds, same environment)")
+	procs := flag.Int("procs", 8, "spec: virtual processors per tenant")
+	regions := flag.Int("regions", 0, "spec: regions per tenant (0 = engine default)")
+	samples := flag.Int("samples", 16, "spec: sampling attempts per region")
+	rounds := flag.Int("rounds", 0, "spec: growth rounds per tenant (0 = server default)")
+	hot := flag.Float64("hot", 0.5, "fraction of queries drawn from the hot pair set")
+	hotPairs := flag.Int("hot-pairs", 64, "size of the hot (start, goal) set")
+	coldPairs := flag.Int("cold-pairs", 4096, "size of the cold pair pool")
+	k := flag.Int("k", 0, "attachment count per query (0 = server default)")
+	seed := flag.Uint64("seed", 1, "random seed for the query load")
+	timeout := flag.Duration("timeout", 30*time.Second, "per-request client timeout")
+	warm := flag.Bool("wait-grown", true, "issue one warm-up query per tenant and wait for background growth before the measured run")
+	warmTimeout := flag.Duration("warm-timeout", 5*time.Minute, "how long to wait for tenants to finish growing")
+	out := flag.String("out", "BENCH_serve.json", "where to write the result (\"-\" = stdout)")
+	baseline := flag.String("baseline", "", "baseline BENCH_serve.json to gate p99 against")
+	maxRegress := flag.Float64("max-regress", 0.5, "fail when client p99 exceeds the baseline's by more than this fraction (negative = off)")
+	maxErrorRate := flag.Float64("max-error-rate", 0.001, "fail when the non-2xx rate exceeds this (negative = off)")
+	flag.Parse()
+
+	if *n <= 0 || *workers <= 0 || *tenants <= 0 || *hotPairs <= 0 || *coldPairs <= 0 {
+		fatalf("-n, -workers, -tenants, -hot-pairs and -cold-pairs must be positive")
+	}
+	e := parmp.EnvironmentByName(*envName)
+	if e == nil {
+		fatalf("unknown environment %q", *envName)
+	}
+	space := parmp.NewPointSpace(e)
+
+	// The query load: hot pairs repeat (cache fodder), cold pairs spread
+	// over the environment. All endpoints are collision-free.
+	sample := func(r *rng.Stream) []float64 {
+		q, ok := space.SampleFreeIn(space.Bounds, r, 256, nil)
+		if !ok {
+			fatalf("could not sample a free configuration in %s", *envName)
+		}
+		return q
+	}
+	r := rng.Derive(*seed, 0x10adbeef)
+	hotSet := make([]pair, *hotPairs)
+	for i := range hotSet {
+		hotSet[i] = pair{sample(r), sample(r)}
+	}
+	coldSet := make([]pair, *coldPairs)
+	for i := range coldSet {
+		coldSet[i] = pair{sample(r), sample(r)}
+	}
+	specs := make([]serve.Spec, *tenants)
+	for t := range specs {
+		specs[t] = serve.Spec{
+			Env:     *envName,
+			Procs:   *procs,
+			Regions: *regions,
+			Samples: *samples,
+			Seed:    *seed + uint64(t),
+			Rounds:  *rounds,
+		}
+	}
+
+	client := &http.Client{
+		Timeout: *timeout,
+		Transport: &http.Transport{
+			MaxIdleConns:        2 * *workers,
+			MaxIdleConnsPerHost: 2 * *workers,
+		},
+	}
+	waitHealthy(client, *url)
+	if *warm {
+		warmTenants(client, *url, specs, hotSet[0], *warmTimeout)
+	}
+
+	// Measured run. Per-query state is preallocated so workers only
+	// write disjoint indices; the only shared mutable state is the
+	// dispatch counter and the error tallies.
+	latUS := make([]float64, *n)
+	serveUS := make([]float64, *n)
+	status := make([]int16, *n)
+	cacheHit := make([]bool, *n)
+	batchSize := make([]int32, *n)
+	var solved, errors, rejected atomic.Int64
+	var next atomic.Int64
+	interval := time.Duration(0)
+	if *rate > 0 {
+		interval = time.Duration(float64(time.Second) / *rate)
+	}
+
+	fmt.Fprintf(os.Stderr, "mploadgen: %d queries, %d workers, %d tenant(s), hot=%.0f%%",
+		*n, *workers, *tenants, 100**hot)
+	if interval > 0 {
+		fmt.Fprintf(os.Stderr, ", open loop at %.0f qps", *rate)
+	}
+	fmt.Fprintln(os.Stderr)
+
+	t0 := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < *workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= *n {
+					return
+				}
+				if interval > 0 {
+					time.Sleep(time.Until(t0.Add(time.Duration(i) * interval)))
+				}
+				// Pair choice is a pure function of (seed, i): the load
+				// replays identically whatever the worker count.
+				qr := rng.Derive(*seed, uint64(i))
+				var p pair
+				if qr.Float64() < *hot {
+					p = hotSet[qr.Intn(len(hotSet))]
+				} else {
+					p = coldSet[qr.Intn(len(coldSet))]
+				}
+				req := serve.QueryRequest{Spec: specs[i%len(specs)], Start: p.start, Goal: p.goal, K: *k}
+				body, err := json.Marshal(req)
+				if err != nil {
+					fatalf("marshal: %v", err)
+				}
+				q0 := time.Now()
+				resp, err := client.Post(*url+"/v1/query", "application/json", bytes.NewReader(body))
+				latUS[i] = float64(time.Since(q0).Nanoseconds()) / 1e3
+				if err != nil {
+					status[i] = -1
+					errors.Add(1)
+					continue
+				}
+				var ans serve.QueryResponse
+				decErr := json.NewDecoder(resp.Body).Decode(&ans)
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				status[i] = int16(resp.StatusCode)
+				switch {
+				case resp.StatusCode == http.StatusOK && decErr == nil:
+					serveUS[i] = ans.ServeUS
+					cacheHit[i] = ans.CacheHit
+					batchSize[i] = int32(ans.BatchSize)
+					if ans.OK {
+						solved.Add(1)
+					}
+				case resp.StatusCode == http.StatusTooManyRequests:
+					rejected.Add(1)
+					errors.Add(1)
+				default:
+					errors.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(t0)
+
+	// Summarize: client latency over every issued query, server-side
+	// percentiles over the 200s, cache-hit percentiles over the hits.
+	var serveOK, hitUS []float64
+	var hits, batchedN, batchSum int64
+	for i := 0; i < *n; i++ {
+		if status[i] != http.StatusOK {
+			continue
+		}
+		serveOK = append(serveOK, serveUS[i])
+		if cacheHit[i] {
+			hits++
+			hitUS = append(hitUS, serveUS[i])
+		} else if batchSize[i] > 0 {
+			batchedN++
+			batchSum += int64(batchSize[i])
+		}
+	}
+	res := servebench.Result{
+		Source:      "mploadgen",
+		Env:         *envName,
+		Mode:        "closed",
+		Workers:     *workers,
+		Queries:     int64(*n),
+		Solved:      solved.Load(),
+		Errors:      errors.Load(),
+		Rejected:    rejected.Load(),
+		DurationSec: elapsed.Seconds(),
+		Throughput:  float64(*n) / elapsed.Seconds(),
+		Latency:     servebench.Compute(latUS),
+	}
+	res.ErrorRate = float64(res.Errors) / float64(res.Queries)
+	if interval > 0 {
+		res.Mode, res.RateQPS = "open", *rate
+	}
+	if len(serveOK) > 0 {
+		p := servebench.Compute(serveOK)
+		res.Serve = &p
+		res.CacheHitRate = float64(hits) / float64(len(serveOK))
+	}
+	if len(hitUS) > 0 {
+		p := servebench.Compute(hitUS)
+		res.CacheHit = &p
+	}
+	if batchedN > 0 {
+		res.BatchMean = float64(batchSum) / float64(batchedN)
+	}
+
+	fmt.Fprintf(os.Stderr, "mploadgen: %d queries in %v (%.0f qps), %d solved, %d errors (%d rejected)\n",
+		res.Queries, elapsed.Round(time.Millisecond), res.Throughput, res.Solved, res.Errors, res.Rejected)
+	fmt.Fprintf(os.Stderr, "  client latency: p50=%.0fµs p99=%.0fµs p999=%.0fµs max=%.0fµs\n",
+		res.Latency.P50, res.Latency.P99, res.Latency.P999, res.Latency.Max)
+	if res.Serve != nil {
+		fmt.Fprintf(os.Stderr, "  server  time  : p50=%.0fµs p99=%.0fµs p999=%.0fµs cache-hit-rate=%.1f%% batch-mean=%.2f\n",
+			res.Serve.P50, res.Serve.P99, res.Serve.P999, 100*res.CacheHitRate, res.BatchMean)
+	}
+	if res.CacheHit != nil {
+		fmt.Fprintf(os.Stderr, "  cache hits    : p50=%.0fµs p99=%.0fµs\n", res.CacheHit.P50, res.CacheHit.P99)
+	}
+
+	if err := servebench.WriteFile(*out, res); err != nil {
+		fatalf("write %s: %v", *out, err)
+	}
+	gate := servebench.Gate{MaxErrorRate: *maxErrorRate, MaxRegress: *maxRegress}
+	var base *servebench.Result
+	if *baseline != "" {
+		b, err := servebench.Load(*baseline)
+		if err != nil {
+			fatalf("baseline: %v", err)
+		}
+		base = &b
+	}
+	if err := gate.Check(res, base); err != nil {
+		fmt.Fprintln(os.Stderr, "mploadgen:", err)
+		os.Exit(1)
+	}
+}
+
+// waitHealthy polls /healthz until the server answers.
+func waitHealthy(client *http.Client, url string) {
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		resp, err := client.Get(url + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return
+			}
+		}
+		if time.Now().After(deadline) {
+			fatalf("server at %s never became healthy: %v", url, err)
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+}
+
+// warmTenants issues one query per tenant (building each engine), then
+// polls /v1/stats until every tenant reports grow_done, so the measured
+// run sees steady-state roadmaps.
+func warmTenants(client *http.Client, url string, specs []serve.Spec, p pair, timeout time.Duration) {
+	for _, sp := range specs {
+		body, _ := json.Marshal(serve.QueryRequest{Spec: sp, Start: p.start, Goal: p.goal})
+		resp, err := client.Post(url+"/v1/query", "application/json", bytes.NewReader(body))
+		if err != nil {
+			fatalf("warm-up query: %v", err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			b, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+			resp.Body.Close()
+			fatalf("warm-up query: status %d: %s", resp.StatusCode, bytes.TrimSpace(b))
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	deadline := time.Now().Add(timeout)
+	for {
+		resp, err := client.Get(url + "/v1/stats")
+		if err != nil {
+			fatalf("stats: %v", err)
+		}
+		var st serve.StatsResponse
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if err != nil {
+			fatalf("stats: %v", err)
+		}
+		done := len(st.Tenants) >= len(specs)
+		for _, t := range st.Tenants {
+			if !t.GrowDone {
+				done = false
+			}
+		}
+		if done {
+			return
+		}
+		if time.Now().After(deadline) {
+			fatalf("tenants did not finish growing within %v", timeout)
+		}
+		time.Sleep(250 * time.Millisecond)
+	}
+}

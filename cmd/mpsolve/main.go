@@ -20,7 +20,6 @@ import (
 	"math"
 	"os"
 	"runtime"
-	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -31,6 +30,7 @@ import (
 	"parmp/internal/cspace"
 	"parmp/internal/prm"
 	"parmp/internal/rng"
+	"parmp/internal/servebench"
 )
 
 func parseConfig(s string) (parmp.Config, error) {
@@ -63,6 +63,7 @@ func main() {
 	rounds := flag.Int("rounds", 1, "growth rounds (each adds -samples attempts per region)")
 	timeout := flag.Duration("timeout", 0, "wall-clock budget for growth; on expiry the committed rounds still serve (0 = none)")
 	queries := flag.Int("queries", 0, "serve mode: answer this many random queries against the final snapshot and report latency percentiles")
+	queriesJSON := flag.String("queries-json", "", "write the serve-mode result in the BENCH_serve.json schema to this path (\"-\" = stdout), comparable with mploadgen output")
 	flag.Parse()
 
 	var e *parmp.Environment
@@ -200,7 +201,7 @@ func main() {
 	}
 
 	if *queries > 0 {
-		serve(snap, space, *queries, *seed)
+		serve(snap, space, e.Name, *queries, *seed, *queriesJSON)
 	}
 
 	path, ok := snap.Query(start, goal, 8)
@@ -221,14 +222,16 @@ func main() {
 
 // serve answers n random queries against the frozen snapshot from one
 // goroutine per CPU — exercising the lock-free concurrent read path —
-// and reports wall-clock latency percentiles and the hit rate.
-func serve(snap *parmp.Snapshot, space *parmp.Space, n int, seed uint64) {
+// and reports wall-clock latency percentiles and the hit rate. With a
+// jsonPath it also writes the run in the BENCH_serve.json schema, so
+// in-process numbers line up against mploadgen's over-the-wire ones.
+func serve(snap *parmp.Snapshot, space *parmp.Space, envName string, n int, seed uint64, jsonPath string) {
 	pairs := make([][2]parmp.Config, n)
 	r := rng.Derive(seed, 0x5e27e)
 	for i := range pairs {
 		pairs[i] = [2]parmp.Config{randomConfig(space, r), randomConfig(space, r)}
 	}
-	latencies := make([]time.Duration, n)
+	latUS := make([]float64, n)
 	hits := make([]bool, n)
 	workers := runtime.GOMAXPROCS(0)
 	var wg sync.WaitGroup
@@ -245,27 +248,40 @@ func serve(snap *parmp.Snapshot, space *parmp.Space, n int, seed uint64) {
 				}
 				t0 := time.Now()
 				_, ok := snap.Query(pairs[i][0], pairs[i][1], 8)
-				latencies[i] = time.Since(t0)
+				latUS[i] = float64(time.Since(t0).Nanoseconds()) / 1e3
 				hits[i] = ok
 			}
 		}()
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
-	sort.Slice(latencies, func(a, b int) bool { return latencies[a] < latencies[b] })
 	solved := 0
 	for _, ok := range hits {
 		if ok {
 			solved++
 		}
 	}
-	pct := func(p float64) time.Duration {
-		idx := int(p * float64(n-1))
-		return latencies[idx]
-	}
+	pcts := servebench.Compute(latUS)
 	fmt.Printf("serve       : %d queries on %d workers in %v (%d solved)\n", n, workers, elapsed.Round(time.Millisecond), solved)
-	fmt.Printf("latency     : p50=%v p99=%v max=%v\n",
-		pct(0.50).Round(time.Microsecond), pct(0.99).Round(time.Microsecond), latencies[n-1].Round(time.Microsecond))
+	fmt.Printf("latency     : p50=%.0fµs p99=%.0fµs p999=%.0fµs max=%.0fµs\n",
+		pcts.P50, pcts.P99, pcts.P999, pcts.Max)
+	if jsonPath != "" {
+		res := servebench.Result{
+			Source:      "mpsolve",
+			Env:         envName,
+			Mode:        "closed",
+			Workers:     workers,
+			Queries:     int64(n),
+			Solved:      int64(solved),
+			DurationSec: elapsed.Seconds(),
+			Throughput:  float64(n) / elapsed.Seconds(),
+			Latency:     pcts,
+		}
+		if err := servebench.WriteFile(jsonPath, res); err != nil {
+			fmt.Fprintln(os.Stderr, "mpsolve:", err)
+			os.Exit(1)
+		}
+	}
 }
 
 // randomConfig draws a uniform configuration in the space's bounds.

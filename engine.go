@@ -192,9 +192,37 @@ func (s *Snapshot) NumNodes() int {
 	return s.rrtIx.NumNodes()
 }
 
+// queryInputOK screens a query's inputs: k must be positive (even for
+// tree snapshots, where it is otherwise unused), and both endpoints must
+// have the space's dimension and lie inside its bounds. Screening
+// rejects with a miss rather than a panic, which is what a serving layer
+// fed untrusted requests needs. NaN coordinates fail the bounds check.
+func (s *Snapshot) queryInputOK(start, goal Config, k int) bool {
+	if k <= 0 {
+		return false
+	}
+	if len(start) != s.space.Dim() || len(goal) != s.space.Dim() {
+		return false
+	}
+	return s.inBounds(start) && s.inBounds(goal)
+}
+
+// inBounds is Bounds.Contains with NaN rejection: a NaN coordinate fails
+// every comparison, so the inverted form catches it.
+func (s *Snapshot) inBounds(q Config) bool {
+	for i, v := range q {
+		if !(v >= s.space.Bounds.Lo[i] && v <= s.space.Bounds.Hi[i]) {
+			return false
+		}
+	}
+	return true
+}
+
 // Query answers a motion-planning query against the frozen snapshot,
 // returning a collision-free path from start to goal (endpoints
 // included) or ok=false when the snapshot cannot connect them yet.
+// Malformed inputs — k ≤ 0, endpoints of the wrong dimension or outside
+// the space's bounds — also answer (nil, false), never panic.
 //
 // For PRM snapshots, start and goal each attach to their k nearest
 // reachable roadmap nodes and a shortest-path search joins them —
@@ -203,12 +231,64 @@ func (s *Snapshot) NumNodes() int {
 // For RRT snapshots the tree grows from the engine's root, so start
 // must be the root (or local-plannable to it, for a start a step away);
 // the path then follows tree edges to the node nearest goal. k is
-// ignored.
+// otherwise ignored.
 func (s *Snapshot) Query(start, goal Config, k int) ([]Config, bool) {
+	if !s.queryInputOK(start, goal, k) {
+		return nil, false
+	}
 	if s.prmIx != nil {
 		return s.prmIx.Query(s.space, start, goal, k, nil)
 	}
 	return s.rrtQuery(start, goal)
+}
+
+// QueryBatch answers len(starts) queries against the frozen snapshot in
+// one pass, returning per-query paths and hit flags aligned with the
+// inputs. Queries that fail input screening (see Query) miss without
+// disturbing the rest of the batch; a mismatched goals length misses the
+// whole batch.
+//
+// For PRM snapshots the batch amortizes shared work: endpoint
+// deduplication, one batched kd pass for every attachment lookup, and
+// one multi-source Dijkstra per distinct goal — so a batch over hot
+// (start, goal) pairs costs far less than a Query loop. Tree snapshots
+// answer each query individually. Safe for concurrent use.
+func (s *Snapshot) QueryBatch(starts, goals []Config, k int) ([][]Config, []bool) {
+	n := len(starts)
+	paths := make([][]Config, n)
+	oks := make([]bool, n)
+	if len(goals) != n || n == 0 {
+		return paths, oks
+	}
+	if s.prmIx == nil {
+		for i := range starts {
+			if s.queryInputOK(starts[i], goals[i], k) {
+				paths[i], oks[i] = s.rrtQuery(starts[i], goals[i])
+			}
+		}
+		return paths, oks
+	}
+	// Screen here so the prm batch only sees servable queries, then
+	// scatter the sub-batch answers back to their slots.
+	keep := make([]int, 0, n)
+	for i := range starts {
+		if s.queryInputOK(starts[i], goals[i], k) {
+			keep = append(keep, i)
+		}
+	}
+	if len(keep) == 0 {
+		return paths, oks
+	}
+	subStarts := make([]Config, len(keep))
+	subGoals := make([]Config, len(keep))
+	for j, i := range keep {
+		subStarts[j], subGoals[j] = starts[i], goals[i]
+	}
+	subPaths, subOKs := s.prmIx.QueryBatch(s.space, subStarts, subGoals, k, nil, nil)
+	for j, i := range keep {
+		paths[i], oks[i] = subPaths[j], subOKs[j]
+	}
+	return paths, oks
 }
 
 func (s *Snapshot) rrtQuery(start, goal Config) ([]Config, bool) {

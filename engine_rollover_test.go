@@ -1,0 +1,89 @@
+package parmp
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+
+	"parmp/internal/rng"
+)
+
+// TestEngineSnapshotRolloverUnderLoad hammers Engine.Snapshot().Query
+// from many goroutines while the engine grows and publishes new
+// snapshots. Run under -race it proves the rollover is tear-free: every
+// reader sees a fully committed snapshot, Rounds never goes backwards
+// from any goroutine's point of view, and returned paths are
+// well-formed against the snapshot that produced them.
+func TestEngineSnapshotRolloverUnderLoad(t *testing.T) {
+	e := EnvironmentByName("med-cube")
+	space := NewPointSpace(e)
+	eng, err := NewEngine(space, Options{Procs: 4, Regions: 32, SamplesPerRegion: 8, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const rounds = 6
+	const readers = 8
+	stop := make(chan struct{})
+	errs := make(chan error, readers)
+	var wg sync.WaitGroup
+	for w := 0; w < readers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r := rng.Derive(7, uint64(w))
+			dim := space.Dim()
+			last := -1
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				snap := eng.Snapshot()
+				rds := snap.Rounds()
+				if rds < last {
+					errs <- fmt.Errorf("reader %d: rounds went backwards %d -> %d", w, last, rds)
+					return
+				}
+				last = rds
+				start := make(Config, dim)
+				goal := make(Config, dim)
+				for d := 0; d < dim; d++ {
+					start[d] = r.Range(space.Bounds.Lo[d], space.Bounds.Hi[d])
+					goal[d] = r.Range(space.Bounds.Lo[d], space.Bounds.Hi[d])
+				}
+				path, ok := snap.Query(start, goal, 8)
+				if !ok {
+					continue
+				}
+				if len(path) < 2 {
+					errs <- fmt.Errorf("reader %d query %d: solved path with %d waypoints", w, i, len(path))
+					return
+				}
+				for j, q := range path {
+					if len(q) != dim {
+						errs <- fmt.Errorf("reader %d query %d: waypoint %d has %d coordinates", w, i, j, len(q))
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	for i := 0; i < rounds; i++ {
+		if err := eng.Grow(context.Background()); err != nil {
+			close(stop)
+			wg.Wait()
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if got := eng.Rounds(); got != rounds {
+		t.Fatalf("rounds = %d, want %d", got, rounds)
+	}
+}

@@ -1,0 +1,144 @@
+package parmp
+
+import (
+	"context"
+	"math"
+	"testing"
+)
+
+// Snapshot.Query must answer (nil, false) — never panic — for malformed
+// inputs: k ≤ 0, endpoints of the wrong dimension, endpoints outside the
+// space's bounds, and NaN coordinates. Checked against both snapshot
+// kinds, since the PRM and tree query paths diverge immediately.
+func TestSnapshotQueryValidation(t *testing.T) {
+	space := NewPointSpace(EnvironmentByName("med-cube"))
+	prmEng, err := NewEngine(space, testEngineOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := prmEng.Grow(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	rrtSpace := NewPointSpace(EnvironmentByName("mixed-30"))
+	root := V(0.5, 0.5, 0.5)
+	rrtEng, err := NewRRTEngine(rrtSpace, root, Options{Procs: 4, Regions: 32, NodesPerRegion: 20, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rrtEng.Grow(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	good := [2]Config{V(0.05, 0.05, 0.05), V(0.95, 0.95, 0.95)}
+	bad := []struct {
+		name        string
+		start, goal Config
+		k           int
+	}{
+		{"k zero", good[0], good[1], 0},
+		{"k negative", good[0], good[1], -3},
+		{"start short", V(0.1, 0.1), good[1], 8},
+		{"goal long", good[0], V(0.9, 0.9, 0.9, 0.9), 8},
+		{"start nil", nil, good[1], 8},
+		{"start out of bounds", V(-0.5, 0.5, 0.5), good[1], 8},
+		{"goal out of bounds", good[0], V(0.5, 0.5, 1.5), 8},
+		{"NaN coordinate", V(math.NaN(), 0.5, 0.5), good[1], 8},
+	}
+	for _, snap := range []*Snapshot{prmEng.Snapshot(), rrtEng.Snapshot()} {
+		for _, tc := range bad {
+			path, ok := snap.Query(tc.start, tc.goal, tc.k)
+			if ok || path != nil {
+				t.Errorf("%s: Query returned ok=%v path=%v, want miss", tc.name, ok, path)
+			}
+		}
+	}
+
+	// Sanity: the screened path still serves well-formed queries.
+	if _, ok := prmEng.Snapshot().Query(good[0], good[1], 8); !ok {
+		t.Fatal("well-formed PRM query should still succeed after one round")
+	}
+}
+
+// QueryBatch must align answers with inputs, screen malformed queries
+// individually, and agree with Query on every well-formed one.
+func TestSnapshotQueryBatchMatchesQuery(t *testing.T) {
+	space := NewPointSpace(EnvironmentByName("med-cube"))
+	eng, err := NewEngine(space, testEngineOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.GrowN(context.Background(), 2); err != nil {
+		t.Fatal(err)
+	}
+	snap := eng.Snapshot()
+
+	starts := []Config{
+		V(0.05, 0.05, 0.05),
+		V(0.1, 0.1), // wrong dimension: misses alone
+		V(0.1, 0.9, 0.1),
+		V(0.05, 0.05, 0.05),     // repeat of query 0: dedup path
+		V(math.NaN(), 0.5, 0.5), // NaN: misses alone
+	}
+	goals := []Config{
+		V(0.95, 0.95, 0.95),
+		V(0.95, 0.95, 0.95),
+		V(0.95, 0.95, 0.95), // shares a goal with query 0
+		V(0.95, 0.95, 0.95),
+		V(0.95, 0.95, 0.95),
+	}
+	paths, oks := snap.QueryBatch(starts, goals, 8)
+	if len(paths) != len(starts) || len(oks) != len(starts) {
+		t.Fatalf("batch result length %d/%d, want %d", len(paths), len(oks), len(starts))
+	}
+	if oks[1] || oks[4] {
+		t.Fatal("malformed queries must miss")
+	}
+	for _, i := range []int{0, 2, 3} {
+		refPath, refOK := snap.Query(starts[i], goals[i], 8)
+		if oks[i] != refOK {
+			t.Fatalf("query %d: batch ok=%v, scalar ok=%v", i, oks[i], refOK)
+		}
+		if !refOK {
+			continue
+		}
+		if got, want := PathLength(space, paths[i]), PathLength(space, refPath); math.Abs(got-want) > 1e-9 {
+			t.Fatalf("query %d: batch length %v, scalar %v", i, got, want)
+		}
+	}
+
+	// Mismatched slice lengths: whole batch misses, aligned to starts.
+	if _, oks := snap.QueryBatch(starts[:2], goals[:1], 8); len(oks) != 2 || oks[0] || oks[1] {
+		t.Fatal("mismatched batch must miss everything")
+	}
+}
+
+// Tree snapshots answer batches too — per query, with the same screening.
+func TestSnapshotQueryBatchTree(t *testing.T) {
+	space := NewPointSpace(EnvironmentByName("mixed-30"))
+	root := V(0.5, 0.5, 0.5)
+	eng, err := NewRRTEngine(space, root, Options{Procs: 4, Regions: 32, NodesPerRegion: 30, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.GrowN(context.Background(), 2); err != nil {
+		t.Fatal(err)
+	}
+	snap := eng.Snapshot()
+	goalA, goalB := V(0.55, 0.55, 0.55), V(0.45, 0.45, 0.45)
+	starts := []Config{root, V(0.1, 0.1), root}
+	goals := []Config{goalA, goalA, goalB}
+	paths, oks := snap.QueryBatch(starts, goals, 8)
+	if oks[1] {
+		t.Fatal("wrong-dimension tree query must miss")
+	}
+	for _, i := range []int{0, 2} {
+		refPath, refOK := snap.Query(starts[i], goals[i], 8)
+		if oks[i] != refOK {
+			t.Fatalf("tree query %d: batch ok=%v, scalar ok=%v", i, oks[i], refOK)
+		}
+		if refOK && math.Abs(PathLength(space, paths[i])-PathLength(space, refPath)) > 1e-9 {
+			t.Fatalf("tree query %d: path lengths differ", i)
+		}
+	}
+}

@@ -1,0 +1,228 @@
+package prm
+
+import (
+	"container/heap"
+	"encoding/binary"
+	"math"
+
+	"parmp/internal/cspace"
+	"parmp/internal/geom"
+	"parmp/internal/graph"
+	"parmp/internal/knn"
+)
+
+// BatchScratch holds the reusable state of one in-flight batched query:
+// the kd query scratch plus the flat hit and offset buffers NearestBatch
+// appends into. One scratch per serving worker makes the kd side of a
+// steady-state batch allocation-free; the zero value is ready to use. A
+// scratch must not be shared by concurrent batches.
+type BatchScratch struct {
+	knn  knn.QueryScratch
+	dst  []knn.Result
+	offs []int
+}
+
+// configKey packs a configuration's float bits into a map key, so
+// identical endpoints dedupe exactly (no epsilon).
+func configKey(q cspace.Config) string {
+	b := make([]byte, 8*len(q))
+	for i, v := range q {
+		binary.LittleEndian.PutUint64(b[8*i:], math.Float64bits(v))
+	}
+	return string(b)
+}
+
+// endpoint is one distinct query endpoint (start or goal) in a batch:
+// its configuration and, once attached, the feasible roadmap entry
+// points. ok is false when the endpoint is invalid (wrong dimension or
+// in collision) or attaches to nothing.
+type endpoint struct {
+	q   cspace.Config
+	att []attachment
+	ok  bool
+}
+
+// QueryBatch answers len(starts) motion-planning queries against the
+// frozen roadmap in one pass, amortizing work that a loop over Query
+// would repeat per call:
+//
+//   - distinct endpoints are deduplicated, so a batch of queries over a
+//     hot set of (start, goal) pairs validates and attaches each
+//     configuration once;
+//   - all endpoint kNN lookups go through one knn.NearestBatch call
+//     sharing one scratch;
+//   - queries with a common goal share one multi-source Dijkstra seeded
+//     from the goal's attachments (the roadmap is undirected, so
+//     goal-side distances answer every start in the group).
+//
+// Query i's answer lands in paths[i]/oks[i] with Query's semantics:
+// success iff some start attachment shares a connected component with
+// some goal attachment, and the returned path minimizes attachment cost
+// plus roadmap distance. Among exact metric ties the node sequence may
+// differ from Query's, but the total length is equal.
+//
+// sc may be nil (a scratch is allocated); pass one per worker to reuse
+// kd buffers across batches. Safe for concurrent use with distinct
+// scratches.
+func (ix *Index) QueryBatch(s *cspace.Space, starts, goals []cspace.Config, k int, sc *BatchScratch, c *cspace.Counters) ([][]cspace.Config, []bool) {
+	n := len(starts)
+	paths := make([][]cspace.Config, n)
+	oks := make([]bool, n)
+	if len(goals) != n || n == 0 || k <= 0 || len(ix.pts) == 0 {
+		return paths, oks
+	}
+	if sc == nil {
+		sc = &BatchScratch{}
+	}
+
+	// Dedupe endpoints: one validation + one attach per distinct config.
+	slot := make(map[string]int, 2*n)
+	var eps []*endpoint
+	startEp := make([]int, n)
+	goalEp := make([]int, n)
+	intern := func(q cspace.Config) int {
+		key := configKey(q)
+		if i, ok := slot[key]; ok {
+			return i
+		}
+		i := len(eps)
+		slot[key] = i
+		eps = append(eps, &endpoint{q: q})
+		return i
+	}
+	for i := range starts {
+		startEp[i] = intern(starts[i])
+		goalEp[i] = intern(goals[i])
+	}
+
+	// Validate distinct endpoints, then attach the valid ones through one
+	// batched kd pass.
+	var queries []geom.Vec
+	var queryEp []int
+	for i, ep := range eps {
+		if len(ep.q) == s.Dim() && s.Valid(ep.q, c) {
+			queries = append(queries, ep.q)
+			queryEp = append(queryEp, i)
+		}
+	}
+	if len(queries) > 0 {
+		var evals int
+		sc.dst, sc.offs, evals = ix.tree.NearestBatch(&sc.knn, queries, k, -1, sc.dst[:0], sc.offs[:0])
+		if c != nil {
+			c.KNNQueries += int64(len(queries))
+			c.KNNEvals += int64(evals)
+		}
+		for j, i := range queryEp {
+			ep := eps[i]
+			for _, h := range sc.dst[sc.offs[j]:sc.offs[j+1]] {
+				if s.LocalPlan(ep.q, ix.pts[h.Index], c) {
+					ep.att = append(ep.att, attachment{node: h.Index, cost: s.Distance(ep.q, ix.pts[h.Index])})
+				}
+			}
+			ep.ok = len(ep.att) > 0
+		}
+	}
+
+	// Group queries by goal endpoint: each group shares one Dijkstra.
+	groups := make(map[int][]int, len(eps))
+	for i := 0; i < n; i++ {
+		if !eps[startEp[i]].ok || !eps[goalEp[i]].ok {
+			continue
+		}
+		groups[goalEp[i]] = append(groups[goalEp[i]], i)
+	}
+	for gi, members := range groups {
+		ix.solveGoalGroup(eps, gi, members, startEp, paths, oks)
+	}
+	return paths, oks
+}
+
+// solveGoalGroup answers every query in members (all sharing goal
+// endpoint gi) with one multi-source Dijkstra seeded from the goal's
+// attachments. Distances flow goal→roadmap, so each query just takes the
+// cheapest of its start attachments; prev chains already point toward
+// the goal and reconstruct the path start→…→goal directly.
+func (ix *Index) solveGoalGroup(eps []*endpoint, gi int, members []int, startEp []int, paths [][]cspace.Config, oks []bool) {
+	goal := eps[gi]
+
+	// Component pre-check (Query's exact success criterion): a start
+	// attachment is a useful target only when it shares a component with
+	// some goal attachment.
+	goalComp := make(map[int]bool, len(goal.att))
+	for _, ga := range goal.att {
+		goalComp[ix.labels[ga.node]] = true
+	}
+	targets := make(map[int]bool)
+	for _, qi := range members {
+		for _, sa := range eps[startEp[qi]].att {
+			if goalComp[ix.labels[sa.node]] {
+				targets[sa.node] = true
+			}
+		}
+	}
+	if len(targets) == 0 {
+		return // every query in the group is disconnected
+	}
+
+	// Multi-source Dijkstra from the goal attachments, run until every
+	// reachable target start-attachment node is settled.
+	dist := make(map[int]float64, 64)
+	prev := make(map[int]int, 64)
+	q := &attachPQ{}
+	for _, ga := range goal.att {
+		if d, ok := dist[ga.node]; !ok || ga.cost < d {
+			dist[ga.node] = ga.cost
+			prev[ga.node] = -1
+			heap.Push(q, pqEntry{node: ga.node, dist: ga.cost})
+		}
+	}
+	done := make(map[int]bool, 64)
+	remaining := len(targets)
+	for q.Len() > 0 && remaining > 0 {
+		it := heap.Pop(q).(pqEntry)
+		if done[it.node] {
+			continue
+		}
+		done[it.node] = true
+		if targets[it.node] {
+			remaining--
+		}
+		for _, e := range ix.m.G.Neighbors(graph.ID(it.node)) {
+			nd := it.dist + e.Weight
+			if d, ok := dist[int(e.To)]; !ok || nd < d {
+				dist[int(e.To)] = nd
+				prev[int(e.To)] = it.node
+				heap.Push(q, pqEntry{node: int(e.To), dist: nd})
+			}
+		}
+	}
+
+	for _, qi := range members {
+		start := eps[startEp[qi]]
+		bestNode := -1
+		bestTotal := -1.0
+		for _, sa := range start.att {
+			d, ok := dist[sa.node]
+			if !ok || !done[sa.node] {
+				continue
+			}
+			if total := sa.cost + d; bestTotal < 0 || total < bestTotal {
+				bestTotal = total
+				bestNode = sa.node
+			}
+		}
+		if bestNode < 0 {
+			continue
+		}
+		// Reconstruct start → attachment chain → goal; prev points toward
+		// the goal-side sources, which is exactly the forward direction.
+		path := make([]cspace.Config, 0, 8)
+		path = append(path, start.q.Clone())
+		for cur := bestNode; cur != -1; cur = prev[cur] {
+			path = append(path, ix.pts[cur].Clone())
+		}
+		path = append(path, goal.q.Clone())
+		paths[qi] = path
+		oks[qi] = true
+	}
+}

@@ -1,0 +1,188 @@
+package prm
+
+import (
+	"testing"
+
+	"parmp/internal/cspace"
+	"parmp/internal/env"
+	"parmp/internal/geom"
+	"parmp/internal/rng"
+)
+
+// pathLength sums a path's metric hops.
+func pathLength(s *cspace.Space, path []cspace.Config) float64 {
+	var sum float64
+	for i := 0; i+1 < len(path); i++ {
+		sum += s.Distance(path[i], path[i+1])
+	}
+	return sum
+}
+
+func randomValid(s *cspace.Space, r *rng.Stream) cspace.Config {
+	for {
+		q := make(cspace.Config, s.Dim())
+		for d := 0; d < s.Dim(); d++ {
+			q[d] = r.Range(s.Bounds.Lo[d], s.Bounds.Hi[d])
+		}
+		if s.Valid(q, nil) {
+			return q
+		}
+	}
+}
+
+func TestQueryBatchMatchesQuery(t *testing.T) {
+	// Every batch answer must agree with the scalar Query: same
+	// success/failure, equal total path length (the node sequence may
+	// differ among exact metric ties), and a valid hop chain.
+	cases := []struct {
+		name  string
+		space *cspace.Space
+	}{
+		{"free", freeSpace()},
+		{"med-cube", cspace.NewPointSpace(env.MedCube())},
+	}
+	for _, tc := range cases {
+		m := buildTestRoadmap(t, tc.space, 80, 11)
+		ix := BuildIndex(m)
+		r := rng.New(99)
+		const nq = 40
+		starts := make([]cspace.Config, nq)
+		goals := make([]cspace.Config, nq)
+		// Mix of distinct pairs, repeated pairs (cache-hot shape) and
+		// shared goals (the Dijkstra-sharing shape).
+		hotGoal := randomValid(tc.space, r)
+		for i := range starts {
+			switch i % 4 {
+			case 0, 1:
+				starts[i] = randomValid(tc.space, r)
+				goals[i] = randomValid(tc.space, r)
+			case 2:
+				starts[i] = randomValid(tc.space, r)
+				goals[i] = hotGoal
+			default:
+				starts[i] = starts[i-3]
+				goals[i] = goals[i-3]
+			}
+		}
+		sc := &BatchScratch{}
+		paths, oks := ix.QueryBatch(tc.space, starts, goals, 4, sc, nil)
+		for i := range starts {
+			refPath, refOK := ix.Query(tc.space, starts[i], goals[i], 4, nil)
+			if oks[i] != refOK {
+				t.Fatalf("%s query %d: batch ok=%v, scalar ok=%v", tc.name, i, oks[i], refOK)
+			}
+			if !oks[i] {
+				if paths[i] != nil {
+					t.Fatalf("%s query %d: missed query returned a path", tc.name, i)
+				}
+				continue
+			}
+			if !paths[i][0].Equal(starts[i], 0) || !paths[i][len(paths[i])-1].Equal(goals[i], 0) {
+				t.Fatalf("%s query %d: path endpoints wrong", tc.name, i)
+			}
+			for h := 0; h+1 < len(paths[i]); h++ {
+				if !tc.space.LocalPlan(paths[i][h], paths[i][h+1], nil) {
+					t.Fatalf("%s query %d: hop %d invalid", tc.name, i, h)
+				}
+			}
+			got, want := pathLength(tc.space, paths[i]), pathLength(tc.space, refPath)
+			if diff := got - want; diff > 1e-9 || diff < -1e-9 {
+				t.Fatalf("%s query %d: batch length %.12f, scalar %.12f", tc.name, i, got, want)
+			}
+		}
+	}
+}
+
+func TestQueryBatchDegenerate(t *testing.T) {
+	s := freeSpace()
+	m := buildTestRoadmap(t, s, 40, 5)
+	ix := BuildIndex(m)
+	a, b := geom.V(0.1, 0.1, 0.1), geom.V(0.9, 0.9, 0.9)
+
+	// k <= 0, mismatched slice lengths, empty batch: all-miss, no panic.
+	if paths, oks := ix.QueryBatch(s, []cspace.Config{a}, []cspace.Config{b}, 0, nil, nil); oks[0] || paths[0] != nil {
+		t.Fatal("k=0 must miss")
+	}
+	if _, oks := ix.QueryBatch(s, []cspace.Config{a}, nil, 4, nil, nil); len(oks) != 1 || oks[0] {
+		t.Fatal("mismatched lengths must miss")
+	}
+	if paths, _ := ix.QueryBatch(s, nil, nil, 4, nil, nil); len(paths) != 0 {
+		t.Fatal("empty batch must return empty results")
+	}
+
+	// Wrong-dimension and in-collision endpoints miss without disturbing
+	// the rest of the batch.
+	blocked := cspace.NewPointSpace(env.MedCube())
+	mb := buildTestRoadmap(t, blocked, 80, 11)
+	ixb := BuildIndex(mb)
+	starts := []cspace.Config{geom.V(0.1, 0.1), geom.V(0.5, 0.5, 0.5), geom.V(0.05, 0.05, 0.05)}
+	goals := []cspace.Config{geom.V(0.9, 0.9, 0.9), geom.V(0.9, 0.9, 0.9), geom.V(0.95, 0.95, 0.95)}
+	paths, oks := ixb.QueryBatch(blocked, starts, goals, 4, nil, nil)
+	if oks[0] || oks[1] {
+		t.Fatal("invalid endpoints must miss")
+	}
+	refPath, refOK := ixb.Query(blocked, starts[2], goals[2], 4, nil)
+	if oks[2] != refOK {
+		t.Fatalf("valid query in mixed batch: ok=%v, scalar=%v", oks[2], refOK)
+	}
+	if refOK && pathLength(blocked, paths[2])-pathLength(blocked, refPath) > 1e-9 {
+		t.Fatal("valid query in mixed batch returned a longer path")
+	}
+
+	// Empty roadmap: all-miss.
+	ixe := BuildIndex(NewRoadmap())
+	if _, oks := ixe.QueryBatch(s, []cspace.Config{a}, []cspace.Config{b}, 4, nil, nil); oks[0] {
+		t.Fatal("empty roadmap must miss")
+	}
+}
+
+func TestQueryBatchDisconnected(t *testing.T) {
+	e := &env.Environment{
+		Name:   "wall",
+		Bounds: geom.Box3(0, 0, 0, 1, 1, 1),
+		Obstacles: []env.Obstacle{
+			env.BoxObstacle{Box: geom.Box3(0.45, 0, 0, 0.55, 1, 1)},
+		},
+	}
+	s := cspace.NewPointSpace(e)
+	m := NewRoadmap()
+	m.AddNode(Node{Q: geom.V(0.1, 0.5, 0.5)})
+	m.AddNode(Node{Q: geom.V(0.9, 0.5, 0.5)})
+	ix := BuildIndex(m)
+	starts := []cspace.Config{geom.V(0.05, 0.5, 0.5), geom.V(0.05, 0.5, 0.5)}
+	goals := []cspace.Config{geom.V(0.95, 0.5, 0.5), geom.V(0.15, 0.5, 0.5)}
+	paths, oks := ix.QueryBatch(s, starts, goals, 1, nil, nil)
+	if oks[0] {
+		t.Fatal("wall-separated query must fail")
+	}
+	if !oks[1] {
+		t.Fatal("same-side query must succeed")
+	}
+	if len(paths[1]) < 2 {
+		t.Fatal("same-side path degenerate")
+	}
+}
+
+func TestQueryBatchScratchReuse(t *testing.T) {
+	// Reusing one scratch across batches must keep answers identical.
+	s := freeSpace()
+	m := buildTestRoadmap(t, s, 60, 7)
+	ix := BuildIndex(m)
+	r := rng.New(3)
+	starts := make([]cspace.Config, 8)
+	goals := make([]cspace.Config, 8)
+	for i := range starts {
+		starts[i] = randomValid(s, r)
+		goals[i] = randomValid(s, r)
+	}
+	sc := &BatchScratch{}
+	_, first := ix.QueryBatch(s, starts, goals, 4, sc, nil)
+	for trial := 0; trial < 3; trial++ {
+		_, again := ix.QueryBatch(s, starts, goals, 4, sc, nil)
+		for i := range first {
+			if first[i] != again[i] {
+				t.Fatalf("trial %d query %d: ok changed %v -> %v", trial, i, first[i], again[i])
+			}
+		}
+	}
+}

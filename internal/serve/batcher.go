@@ -1,0 +1,141 @@
+package serve
+
+import (
+	"context"
+	"time"
+
+	"parmp"
+)
+
+// request is one admitted query waiting in a tenant's queue.
+type request struct {
+	ctx         context.Context
+	key         string // cache key
+	start, goal parmp.Config
+	k           int
+	resp        chan response // buffered 1: respond never blocks
+}
+
+// response is a batch worker's answer to one request.
+type response struct {
+	path      []parmp.Config // shared with the cache: read-only
+	ok        bool
+	cacheHit  bool
+	batchSize int
+	rounds    int
+	err       error // admission-level failure (timeout, tenant closed)
+}
+
+// respond delivers r's answer without blocking; a request whose handler
+// already gave up (deadline passed) just drops it.
+func (r *request) respond(resp response) {
+	select {
+	case r.resp <- resp:
+	default:
+	}
+}
+
+// batchWorker drains the tenant's admission queue: it blocks for one
+// request, coalesces whatever else arrives within the batch window (up
+// to BatchMax), and answers the whole batch against one snapshot.
+// Several workers run per tenant, so coalescing never serializes the
+// tenant — under light load every batch has size 1 and latency is the
+// plain query latency; under heavy load batches fill up and the
+// amortized kd/Dijkstra sharing kicks in exactly when it is needed.
+func (t *tenant) batchWorker() {
+	defer t.pool.wg.Done()
+	defer t.workers.Done()
+	batch := make([]*request, 0, t.pool.cfg.BatchMax)
+	for {
+		select {
+		case <-t.ctx.Done():
+			return
+		case first := <-t.pending:
+			batch = append(batch[:0], first)
+			batch = t.coalesce(batch)
+			t.serveBatch(batch)
+		}
+	}
+}
+
+// coalesce tops batch up from the queue until BatchMax or the batch
+// window closes. With a non-positive window only already-queued
+// requests join.
+func (t *tenant) coalesce(batch []*request) []*request {
+	max := t.pool.cfg.BatchMax
+	window := t.pool.cfg.BatchWindow
+	var deadline <-chan time.Time
+	if window > 0 && max > 1 {
+		timer := time.NewTimer(window)
+		defer timer.Stop()
+		deadline = timer.C
+	}
+	for len(batch) < max {
+		if deadline == nil {
+			select {
+			case r := <-t.pending:
+				batch = append(batch, r)
+			default:
+				return batch
+			}
+		} else {
+			select {
+			case r := <-t.pending:
+				batch = append(batch, r)
+			case <-deadline:
+				return batch
+			}
+		}
+	}
+	return batch
+}
+
+// serveBatch answers every request in batch against one snapshot:
+// expired requests are failed, cache hits answered immediately (the
+// entry may have appeared since admission), and the remaining misses go
+// through Snapshot.QueryBatch grouped by k. Positive answers are
+// inserted into the path cache tagged with the snapshot's round, so a
+// concurrent rollover drops rather than poisons them.
+func (t *tenant) serveBatch(batch []*request) {
+	snap := t.eng.Snapshot()
+	gen := int64(snap.Rounds())
+	size := len(batch)
+	var misses []*request
+	for _, r := range batch {
+		if r.ctx.Err() != nil {
+			r.respond(response{err: r.ctx.Err()})
+			continue
+		}
+		if path, ok := t.cache.get(r.key, gen); ok {
+			t.cacheHits.Add(1)
+			r.respond(response{path: path, ok: true, cacheHit: true, batchSize: size, rounds: int(gen)})
+			continue
+		}
+		misses = append(misses, r)
+	}
+	if len(misses) == 0 {
+		return
+	}
+	// k is almost always the default, but a mixed batch still answers
+	// correctly: one sub-batch per distinct k.
+	byK := make(map[int][]*request, 1)
+	for _, r := range misses {
+		byK[r.k] = append(byK[r.k], r)
+	}
+	for k, group := range byK {
+		starts := make([]parmp.Config, len(group))
+		goals := make([]parmp.Config, len(group))
+		for i, r := range group {
+			starts[i], goals[i] = r.start, r.goal
+		}
+		paths, oks := snap.QueryBatch(starts, goals, k)
+		t.batches.Add(1)
+		t.batched.Add(int64(len(group)))
+		for i, r := range group {
+			if oks[i] {
+				t.cache.put(r.key, gen, paths[i])
+			}
+			r.respond(response{path: paths[i], ok: oks[i], batchSize: size, rounds: int(gen)})
+		}
+	}
+}

@@ -1,0 +1,310 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"parmp"
+)
+
+// QueryRequest is the body of POST /v1/query: the tenant spec plus one
+// (start, goal) query.
+type QueryRequest struct {
+	Spec  Spec      `json:"spec"`
+	Start []float64 `json:"start"`
+	Goal  []float64 `json:"goal"`
+	// K is the attachment count (PRM); 0 uses the server default.
+	K int `json:"k,omitempty"`
+}
+
+// QueryResponse answers one query. A planning miss (no path yet) is a
+// 200 with OK=false — only transport, validation and capacity problems
+// are non-2xx.
+type QueryResponse struct {
+	OK   bool        `json:"ok"`
+	Path [][]float64 `json:"path,omitempty"`
+	// Rounds is the snapshot round that answered; GrowDone reports
+	// whether background growth has reached its target.
+	Rounds   int  `json:"rounds"`
+	GrowDone bool `json:"grow_done"`
+	// CacheHit marks answers served from the path cache; BatchSize is
+	// the coalesced batch this query rode in (1 = alone, 0 = cache hit
+	// answered before admission).
+	CacheHit  bool `json:"cache_hit"`
+	BatchSize int  `json:"batch_size,omitempty"`
+	// ServeUS is the server-side processing time in microseconds,
+	// admission queueing included.
+	ServeUS float64 `json:"serve_us"`
+}
+
+// BatchRequest is the body of POST /v1/batch: one tenant spec and many
+// queries, answered together against one snapshot.
+type BatchRequest struct {
+	Spec    Spec         `json:"spec"`
+	Queries []BatchQuery `json:"queries"`
+}
+
+// BatchQuery is one (start, goal, k) in a client-side batch.
+type BatchQuery struct {
+	Start []float64 `json:"start"`
+	Goal  []float64 `json:"goal"`
+	K     int       `json:"k,omitempty"`
+}
+
+// BatchResponse answers a client-side batch, aligned with the request's
+// queries.
+type BatchResponse struct {
+	Results []QueryResponse `json:"results"`
+	ServeUS float64         `json:"serve_us"`
+}
+
+// StatsResponse is GET /v1/stats.
+type StatsResponse struct {
+	UptimeSec float64       `json:"uptime_sec"`
+	Tenants   []TenantStats `json:"tenants"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// maxBodyBytes bounds request bodies (env_text is the only large field).
+const maxBodyBytes = 1 << 20
+
+// maxBatchQueries bounds one client-side batch.
+const maxBatchQueries = 1024
+
+// Server is the HTTP planning service: a Pool behind three endpoints.
+//
+//	POST /v1/query  one query; coalesced server-side
+//	POST /v1/batch  many queries answered against one snapshot
+//	GET  /v1/stats  pool and per-tenant counters
+//	GET  /healthz   liveness
+type Server struct {
+	cfg   Config
+	pool  *Pool
+	mux   *http.ServeMux
+	start time.Time
+}
+
+// New creates a Server with cfg's defaults applied.
+func New(cfg Config) *Server {
+	s := &Server{
+		cfg:   cfg.withDefaults(),
+		pool:  NewPool(cfg),
+		mux:   http.NewServeMux(),
+		start: time.Now(),
+	}
+	s.mux.HandleFunc("POST /v1/query", s.handleQuery)
+	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("ok\n"))
+	})
+	return s
+}
+
+// Handler returns the server's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Pool returns the server's engine pool (mainly for tests and stats).
+func (s *Server) Pool() *Pool { return s.pool }
+
+// Close shuts the pool down.
+func (s *Server) Close() { s.pool.Close() }
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// decode reads a bounded JSON body.
+func decode(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err := dec.Decode(v); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return false
+	}
+	return true
+}
+
+// tenantFor canonicalizes and resolves the request's tenant, writing
+// the error response on failure.
+func (s *Server) tenantFor(w http.ResponseWriter, spec Spec) *tenant {
+	canon, err := spec.Canonical(s.cfg.GrowRounds)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return nil
+	}
+	t := s.pool.Tenant(canon)
+	if t.buildErr != nil {
+		writeError(w, http.StatusBadRequest, "tenant build failed: %v", t.buildErr)
+		return nil
+	}
+	return t
+}
+
+// pathFloats converts a path for JSON encoding.
+func pathFloats(path []parmp.Config) [][]float64 {
+	out := make([][]float64, len(path))
+	for i, q := range path {
+		out[i] = q
+	}
+	return out
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	t0 := time.Now()
+	var qr QueryRequest
+	if !decode(w, r, &qr) {
+		return
+	}
+	t := s.tenantFor(w, qr.Spec)
+	if t == nil {
+		return
+	}
+	k := qr.K
+	if k == 0 {
+		k = s.cfg.DefaultK
+	}
+	start, goal := parmp.Config(qr.Start), parmp.Config(qr.Goal)
+	key := cacheKey(start, goal, k)
+
+	// Fast path: answer straight from the cache, before admission.
+	snap := t.eng.Snapshot()
+	if path, ok := t.cache.get(key, int64(snap.Rounds())); ok {
+		t.queries.Add(1)
+		t.cacheHits.Add(1)
+		writeJSON(w, http.StatusOK, QueryResponse{
+			OK: true, Path: pathFloats(path),
+			Rounds: snap.Rounds(), GrowDone: t.growDone.Load(),
+			CacheHit: true, ServeUS: us(time.Since(t0)),
+		})
+		return
+	}
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
+	req := &request{
+		ctx:   ctx,
+		key:   key,
+		start: start,
+		goal:  goal,
+		k:     k,
+		resp:  make(chan response, 1),
+	}
+	// Admission: a full queue rejects now — with a hint — rather than
+	// queueing without bound.
+	select {
+	case t.pending <- req:
+		t.queries.Add(1)
+	default:
+		t.rejected.Add(1)
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, "tenant queue full (%d deep); retry", s.cfg.QueueDepth)
+		return
+	}
+	select {
+	case resp := <-req.resp:
+		if resp.err != nil {
+			if errors.Is(resp.err, errTenantClosed) {
+				writeError(w, http.StatusServiceUnavailable, "%v", resp.err)
+			} else {
+				writeError(w, http.StatusRequestTimeout, "request expired in queue: %v", resp.err)
+			}
+			return
+		}
+		writeJSON(w, http.StatusOK, QueryResponse{
+			OK: resp.ok, Path: pathFloats(resp.path),
+			Rounds: resp.rounds, GrowDone: t.growDone.Load(),
+			CacheHit: resp.cacheHit, BatchSize: resp.batchSize,
+			ServeUS: us(time.Since(t0)),
+		})
+	case <-ctx.Done():
+		writeError(w, http.StatusRequestTimeout, "request timed out after %v", s.cfg.RequestTimeout)
+	case <-t.ctx.Done():
+		writeError(w, http.StatusServiceUnavailable, "tenant shutting down")
+	}
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	t0 := time.Now()
+	var br BatchRequest
+	if !decode(w, r, &br) {
+		return
+	}
+	if len(br.Queries) == 0 {
+		writeError(w, http.StatusBadRequest, "empty batch")
+		return
+	}
+	if len(br.Queries) > maxBatchQueries {
+		writeError(w, http.StatusRequestEntityTooLarge, "batch of %d exceeds %d", len(br.Queries), maxBatchQueries)
+		return
+	}
+	t := s.tenantFor(w, br.Spec)
+	if t == nil {
+		return
+	}
+	snap := t.eng.Snapshot()
+	gen := int64(snap.Rounds())
+	grown := t.growDone.Load()
+	results := make([]QueryResponse, len(br.Queries))
+	t.queries.Add(int64(len(br.Queries)))
+
+	// Cache pass, then one QueryBatch per distinct k over the misses.
+	byK := make(map[int][]int, 1)
+	keys := make([]string, len(br.Queries))
+	for i, q := range br.Queries {
+		k := q.K
+		if k == 0 {
+			k = s.cfg.DefaultK
+		}
+		keys[i] = cacheKey(parmp.Config(q.Start), parmp.Config(q.Goal), k)
+		if path, ok := t.cache.get(keys[i], gen); ok {
+			t.cacheHits.Add(1)
+			results[i] = QueryResponse{OK: true, Path: pathFloats(path), Rounds: int(gen), GrowDone: grown, CacheHit: true}
+			continue
+		}
+		byK[k] = append(byK[k], i)
+	}
+	for k, idxs := range byK {
+		starts := make([]parmp.Config, len(idxs))
+		goals := make([]parmp.Config, len(idxs))
+		for j, i := range idxs {
+			starts[j] = parmp.Config(br.Queries[i].Start)
+			goals[j] = parmp.Config(br.Queries[i].Goal)
+		}
+		paths, oks := snap.QueryBatch(starts, goals, k)
+		t.batches.Add(1)
+		t.batched.Add(int64(len(idxs)))
+		for j, i := range idxs {
+			if oks[j] {
+				t.cache.put(keys[i], gen, paths[j])
+			}
+			results[i] = QueryResponse{
+				OK: oks[j], Path: pathFloats(paths[j]),
+				Rounds: int(gen), GrowDone: grown, BatchSize: len(idxs),
+			}
+		}
+	}
+	writeJSON(w, http.StatusOK, BatchResponse{Results: results, ServeUS: us(time.Since(t0))})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, StatsResponse{
+		UptimeSec: time.Since(s.start).Seconds(),
+		Tenants:   s.pool.Stats(),
+	})
+}
+
+// us converts a duration to microseconds.
+func us(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }

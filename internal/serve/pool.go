@@ -1,0 +1,250 @@
+package serve
+
+import (
+	"container/list"
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"parmp"
+)
+
+// Pool owns the server's engines: one tenant per canonical spec,
+// constructed lazily on first request, grown in the background, evicted
+// least-recently-used beyond the cap.
+type Pool struct {
+	cfg    Config
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
+	mu      sync.Mutex
+	tenants map[string]*tenant
+	order   *list.List // *tenant, front = most recently used
+}
+
+// tenant is one engine plus its serving machinery. The engine is built
+// by the first request (buildOnce), so pool bookkeeping never blocks on
+// C-space subdivision; until then eng/space are nil and buildErr is
+// unset.
+type tenant struct {
+	key  string
+	spec Spec
+	pool *Pool
+	elem *list.Element
+
+	buildOnce sync.Once
+	built     atomic.Bool // set after buildOnce completes; gates buildErr/eng/space reads
+	buildErr  error
+	eng       *parmp.Engine
+	space     *parmp.Space
+
+	cache   *pathCache
+	pending chan *request
+	ctx     context.Context
+	cancel  context.CancelFunc
+	workers sync.WaitGroup // live batch workers (tests wait on it)
+
+	queries   atomic.Int64 // admitted requests
+	cacheHits atomic.Int64
+	rejected  atomic.Int64 // 429s
+	batches   atomic.Int64 // coalesced batches served
+	batched   atomic.Int64 // requests served through batches
+	growDone  atomic.Bool
+}
+
+// errTenantClosed is returned to requests stranded in an evicted
+// tenant's queue.
+var errTenantClosed = errTenant("tenant evicted; retry to rebuild")
+
+type errTenant string
+
+func (e errTenant) Error() string { return string(e) }
+
+// NewPool creates an empty pool with cfg's defaults applied.
+func NewPool(cfg Config) *Pool {
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Pool{
+		cfg:     cfg.withDefaults(),
+		ctx:     ctx,
+		cancel:  cancel,
+		tenants: make(map[string]*tenant),
+		order:   list.New(),
+	}
+}
+
+// Close cancels every tenant's growth and serving and waits for their
+// goroutines to exit. Engines are left to the garbage collector.
+func (p *Pool) Close() {
+	p.cancel()
+	p.mu.Lock()
+	for _, t := range p.tenants {
+		t.cancel()
+	}
+	p.mu.Unlock()
+	p.wg.Wait()
+}
+
+// Tenant returns the live tenant for a canonical spec, creating (and
+// lazily building) it on first use and touching it in the LRU order.
+// The returned tenant's init must be checked: a build error makes it
+// unservable.
+func (p *Pool) Tenant(spec Spec) *tenant {
+	key := spec.Key()
+	p.mu.Lock()
+	if t, ok := p.tenants[key]; ok {
+		p.order.MoveToFront(t.elem)
+		p.mu.Unlock()
+		t.init()
+		return t
+	}
+	ctx, cancel := context.WithCancel(p.ctx)
+	t := &tenant{
+		key:     key,
+		spec:    spec,
+		pool:    p,
+		cache:   newPathCache(p.cfg.CacheSize),
+		pending: make(chan *request, p.cfg.QueueDepth),
+		ctx:     ctx,
+		cancel:  cancel,
+	}
+	t.elem = p.order.PushFront(t)
+	p.tenants[key] = t
+	var evicted *tenant
+	if len(p.tenants) > p.cfg.MaxTenants {
+		back := p.order.Back()
+		evicted = back.Value.(*tenant)
+		p.order.Remove(back)
+		delete(p.tenants, evicted.key)
+	}
+	p.mu.Unlock()
+	if evicted != nil {
+		evicted.close()
+	}
+	t.init()
+	return t
+}
+
+// init builds the engine and starts the tenant's background goroutines,
+// exactly once. Safe to call from every request.
+func (t *tenant) init() {
+	t.buildOnce.Do(func() {
+		eng, space, err := t.spec.build()
+		if err != nil {
+			t.buildErr = err
+			t.built.Store(true)
+			return
+		}
+		t.eng, t.space = eng, space
+		t.built.Store(true)
+		t.pool.wg.Add(1 + t.pool.cfg.BatchWorkers)
+		t.workers.Add(t.pool.cfg.BatchWorkers)
+		go t.growLoop()
+		for i := 0; i < t.pool.cfg.BatchWorkers; i++ {
+			go t.batchWorker()
+		}
+	})
+}
+
+// close cancels the tenant and drains queued requests with
+// errTenantClosed until the queue has been quiet for a grace period, so
+// no admitted request is silently dropped.
+func (t *tenant) close() {
+	t.cancel()
+	t.pool.wg.Add(1)
+	go func() {
+		defer t.pool.wg.Done()
+		grace := time.NewTimer(t.pool.cfg.RequestTimeout)
+		defer grace.Stop()
+		for {
+			select {
+			case r := <-t.pending:
+				r.respond(response{err: errTenantClosed})
+			case <-grace.C:
+				return
+			}
+		}
+	}()
+}
+
+// growLoop grows the tenant's engine toward its spec's round target,
+// invalidating the path cache after every committed round (snapshot
+// rollover). Serving never blocks on growth: queries read whichever
+// snapshot is currently published.
+func (t *tenant) growLoop() {
+	defer t.pool.wg.Done()
+	for t.eng.Rounds() < t.spec.Rounds {
+		if err := t.eng.Grow(t.ctx); err != nil {
+			return // canceled: pool closing or tenant evicted
+		}
+		t.cache.invalidate(int64(t.eng.Snapshot().Rounds()))
+		if iv := t.pool.cfg.GrowInterval; iv > 0 {
+			select {
+			case <-time.After(iv):
+			case <-t.ctx.Done():
+				return
+			}
+		}
+	}
+	t.growDone.Store(true)
+}
+
+// TenantStats is one tenant's row in the stats endpoint.
+type TenantStats struct {
+	Env       string `json:"env"`
+	Planner   string `json:"planner"`
+	Seed      uint64 `json:"seed"`
+	BuildErr  string `json:"build_error,omitempty"`
+	Rounds    int    `json:"rounds"`
+	Nodes     int    `json:"nodes"`
+	GrowDone  bool   `json:"grow_done"`
+	Queries   int64  `json:"queries"`
+	CacheHits int64  `json:"cache_hits"`
+	CacheLen  int    `json:"cache_len"`
+	Rejected  int64  `json:"rejected"`
+	Batches   int64  `json:"batches"`
+	Batched   int64  `json:"batched"`
+	QueueLen  int    `json:"queue_len"`
+}
+
+// Stats snapshots every live tenant, most recently used first.
+func (p *Pool) Stats() []TenantStats {
+	p.mu.Lock()
+	ts := make([]*tenant, 0, p.order.Len())
+	for el := p.order.Front(); el != nil; el = el.Next() {
+		ts = append(ts, el.Value.(*tenant))
+	}
+	p.mu.Unlock()
+	out := make([]TenantStats, 0, len(ts))
+	for _, t := range ts {
+		env := t.spec.Env
+		if env == "" {
+			env = "inline"
+		}
+		st := TenantStats{
+			Env:       env,
+			Planner:   t.spec.Planner,
+			Seed:      t.spec.Seed,
+			Queries:   t.queries.Load(),
+			CacheHits: t.cacheHits.Load(),
+			CacheLen:  t.cache.len(),
+			Rejected:  t.rejected.Load(),
+			Batches:   t.batches.Load(),
+			Batched:   t.batched.Load(),
+			QueueLen:  len(t.pending),
+			GrowDone:  t.growDone.Load(),
+		}
+		if t.built.Load() {
+			if t.buildErr != nil {
+				st.BuildErr = t.buildErr.Error()
+			} else {
+				snap := t.eng.Snapshot()
+				st.Rounds = snap.Rounds()
+				st.Nodes = snap.NumNodes()
+			}
+		}
+		out = append(out, st)
+	}
+	return out
+}

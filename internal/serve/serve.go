@@ -1,0 +1,109 @@
+// Package serve is the planning-as-a-service tier: an HTTP/JSON front
+// end over parmp.Engine that turns the repository's resumable planners
+// into a multi-tenant server.
+//
+// The pieces, bottom-up:
+//
+//   - Spec canonicalizes an environment/robot/planner/options request
+//     into a tenant key, so every way of writing the same planning
+//     problem lands on the same engine.
+//   - Pool maps tenant keys to lazily constructed engines. Each tenant
+//     grows its roadmap in a background goroutine toward a target round
+//     count; every committed round atomically publishes a fresh
+//     snapshot (graceful rollover — in-flight queries keep their old
+//     snapshot) and invalidates the tenant's path cache. Tenants are
+//     evicted least-recently-used beyond the pool cap.
+//   - Each tenant runs a set of batch workers that drain a bounded
+//     admission queue, coalescing concurrent requests into batches
+//     answered against one snapshot via Snapshot.QueryBatch — kd
+//     lookups amortized through knn.NearestBatch and one multi-source
+//     Dijkstra per distinct goal.
+//   - pathCache is a per-tenant LRU over (start, goal, k) keyed by
+//     exact float bits, tagged with the snapshot round it answers for
+//     and dropped wholesale on rollover.
+//   - Backpressure: when a tenant's admission queue is full the server
+//     answers 429 with Retry-After instead of queueing unboundedly, and
+//     every request carries a context deadline that propagates through
+//     admission and batching.
+//
+// cmd/mpserved wraps this package in a binary; cmd/mploadgen drives it
+// with millions of queries and feeds the percentiles into the
+// servebench regression gate.
+package serve
+
+import (
+	"runtime"
+	"time"
+)
+
+// Config tunes the server. The zero value is not usable; call
+// (*Config).withDefaults or use New, which applies defaults.
+type Config struct {
+	// MaxTenants caps the number of live engines; beyond it the
+	// least-recently-used tenant is evicted. Default 8.
+	MaxTenants int
+	// QueueDepth bounds each tenant's admission queue; a full queue
+	// answers 429. Default 256.
+	QueueDepth int
+	// BatchWorkers is the number of goroutines draining each tenant's
+	// queue. Default runtime.GOMAXPROCS(0).
+	BatchWorkers int
+	// BatchMax caps how many requests one worker coalesces into a
+	// batch. 1 disables batching. Default 32.
+	BatchMax int
+	// BatchWindow is how long a worker waits for stragglers after the
+	// first request of a batch. Negative coalesces only what is
+	// already queued (no wait). Default 200µs.
+	BatchWindow time.Duration
+	// CacheSize is the per-tenant path-cache capacity in entries.
+	// Negative disables caching. Default 4096.
+	CacheSize int
+	// GrowRounds is the default background growth target for tenants
+	// whose spec does not set Rounds. Default 3.
+	GrowRounds int
+	// GrowInterval pauses between background growth rounds, leaving
+	// CPU for serving. Default 0 (grow back-to-back).
+	GrowInterval time.Duration
+	// RequestTimeout bounds each request's total time in the server
+	// (admission wait included). Default 10s.
+	RequestTimeout time.Duration
+	// DefaultK is the attachment count used when a query omits k.
+	// Default 8.
+	DefaultK int
+}
+
+// withDefaults fills unset fields with the documented defaults.
+func (c Config) withDefaults() Config {
+	if c.MaxTenants <= 0 {
+		c.MaxTenants = 8
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 256
+	}
+	if c.BatchWorkers <= 0 {
+		c.BatchWorkers = runtime.GOMAXPROCS(0)
+	}
+	if c.BatchMax <= 0 {
+		c.BatchMax = 32
+	}
+	if c.BatchWindow < 0 {
+		c.BatchWindow = 0
+	} else if c.BatchWindow == 0 {
+		c.BatchWindow = 200 * time.Microsecond
+	}
+	if c.CacheSize < 0 {
+		c.CacheSize = 0
+	} else if c.CacheSize == 0 {
+		c.CacheSize = 4096
+	}
+	if c.GrowRounds <= 0 {
+		c.GrowRounds = 3
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 10 * time.Second
+	}
+	if c.DefaultK <= 0 {
+		c.DefaultK = 8
+	}
+	return c
+}

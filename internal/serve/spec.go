@@ -1,0 +1,259 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"parmp"
+)
+
+// Spec describes a tenant: the planning problem a client wants served.
+// Two requests whose canonicalized specs are equal share one engine, so
+// the canonical form — defaults applied, names normalized — is the
+// tenant key.
+type Spec struct {
+	// Env names a built-in benchmark environment. Exactly one of Env
+	// and EnvText must be set.
+	Env string `json:"env,omitempty"`
+	// EnvText is an inline environment in the env text format
+	// (name / bounds / box / sphere directives).
+	EnvText string `json:"env_text,omitempty"`
+	// Robot selects the C-space: "point" (default), "se2:hx,hy" or
+	// "rigid:hx,hy,hz".
+	Robot string `json:"robot,omitempty"`
+	// Planner is "prm" (default), "rrt" or "rrtconnect". Tree planners
+	// require Root (and, for rrtconnect, Goal).
+	Planner string    `json:"planner,omitempty"`
+	Root    []float64 `json:"root,omitempty"`
+	Goal    []float64 `json:"goal,omitempty"`
+
+	Procs   int    `json:"procs,omitempty"`
+	Regions int    `json:"regions,omitempty"`
+	Samples int    `json:"samples,omitempty"`
+	Seed    uint64 `json:"seed,omitempty"`
+	// Strategy is "none", "repartition" (default), "hybrid", "rand-8"
+	// or "diffusive".
+	Strategy string `json:"strategy,omitempty"`
+	// Rounds is the background growth target; 0 uses the server
+	// default.
+	Rounds int `json:"rounds,omitempty"`
+}
+
+// Canonical returns the spec with defaults applied and names
+// normalized, or an error when the spec cannot name a tenant. growRounds
+// is the server's default growth target.
+func (sp Spec) Canonical(growRounds int) (Spec, error) {
+	c := sp
+	c.Env = strings.ToLower(strings.TrimSpace(c.Env))
+	c.EnvText = strings.TrimSpace(c.EnvText)
+	if (c.Env == "") == (c.EnvText == "") {
+		return c, fmt.Errorf("spec: exactly one of env and env_text is required")
+	}
+	if c.Env != "" && parmp.EnvironmentByName(c.Env) == nil {
+		return c, fmt.Errorf("spec: unknown environment %q (have %s)", c.Env, strings.Join(parmp.EnvironmentNames(), ", "))
+	}
+	c.Robot = strings.ToLower(strings.TrimSpace(c.Robot))
+	if c.Robot == "" {
+		c.Robot = "point"
+	}
+	if _, err := robotHalves(c.Robot); err != nil {
+		return c, err
+	}
+	c.Planner = strings.ToLower(strings.TrimSpace(c.Planner))
+	if c.Planner == "" {
+		c.Planner = "prm"
+	}
+	switch c.Planner {
+	case "prm":
+		c.Root, c.Goal = nil, nil
+	case "rrt":
+		if len(c.Root) == 0 {
+			return c, fmt.Errorf("spec: planner rrt requires root")
+		}
+		c.Goal = nil
+	case "rrtconnect":
+		if len(c.Root) == 0 || len(c.Goal) == 0 {
+			return c, fmt.Errorf("spec: planner rrtconnect requires root and goal")
+		}
+	default:
+		return c, fmt.Errorf("spec: unknown planner %q (want %s)", c.Planner, strings.Join(parmp.PlannerNames(), ", "))
+	}
+	if c.Procs <= 0 {
+		c.Procs = 8
+	}
+	if c.Regions < 0 {
+		c.Regions = 0
+	}
+	if c.Samples <= 0 {
+		c.Samples = 16
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	c.Strategy = strings.ToLower(strings.TrimSpace(c.Strategy))
+	if c.Strategy == "" {
+		c.Strategy = "repartition"
+	}
+	if _, _, err := strategyOptions(c.Strategy); err != nil {
+		return c, err
+	}
+	if c.Rounds <= 0 {
+		c.Rounds = growRounds
+	}
+	return c, nil
+}
+
+// Key returns the canonical spec's tenant key. Only call on the result
+// of Canonical: the key is the deterministic JSON encoding, so equal
+// canonical specs — and only those — collide.
+func (sp Spec) Key() string {
+	b, err := json.Marshal(sp)
+	if err != nil {
+		// A Spec is plain data; Marshal cannot fail on one.
+		panic(err)
+	}
+	return string(b)
+}
+
+// robotHalves parses the Robot field into its half-extent parameters.
+func robotHalves(robot string) ([]float64, error) {
+	name, args, _ := strings.Cut(robot, ":")
+	var want int
+	switch name {
+	case "point":
+		if args != "" {
+			return nil, fmt.Errorf("spec: robot point takes no parameters")
+		}
+		return nil, nil
+	case "se2":
+		want = 2
+	case "rigid":
+		want = 3
+	default:
+		return nil, fmt.Errorf("spec: unknown robot %q (want point, se2:hx,hy or rigid:hx,hy,hz)", robot)
+	}
+	parts := strings.Split(args, ",")
+	if len(parts) != want {
+		return nil, fmt.Errorf("spec: robot %s needs %d half-extents", name, want)
+	}
+	halves := make([]float64, want)
+	for i, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil || !(v > 0) {
+			return nil, fmt.Errorf("spec: bad half-extent %q in robot %q", p, robot)
+		}
+		halves[i] = v
+	}
+	return halves, nil
+}
+
+// strategyOptions maps a strategy name onto Options fields.
+func strategyOptions(name string) (parmp.Strategy, parmp.StealPolicy, error) {
+	switch name {
+	case "none":
+		return parmp.NoLB, nil, nil
+	case "repartition":
+		return parmp.Repartition, nil, nil
+	case "hybrid":
+		return parmp.WorkStealing, parmp.Hybrid(8), nil
+	case "rand-8":
+		return parmp.WorkStealing, parmp.RandK(8), nil
+	case "diffusive":
+		return parmp.WorkStealing, parmp.Diffusive(), nil
+	}
+	return 0, nil, fmt.Errorf("spec: unknown strategy %q (want none, repartition, hybrid, rand-8, diffusive)", name)
+}
+
+// build constructs the tenant's space and engine from a canonical spec.
+func (sp Spec) build() (*parmp.Engine, *parmp.Space, error) {
+	var e *parmp.Environment
+	if sp.Env != "" {
+		e = parmp.EnvironmentByName(sp.Env)
+		if e == nil {
+			return nil, nil, fmt.Errorf("unknown environment %q", sp.Env)
+		}
+	} else {
+		var err error
+		e, err = parmp.ParseEnvironment(strings.NewReader(sp.EnvText))
+		if err != nil {
+			return nil, nil, fmt.Errorf("env_text: %w", err)
+		}
+	}
+	halves, err := robotHalves(sp.Robot)
+	if err != nil {
+		return nil, nil, err
+	}
+	var space *parmp.Space
+	switch {
+	case sp.Robot == "point":
+		space = parmp.NewPointSpace(e)
+	case strings.HasPrefix(sp.Robot, "se2"):
+		if e.Dim() != 2 {
+			return nil, nil, fmt.Errorf("robot se2 needs a 2D environment, %s is %dD", e.Name, e.Dim())
+		}
+		space = parmp.NewSE2Space(e, halves[0], halves[1])
+	default: // rigid
+		if e.Dim() != 3 {
+			return nil, nil, fmt.Errorf("robot rigid needs a 3D environment, %s is %dD", e.Name, e.Dim())
+		}
+		space = parmp.NewRigidBodySpace(e, halves[0], halves[1], halves[2])
+	}
+
+	strategy, policy, err := strategyOptions(sp.Strategy)
+	if err != nil {
+		return nil, nil, err
+	}
+	opts := parmp.Options{
+		Procs:            sp.Procs,
+		Regions:          sp.Regions,
+		SamplesPerRegion: sp.Samples,
+		NodesPerRegion:   sp.Samples,
+		Seed:             sp.Seed,
+		Strategy:         strategy,
+		Policy:           policy,
+	}
+	if sp.Planner != "prm" {
+		// Default the radial reach to the environment diagonal, like
+		// mpsolve: corner-to-corner queries stay inside every cone.
+		var d2 float64
+		for d := 0; d < e.Dim(); d++ {
+			span := e.Bounds.Hi[d] - e.Bounds.Lo[d]
+			d2 += span * span
+		}
+		opts.Radius = math.Sqrt(d2)
+	}
+
+	dim := space.Dim()
+	toConfig := func(v []float64, what string) (parmp.Config, error) {
+		if len(v) != dim {
+			return nil, fmt.Errorf("%s has %d coordinates, space is %dD", what, len(v), dim)
+		}
+		return parmp.Config(v), nil
+	}
+	switch sp.Planner {
+	case "prm":
+		eng, err := parmp.NewEngine(space, opts)
+		return eng, space, err
+	case "rrt":
+		root, err := toConfig(sp.Root, "root")
+		if err != nil {
+			return nil, nil, err
+		}
+		eng, err := parmp.NewRRTEngine(space, root, opts)
+		return eng, space, err
+	default: // rrtconnect
+		root, err := toConfig(sp.Root, "root")
+		if err != nil {
+			return nil, nil, err
+		}
+		goal, err := toConfig(sp.Goal, "goal")
+		if err != nil {
+			return nil, nil, err
+		}
+		eng, err := parmp.NewRRTConnectEngine(space, root, goal, opts)
+		return eng, space, err
+	}
+}

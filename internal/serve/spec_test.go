@@ -1,0 +1,94 @@
+package serve
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSpecCanonicalKey(t *testing.T) {
+	// Every way of writing the same planning problem must land on the
+	// same tenant key.
+	base, err := Spec{Env: "med-cube"}.Canonical(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := []Spec{
+		{Env: "MED-CUBE"},
+		{Env: " med-cube "},
+		{Env: "med-cube", Robot: "point", Planner: "prm"},
+		{Env: "med-cube", Procs: 8, Samples: 16, Seed: 1, Strategy: "repartition", Rounds: 3},
+	}
+	for i, sp := range same {
+		c, err := sp.Canonical(3)
+		if err != nil {
+			t.Fatalf("spec %d: %v", i, err)
+		}
+		if c.Key() != base.Key() {
+			t.Fatalf("spec %d key %q != base %q", i, c.Key(), base.Key())
+		}
+	}
+	diff := []Spec{
+		{Env: "small-cube"},
+		{Env: "med-cube", Seed: 2},
+		{Env: "med-cube", Samples: 32},
+		{Env: "med-cube", Strategy: "none"},
+		{Env: "med-cube", Rounds: 5},
+		{EnvText: "name x\nbounds 0 0 0 1 1 1\n"},
+	}
+	for i, sp := range diff {
+		c, err := sp.Canonical(3)
+		if err != nil {
+			t.Fatalf("spec %d: %v", i, err)
+		}
+		if c.Key() == base.Key() {
+			t.Fatalf("spec %d unexpectedly shares the base key", i)
+		}
+	}
+}
+
+func TestSpecCanonicalErrors(t *testing.T) {
+	bad := []struct {
+		name string
+		sp   Spec
+		want string
+	}{
+		{"no env", Spec{}, "exactly one"},
+		{"both envs", Spec{Env: "med-cube", EnvText: "bounds 0 0 1 1"}, "exactly one"},
+		{"unknown env", Spec{Env: "nope"}, "unknown environment"},
+		{"unknown planner", Spec{Env: "med-cube", Planner: "prm*"}, "unknown planner"},
+		{"rrt without root", Spec{Env: "med-cube", Planner: "rrt"}, "requires root"},
+		{"rrtconnect without goal", Spec{Env: "med-cube", Planner: "rrtconnect", Root: []float64{0.5, 0.5, 0.5}}, "requires root and goal"},
+		{"unknown strategy", Spec{Env: "med-cube", Strategy: "magic"}, "unknown strategy"},
+		{"unknown robot", Spec{Env: "med-cube", Robot: "blob"}, "unknown robot"},
+		{"bad robot params", Spec{Env: "med-cube", Robot: "se2:0.1"}, "needs 2 half-extents"},
+		{"negative half-extent", Spec{Env: "med-cube", Robot: "rigid:-1,1,1"}, "bad half-extent"},
+	}
+	for _, tc := range bad {
+		if _, err := tc.sp.Canonical(3); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want containing %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestSpecBuildInlineEnv(t *testing.T) {
+	sp, err := Spec{EnvText: "name inline\nbounds 0 0 0 1 1 1\nbox 0.4 0.4 0.4 0.6 0.6 0.6\n"}.Canonical(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, space, err := sp.build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eng == nil || space == nil || space.Dim() != 3 {
+		t.Fatalf("inline build: eng=%v dim=%d", eng, space.Dim())
+	}
+
+	// A 3D environment cannot carry an SE(2) robot.
+	sp2, err := Spec{EnvText: "bounds 0 0 0 1 1 1", Robot: "se2:0.05,0.05"}.Canonical(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := sp2.build(); err == nil || !strings.Contains(err.Error(), "2D environment") {
+		t.Fatalf("se2-in-3D build err = %v", err)
+	}
+}

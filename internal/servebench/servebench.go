@@ -1,0 +1,155 @@
+// Package servebench defines the serving-tier benchmark schema
+// (BENCH_serve.json) and its regression gate, the serving sibling of
+// internal/kernelbench's allocation gate.
+//
+// Sampling-based planners have heavy-tailed solve and query times, so
+// the contract here is percentile-first: every producer — cmd/mploadgen
+// driving a live mpserved, and cmd/mpsolve's in-process -queries serve
+// mode — reports p50/p99/p999 in the same schema, which makes offline
+// and served numbers directly comparable and lets CI fail a build on a
+// tail-latency regression against a checked-in baseline, not just on a
+// mean shift.
+package servebench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// Percentiles summarizes a latency distribution in microseconds.
+type Percentiles struct {
+	P50  float64 `json:"p50_us"`
+	P90  float64 `json:"p90_us"`
+	P99  float64 `json:"p99_us"`
+	P999 float64 `json:"p999_us"`
+	Max  float64 `json:"max_us"`
+}
+
+// Compute sorts us (in place) and extracts the summary percentiles.
+// Empty input yields zeros.
+func Compute(us []float64) Percentiles {
+	if len(us) == 0 {
+		return Percentiles{}
+	}
+	sort.Float64s(us)
+	at := func(p float64) float64 {
+		i := int(p * float64(len(us)-1))
+		return us[i]
+	}
+	return Percentiles{
+		P50:  at(0.50),
+		P90:  at(0.90),
+		P99:  at(0.99),
+		P999: at(0.999),
+		Max:  us[len(us)-1],
+	}
+}
+
+// Result is one serving benchmark run: the BENCH_serve.json schema.
+type Result struct {
+	// Source identifies the producer: "mploadgen" (over-the-wire against
+	// mpserved) or "mpsolve" (in-process serve mode).
+	Source string `json:"source"`
+	Env    string `json:"env"`
+	// Mode is the load shape: "closed" (fixed concurrency) or "open"
+	// (fixed arrival rate); mpsolve reports "closed".
+	Mode    string  `json:"mode,omitempty"`
+	Workers int     `json:"workers,omitempty"`
+	RateQPS float64 `json:"rate_qps,omitempty"`
+
+	Queries     int64   `json:"queries"`
+	Solved      int64   `json:"solved"`
+	Errors      int64   `json:"errors"` // non-2xx responses + transport failures
+	ErrorRate   float64 `json:"error_rate"`
+	Rejected    int64   `json:"rejected,omitempty"` // 429 backpressure rejections (subset of Errors)
+	DurationSec float64 `json:"duration_sec"`
+	Throughput  float64 `json:"throughput_qps"`
+
+	// Latency is what the client observed (over-the-wire for mploadgen,
+	// call latency for mpsolve).
+	Latency Percentiles `json:"latency"`
+	// Serve is the server-side processing time per request, when the
+	// producer has it (mploadgen reads it off each response).
+	Serve *Percentiles `json:"serve,omitempty"`
+	// CacheHit is the server-side latency of path-cache hits only.
+	CacheHit     *Percentiles `json:"cache_hit,omitempty"`
+	CacheHitRate float64      `json:"cache_hit_rate,omitempty"`
+	// BatchMean is the mean coalesced batch size over non-cache-hit
+	// queries, as reported by the server.
+	BatchMean float64 `json:"batch_mean,omitempty"`
+}
+
+// Write marshals r as indented JSON.
+func Write(w io.Writer, r Result) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// WriteFile writes r to path ("-" for stdout).
+func WriteFile(path string, r Result) error {
+	if path == "-" {
+		return Write(os.Stdout, r)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := Write(f, r); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Load reads a Result from path.
+func Load(path string) (Result, error) {
+	var r Result
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return r, err
+	}
+	if err := json.Unmarshal(b, &r); err != nil {
+		return r, fmt.Errorf("%s: %w", path, err)
+	}
+	return r, nil
+}
+
+// Gate bundles the serving regression thresholds.
+type Gate struct {
+	// MaxErrorRate fails the run when Errors/Queries exceeds it.
+	// Negative disables.
+	MaxErrorRate float64
+	// MaxRegress fails the run when the client p99 exceeds the
+	// baseline's by more than this fraction (0.5 = up to 1.5x the
+	// baseline p99 passes). Ignored without a baseline. Negative
+	// disables.
+	MaxRegress float64
+}
+
+// Check enforces g against r, comparing tails to baseline when non-nil.
+// It returns every violation, not just the first.
+func (g Gate) Check(r Result, baseline *Result) error {
+	var errs []error
+	if g.MaxErrorRate >= 0 && r.ErrorRate > g.MaxErrorRate {
+		errs = append(errs, fmt.Errorf("error rate %.4f%% exceeds %.4f%% (%d/%d)",
+			100*r.ErrorRate, 100*g.MaxErrorRate, r.Errors, r.Queries))
+	}
+	if baseline != nil && g.MaxRegress >= 0 {
+		if limit := baseline.Latency.P99 * (1 + g.MaxRegress); baseline.Latency.P99 > 0 && r.Latency.P99 > limit {
+			errs = append(errs, fmt.Errorf("latency p99 %.0fµs exceeds baseline %.0fµs by more than %.0f%% (limit %.0fµs)",
+				r.Latency.P99, baseline.Latency.P99, 100*g.MaxRegress, limit))
+		}
+	}
+	if len(errs) == 0 {
+		return nil
+	}
+	msg := "serve gate:"
+	for _, e := range errs {
+		msg += "\n  " + e.Error()
+	}
+	return fmt.Errorf("%s", msg)
+}
