@@ -1,4 +1,4 @@
-package parmp
+package parmp_test
 
 // One benchmark per table/figure of the paper's evaluation. Each bench
 // regenerates the corresponding figure at the quick scale; run
@@ -16,6 +16,7 @@ import (
 	"runtime"
 	"testing"
 
+	"parmp"
 	"parmp/internal/experiments"
 	"parmp/internal/metrics"
 )
@@ -166,12 +167,12 @@ func BenchmarkFig10(b *testing.B) {
 // BenchmarkPlanPRM measures the library's end-to-end planning throughput
 // (independent of any figure).
 func BenchmarkPlanPRM(b *testing.B) {
-	e := EnvironmentByName("med-cube")
-	space := NewPointSpace(e)
-	opts := Options{Procs: 16, Regions: 128, SamplesPerRegion: 8, Strategy: Repartition, Seed: 1}
+	e := parmp.EnvironmentByName("med-cube")
+	space := parmp.NewPointSpace(e)
+	opts := parmp.Options{Procs: 16, Regions: 128, SamplesPerRegion: 8, Strategy: parmp.Repartition, Seed: 1}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := PlanPRM(space, opts); err != nil {
+		if _, err := parmp.PlanPRM(space, opts); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -184,10 +185,10 @@ func BenchmarkPlanPRM(b *testing.B) {
 // pre-executes them concurrently. Virtual-time results are identical;
 // only wall clock changes.
 func BenchmarkHostPipeline(b *testing.B) {
-	space := NewPointSpace(EnvironmentByName("med-cube"))
-	base := Options{
+	space := parmp.NewPointSpace(parmp.EnvironmentByName("med-cube"))
+	base := parmp.Options{
 		Procs: 16, Regions: 256, SamplesPerRegion: 12, ConnectK: 8,
-		Strategy: Repartition, Seed: 1,
+		Strategy: parmp.Repartition, Seed: 1,
 	}
 	hws := []int{1}
 	if n := runtime.GOMAXPROCS(0); n > 1 {
@@ -198,7 +199,7 @@ func BenchmarkHostPipeline(b *testing.B) {
 		opts.HostWorkers = hw
 		b.Run(fmt.Sprintf("hostworkers=%d", hw), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := PlanPRM(space, opts); err != nil {
+				if _, err := parmp.PlanPRM(space, opts); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -208,13 +209,13 @@ func BenchmarkHostPipeline(b *testing.B) {
 
 // BenchmarkPlanRRT measures radial RRT planning throughput.
 func BenchmarkPlanRRT(b *testing.B) {
-	space := NewPointSpace(EnvironmentByName("mixed-30"))
-	opts := Options{Procs: 8, Regions: 64, NodesPerRegion: 10, Radius: 0.5,
-		Strategy: WorkStealing, Policy: Diffusive(), Seed: 1}
-	root := V(0.5, 0.5, 0.5)
+	space := parmp.NewPointSpace(parmp.EnvironmentByName("mixed-30"))
+	opts := parmp.Options{Procs: 8, Regions: 64, NodesPerRegion: 10, Radius: 0.5,
+		Strategy: parmp.WorkStealing, Policy: parmp.Diffusive(), Seed: 1}
+	root := parmp.V(0.5, 0.5, 0.5)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := PlanRRT(space, root, opts); err != nil {
+		if _, err := parmp.PlanRRT(space, root, opts); err != nil {
 			b.Fatal(err)
 		}
 	}

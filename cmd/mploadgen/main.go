@@ -56,6 +56,8 @@ func main() {
 	regions := flag.Int("regions", 0, "spec: regions per tenant (0 = engine default)")
 	samples := flag.Int("samples", 16, "spec: sampling attempts per region")
 	rounds := flag.Int("rounds", 0, "spec: growth rounds per tenant (0 = server default)")
+	portfolio := flag.Int("portfolio", 0, "spec: race this many derived-seed configurations per tenant (0 = single engine)")
+	restarts := flag.String("restarts", "", "spec: portfolio restart schedule (luby, none; empty = server default)")
 	hot := flag.Float64("hot", 0.5, "fraction of queries drawn from the hot pair set")
 	hotPairs := flag.Int("hot-pairs", 64, "size of the hot (start, goal) set")
 	coldPairs := flag.Int("cold-pairs", 4096, "size of the cold pair pool")
@@ -106,6 +108,14 @@ func main() {
 			Samples: *samples,
 			Seed:    *seed + uint64(t),
 			Rounds:  *rounds,
+		}
+		if *portfolio > 0 {
+			// A portfolio tenant needs its race query: the corner-to-corner
+			// pair the benchmark environments are built around.
+			specs[t].Portfolio = *portfolio
+			specs[t].Restarts = *restarts
+			specs[t].Root = cornerConfig(space, 0.05)
+			specs[t].Goal = cornerConfig(space, 0.95)
 		}
 	}
 
@@ -279,6 +289,17 @@ func main() {
 		fmt.Fprintln(os.Stderr, "mploadgen:", err)
 		os.Exit(1)
 	}
+}
+
+// cornerConfig returns the configuration at fraction f of every bound's
+// span — the benchmark corner query endpoints.
+func cornerConfig(space *parmp.Space, f float64) []float64 {
+	q := make([]float64, space.Dim())
+	for d := range q {
+		lo, hi := space.Bounds.Lo[d], space.Bounds.Hi[d]
+		q[d] = lo + f*(hi-lo)
+	}
+	return q
 }
 
 // waitHealthy polls /healthz until the server answers.

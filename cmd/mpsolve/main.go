@@ -61,6 +61,9 @@ func main() {
 	samplerName := flag.String("sampler", "uniform", "sampling strategy (uniform, gaussian, bridge, mixed)")
 	shortcut := flag.Int("shortcut", 0, "post-process the path with this many shortcut iterations")
 	rounds := flag.Int("rounds", 1, "growth rounds (each adds -samples attempts per region)")
+	nPortfolio := flag.Int("portfolio", 0, "race this many derived-seed configurations to first solution instead of growing one engine (0 = off)")
+	restarts := flag.String("restarts", "luby", "portfolio restart schedule (luby, none)")
+	maxWaves := flag.Int("max-waves", 256, "portfolio wave budget before giving up (0 = race until -timeout)")
 	timeout := flag.Duration("timeout", 0, "wall-clock budget for growth; on expiry the committed rounds still serve (0 = none)")
 	queries := flag.Int("queries", 0, "serve mode: answer this many random queries against the final snapshot and report latency percentiles")
 	queriesJSON := flag.String("queries-json", "", "write the serve-mode result in the BENCH_serve.json schema to this path (\"-\" = stdout), comparable with mploadgen output")
@@ -145,38 +148,43 @@ func main() {
 	}
 
 	space := parmp.NewPointSpace(e)
-	var eng *parmp.Engine
-	switch *planner {
-	case "prm":
-		eng, err = parmp.NewEngine(space, opts)
-	case "rrt":
-		eng, err = parmp.NewRRTEngine(space, start, opts)
-	case "rrtconnect":
-		eng, err = parmp.NewRRTConnectEngine(space, start, goal, opts)
-	default:
-		fmt.Fprintf(os.Stderr, "mpsolve: unknown planner %q (want %s)\n",
-			*planner, strings.Join(parmp.PlannerNames(), ", "))
-		os.Exit(2)
-	}
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "mpsolve:", err)
-		os.Exit(1)
-	}
 	ctx := context.Background()
 	if *timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
-	growErr := eng.GrowN(ctx, *rounds)
-	snap := eng.Snapshot()
-	if growErr != nil {
-		if !errors.Is(growErr, parmp.ErrStopped) {
-			fmt.Fprintln(os.Stderr, "mpsolve:", growErr)
+	var snap *parmp.Snapshot
+	if *nPortfolio > 0 {
+		snap = racePortfolio(ctx, space, start, goal, opts, *planner, *nPortfolio, *restarts, *maxWaves, *rounds)
+	} else {
+		var eng *parmp.Engine
+		switch *planner {
+		case "prm":
+			eng, err = parmp.NewEngine(space, opts)
+		case "rrt":
+			eng, err = parmp.NewRRTEngine(space, start, opts)
+		case "rrtconnect":
+			eng, err = parmp.NewRRTConnectEngine(space, start, goal, opts)
+		default:
+			fmt.Fprintf(os.Stderr, "mpsolve: unknown planner %q (want %s)\n",
+				*planner, strings.Join(parmp.PlannerNames(), ", "))
+			os.Exit(2)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mpsolve:", err)
 			os.Exit(1)
 		}
-		fmt.Printf("growth      : timed out after %d/%d rounds; serving the committed roadmap\n",
-			snap.Rounds(), *rounds)
+		growErr := eng.GrowN(ctx, *rounds)
+		snap = eng.Snapshot()
+		if growErr != nil {
+			if !errors.Is(growErr, parmp.ErrStopped) {
+				fmt.Fprintln(os.Stderr, "mpsolve:", growErr)
+				os.Exit(1)
+			}
+			fmt.Printf("growth      : timed out after %d/%d rounds; serving the committed roadmap\n",
+				snap.Rounds(), *rounds)
+		}
 	}
 	fmt.Printf("environment : %s\n", e)
 	if *planner == "prm" {
@@ -218,6 +226,62 @@ func main() {
 	for i, q := range path {
 		fmt.Printf("  %3d: %v\n", i, q)
 	}
+}
+
+// racePortfolio runs the restart-portfolio meta-planner: n derived-seed
+// configurations of the planner race to the first solution of the
+// (start, goal) query, then the winner keeps growing until the
+// published snapshot has at least rounds committed rounds. Prints the
+// race report and returns the final snapshot.
+func racePortfolio(ctx context.Context, space *parmp.Space, start, goal parmp.Config, opts parmp.Options, planner string, n int, restarts string, maxWaves, rounds int) *parmp.Snapshot {
+	pf, err := parmp.NewPortfolio(space, start, goal, opts, parmp.PortfolioOptions{
+		Racers:   n,
+		Planners: []string{planner},
+		Restarts: restarts,
+		MaxWaves: maxWaves,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mpsolve:", err)
+		os.Exit(1)
+	}
+	t0 := time.Now()
+	rep, err := pf.Solve(ctx)
+	if err != nil {
+		switch {
+		case errors.Is(err, parmp.ErrNoSolution):
+			fmt.Fprintf(os.Stderr, "mpsolve: portfolio: no racer solved the query within %d waves\n", rep.Waves)
+			os.Exit(1)
+		case errors.Is(err, parmp.ErrStopped):
+			fmt.Printf("portfolio   : timed out undecided after %d waves; serving the empty snapshot\n", rep.Waves)
+		default:
+			fmt.Fprintln(os.Stderr, "mpsolve:", err)
+			os.Exit(1)
+		}
+	}
+	fmt.Printf("portfolio   : %d racers (%s), %s restarts\n", n, planner, restarts)
+	if rep.Winner >= 0 {
+		fmt.Printf("race        : racer %d won after %d waves in %v (%d restarts across racers)\n",
+			rep.Winner, rep.Waves, time.Since(t0).Round(time.Millisecond), rep.Restarts)
+		for i, rr := range rep.Racers {
+			mark := " "
+			switch {
+			case rr.Solved && i == rep.Winner:
+				mark = "*"
+			case rr.Stopped:
+				mark = "x" // cancelled mid-round by arbitration
+			}
+			fmt.Printf("  %s #%d %-10s seed=%#016x rounds=%d restarts=%d\n",
+				mark, i, rr.Planner, rr.Seed, rr.Rounds, rr.Restarts)
+		}
+		// Keep growing the winner toward the requested round target, like
+		// a plain engine run.
+		for pf.Rounds() < rounds {
+			if err := pf.Grow(ctx); err != nil {
+				break
+			}
+		}
+	}
+	return pf.Snapshot()
 }
 
 // serve answers n random queries against the frozen snapshot from one

@@ -55,6 +55,9 @@ type Scale struct {
 	// fall back to the quick defaults.
 	RaceSeeds  int
 	RaceRounds int
+	// PortfolioTrials sizes the portfolio tail-latency experiment (base
+	// seeds per configuration). Zero falls back to the quick default.
+	PortfolioTrials int
 }
 
 // Quick returns the fast scale used in tests and benchmarks.
@@ -79,6 +82,7 @@ func Quick() Scale {
 		Seed:             42,
 		RaceSeeds:        5,
 		RaceRounds:       64,
+		PortfolioTrials:  12,
 	}
 }
 
@@ -105,6 +109,7 @@ func Full() Scale {
 		Seed:             42,
 		RaceSeeds:        5,
 		RaceRounds:       128,
+		PortfolioTrials:  40,
 	}
 }
 
@@ -617,6 +622,8 @@ func ByName(id string, sc Scale) ([]*metrics.Table, bool) {
 		return []*metrics.Table{AblationRRTStar(sc)}, true
 	case "planners":
 		return Planners(sc, nil), true
+	case "portfolio":
+		return []*metrics.Table{PortfolioTail(sc)}, true
 	case "ablations":
 		return []*metrics.Table{
 			AblationDecomposition(sc), AblationStealChunk(sc),
@@ -635,5 +642,5 @@ func Names() []string {
 		"fig7a", "fig7b", "fig8", "fig9", "fig10",
 		"ablation-decomposition", "ablation-stealchunk", "ablation-weights",
 		"ablation-partitioner", "ablation-victims", "ablation-rrtstar",
-		"ablations", "planners", "all"}
+		"ablations", "planners", "portfolio", "all"}
 }

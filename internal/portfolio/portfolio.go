@@ -1,0 +1,253 @@
+// Package portfolio is the restart-portfolio meta-planner's engine-room:
+// the Luby restart schedule, racer lifecycle (build → grow → restart on
+// budget exhaustion), and deterministic first-to-solve arbitration.
+//
+// Sampling-based planner runtimes are heavy-tailed — an unlucky seed can
+// take orders of magnitude longer than the median — so a service's tail
+// latency is dominated by restarts the planner never takes. Racing N
+// independently seeded configurations under a Luby restart schedule is
+// the classic fix (Luby, Sinclair, Zuckerman 1993; applied to PRM/RRT by
+// "Faster Sampling-Based Motion Planning via Restarts"): the portfolio's
+// time-to-first-solution concentrates around the luckiest contestant.
+//
+// The race runs in lockstep waves: every live racer grows one round
+// concurrently, then a barrier arbitrates. Arbitration is deterministic
+// — the lowest-indexed racer whose committed round solves the query wins
+// — which makes the portfolio's winner and published result a pure
+// function of the configuration, like every other planner in this
+// repository. Once any racer commits a solving round it cancels all
+// higher-indexed racers mid-round (they cannot win this wave: ties break
+// by index), exercising the engines' cooperative-cancellation path;
+// racers below the first solver always run their round to completion, so
+// the arbitration outcome is schedule-independent.
+//
+// The package is planner-agnostic: contestants implement Instance
+// (grow-one-round + solved-yet), and parmp.Portfolio adapts parmp.Engine
+// onto it.
+package portfolio
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"parmp/internal/rng"
+)
+
+// Luby returns the i-th element (1-based) of the Luby restart sequence
+// 1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8, ... The sequence's
+// property: restarting with budgets proportional to it is within a log
+// factor of the optimal restart strategy for any (unknown) runtime
+// distribution.
+func Luby(i int) int {
+	if i < 1 {
+		panic(fmt.Sprintf("portfolio: Luby index %d < 1", i))
+	}
+	for k := 1; ; k++ {
+		if i == 1<<k-1 {
+			return 1 << (k - 1)
+		}
+		if i < 1<<k-1 {
+			return Luby(i - (1<<(k-1) - 1))
+		}
+	}
+}
+
+// DeriveSeed maps (base seed, racer, restart) onto a decorrelated engine
+// seed, so a portfolio's entire seed tree is a pure function of the base
+// seed: racer 0 restart 0 always gets the same seed, across runs and
+// across hosts.
+func DeriveSeed(base uint64, racer, restart int) uint64 {
+	return rng.Derive(rng.Derive(base, 0xb0a7f0110+uint64(racer)).Uint64(), uint64(restart)).Uint64()
+}
+
+// Instance is one racer's live engine: grow one round under cooperative
+// cancellation, and report whether the latest committed round solves the
+// race query. Solved is only called after a successful Grow, from the
+// racer's own wave goroutine.
+type Instance interface {
+	Grow(ctx context.Context) error
+	Solved() bool
+}
+
+// Racer builds a contestant's instances. Build is called once per
+// restart (0-based) and must derive an independent seed per restart —
+// see DeriveSeed — so a restarted racer explores a genuinely different
+// random trajectory.
+type Racer struct {
+	Build func(restart int) (Instance, error)
+}
+
+// State is one racer's progress, updated by Wave. Fields are read-only
+// for callers between waves.
+type State struct {
+	// Instance is the racer's current engine; nil before its first wave
+	// and after a restart has been scheduled but not yet built.
+	Instance Instance
+	// Restart counts completed restarts (0 = still on the first engine).
+	Restart int
+	// Round is the committed round count within the current budget.
+	Round int
+	// Rounds is the total committed rounds across all restarts — the
+	// racer's cumulative growth work.
+	Rounds int
+	// Budget is the current restart's round allowance (Luby value × the
+	// race's unit).
+	Budget int
+	// Stopped reports that the racer's latest wave round was cancelled
+	// mid-flight by arbitration (a lower-indexed racer solved first);
+	// the engine's committed state is untouched.
+	Stopped bool
+	// Solved reports that the racer's latest committed round answers
+	// the race query.
+	Solved bool
+	// Err is a terminal build/grow failure; the racer no longer
+	// participates.
+	Err error
+}
+
+// Race coordinates N racers through lockstep waves until the first
+// solution. The zero value is not usable; call New.
+type Race struct {
+	racers []Racer
+	states []*State
+	// unit scales Luby budgets into rounds; <= 0 disables restarts
+	// entirely (every racer keeps its first engine forever).
+	unit     int
+	winner   int
+	waves    int
+	restarts int
+}
+
+// New creates a race over racers. unit is the Luby budget multiplier in
+// growth rounds (1 means budgets of 1, 1, 2, 1, ... rounds); a
+// non-positive unit disables restarts, racing the initial configurations
+// only.
+func New(racers []Racer, unit int) *Race {
+	states := make([]*State, len(racers))
+	for i := range states {
+		states[i] = &State{}
+	}
+	return &Race{racers: racers, states: states, unit: unit, winner: -1}
+}
+
+// Winner returns the winning racer's index, or -1 while the race is
+// undecided.
+func (r *Race) Winner() int { return r.winner }
+
+// Waves returns the number of completed waves.
+func (r *Race) Waves() int { return r.waves }
+
+// Restarts returns the total restarts taken across all racers.
+func (r *Race) Restarts() int { return r.restarts }
+
+// States returns the racers' live progress, indexed by racer. The slice
+// and its entries are owned by the race: read them only between Wave
+// calls.
+func (r *Race) States() []*State { return r.states }
+
+// ErrAllRacersFailed reports that every contestant hit a terminal
+// build/grow error, so no wave can make progress.
+var ErrAllRacersFailed = errors.New("portfolio: every racer failed")
+
+// Wave runs one lockstep wave: each live racer (re)builds its engine if
+// needed and grows one round, all concurrently; the barrier then
+// arbitrates. It returns true when the race has a winner (immediately,
+// without growing, if one was already decided). Cancellation of ctx
+// stops every in-flight round cooperatively and returns ctx.Err() with
+// all committed state intact — the race can resume with another Wave.
+func (r *Race) Wave(ctx context.Context) (bool, error) {
+	if r.winner >= 0 {
+		return true, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return false, err
+	}
+	live := 0
+	for i, st := range r.states {
+		if st.Err != nil {
+			continue
+		}
+		if st.Instance == nil {
+			inst, err := r.racers[i].Build(st.Restart)
+			if err != nil {
+				st.Err = err
+				continue
+			}
+			st.Instance = inst
+			st.Round = 0
+			st.Budget = 0
+			if r.unit > 0 {
+				st.Budget = Luby(st.Restart+1) * r.unit
+			}
+		}
+		live++
+	}
+	if live == 0 {
+		return false, ErrAllRacersFailed
+	}
+
+	// One cancellable context per racer: a solver cancels every
+	// higher-indexed racer (they lose any same-wave tie), never a lower
+	// one, so the set of completed rounds below the eventual winner — and
+	// with it the arbitration outcome — is identical in every execution.
+	ctxs := make([]context.Context, len(r.states))
+	cancels := make([]context.CancelFunc, len(r.states))
+	for i := range r.states {
+		ctxs[i], cancels[i] = context.WithCancel(ctx)
+	}
+	defer func() {
+		for _, cancel := range cancels {
+			cancel()
+		}
+	}()
+	var wg sync.WaitGroup
+	for i, st := range r.states {
+		if st.Err != nil || st.Instance == nil {
+			continue
+		}
+		wg.Add(1)
+		go func(i int, st *State) {
+			defer wg.Done()
+			if err := st.Instance.Grow(ctxs[i]); err != nil {
+				if ctxs[i].Err() != nil {
+					st.Stopped = true // cancelled mid-round; nothing committed
+				} else {
+					st.Err = err
+				}
+				return
+			}
+			st.Stopped = false
+			st.Round++
+			st.Rounds++
+			if st.Instance.Solved() {
+				st.Solved = true
+				for j := i + 1; j < len(cancels); j++ {
+					cancels[j]()
+				}
+			}
+		}(i, st)
+	}
+	wg.Wait()
+	r.waves++
+	for i, st := range r.states {
+		if st.Solved {
+			r.winner = i
+			return true, nil
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return false, err
+	}
+	// Budget exhausted without a solution: schedule the Luby restart. The
+	// engine is dropped now and rebuilt (fresh derived seed) next wave.
+	for _, st := range r.states {
+		if st.Err == nil && st.Instance != nil && r.unit > 0 && st.Round >= st.Budget {
+			st.Instance = nil
+			st.Restart++
+			r.restarts++
+		}
+	}
+	return false, nil
+}

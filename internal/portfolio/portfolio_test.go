@@ -1,0 +1,216 @@
+package portfolio
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestLubySequence(t *testing.T) {
+	want := []int{1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8, 1, 1, 2, 1, 1, 2, 4}
+	for i, w := range want {
+		if got := Luby(i + 1); got != w {
+			t.Fatalf("Luby(%d) = %d, want %d", i+1, got, w)
+		}
+	}
+	// Budgets are powers of two and the sequence repeats each completed
+	// block; spot-check a deep index: Luby(2^k - 1) = 2^(k-1).
+	if got := Luby(1<<10 - 1); got != 1<<9 {
+		t.Fatalf("Luby(2^10-1) = %d, want %d", got, 1<<9)
+	}
+}
+
+func TestDeriveSeedDecorrelatedAndStable(t *testing.T) {
+	seen := make(map[uint64]string)
+	for racer := 0; racer < 8; racer++ {
+		for restart := 0; restart < 8; restart++ {
+			s := DeriveSeed(42, racer, restart)
+			if prev, dup := seen[s]; dup {
+				t.Fatalf("seed collision: (%d,%d) and %s both derive %d", racer, restart, prev, s)
+			}
+			seen[s] = fmt.Sprintf("(%d,%d)", racer, restart)
+			if again := DeriveSeed(42, racer, restart); again != s {
+				t.Fatalf("DeriveSeed not stable for (%d,%d)", racer, restart)
+			}
+		}
+	}
+	if DeriveSeed(1, 0, 0) == DeriveSeed(2, 0, 0) {
+		t.Fatal("different base seeds derive the same racer seed")
+	}
+}
+
+// fakeInstance grows instantly (or slowly, to provoke cancellation) and
+// solves after a preset number of committed rounds.
+type fakeInstance struct {
+	rounds     int
+	solveAfter int // committed rounds needed to solve; < 0 never solves
+	growDelay  time.Duration
+	stopped    bool
+}
+
+func (f *fakeInstance) Grow(ctx context.Context) error {
+	if f.growDelay > 0 {
+		select {
+		case <-time.After(f.growDelay):
+		case <-ctx.Done():
+			f.stopped = true
+			return errors.New("stopped")
+		}
+	} else if ctx.Err() != nil {
+		f.stopped = true
+		return errors.New("stopped")
+	}
+	f.rounds++
+	return nil
+}
+
+func (f *fakeInstance) Solved() bool {
+	return f.solveAfter >= 0 && f.rounds >= f.solveAfter
+}
+
+// mkRacer builds fakes whose solve round depends on the restart index:
+// solveAfter[restart] (last entry repeats). delay slows every Grow.
+func mkRacer(track *[]*fakeInstance, delay time.Duration, solveAfter ...int) Racer {
+	return Racer{Build: func(restart int) (Instance, error) {
+		sa := solveAfter[len(solveAfter)-1]
+		if restart < len(solveAfter) {
+			sa = solveAfter[restart]
+		}
+		f := &fakeInstance{solveAfter: sa, growDelay: delay}
+		*track = append(*track, f)
+		return f, nil
+	}}
+}
+
+func TestRaceLowestIndexWinsDeterministically(t *testing.T) {
+	// Racer 1 solves in round 2; racer 0 solves in round 3. Racer 0 must
+	// not win, and repeated runs must agree.
+	for trial := 0; trial < 20; trial++ {
+		var i0, i1 []*fakeInstance
+		r := New([]Racer{mkRacer(&i0, 0, 3), mkRacer(&i1, 0, 2)}, 100)
+		for {
+			won, err := r.Wave(context.Background())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if won {
+				break
+			}
+		}
+		if r.Winner() != 1 {
+			t.Fatalf("trial %d: winner %d, want 1", trial, r.Winner())
+		}
+		if r.Waves() != 2 {
+			t.Fatalf("trial %d: %d waves, want 2", trial, r.Waves())
+		}
+	}
+}
+
+func TestRaceSameWaveTieBreaksByIndex(t *testing.T) {
+	// Both solve in wave 1, but racer 1 is much faster in wall clock and
+	// cancels everything above it — never racer 0, which must still win.
+	for trial := 0; trial < 10; trial++ {
+		var i0, i1, i2 []*fakeInstance
+		r := New([]Racer{
+			mkRacer(&i0, 3*time.Millisecond, 1),
+			mkRacer(&i1, 0, 1),
+			mkRacer(&i2, 20*time.Millisecond, 1),
+		}, 100)
+		won, err := r.Wave(context.Background())
+		if err != nil || !won {
+			t.Fatalf("trial %d: won=%v err=%v", trial, won, err)
+		}
+		if r.Winner() != 0 {
+			t.Fatalf("trial %d: winner %d, want 0 (lowest solved index)", trial, r.Winner())
+		}
+		// The slow racer above the solvers must have been cancelled
+		// mid-round: observed stopped with no committed round.
+		if st := r.States()[2]; !st.Stopped || st.Rounds != 0 {
+			t.Fatalf("trial %d: racer 2 state %+v, want stopped with 0 rounds", trial, st)
+		}
+	}
+}
+
+func TestRaceLubyRestartLifecycle(t *testing.T) {
+	// A racer that never solves on restarts 0..2 and solves instantly on
+	// restart 3 must walk the Luby budgets 1, 1, 2 (unit 1) before its
+	// fourth engine wins in the next wave: waves = 1+1+2+1.
+	var insts []*fakeInstance
+	r := New([]Racer{mkRacer(&insts, 0, -1, -1, -1, 1)}, 1)
+	for {
+		won, err := r.Wave(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if won {
+			break
+		}
+	}
+	if got, want := r.Waves(), 5; got != want {
+		t.Fatalf("waves = %d, want %d (Luby budgets 1,1,2 then solve)", got, want)
+	}
+	if r.Restarts() != 3 {
+		t.Fatalf("restarts = %d, want 3", r.Restarts())
+	}
+	if len(insts) != 4 {
+		t.Fatalf("built %d engines, want 4", len(insts))
+	}
+	for i, rounds := range []int{1, 1, 2, 1} {
+		if insts[i].rounds != rounds {
+			t.Fatalf("engine %d grew %d rounds, want %d", i, insts[i].rounds, rounds)
+		}
+	}
+}
+
+func TestRaceNoRestartsWithNonPositiveUnit(t *testing.T) {
+	var insts []*fakeInstance
+	r := New([]Racer{mkRacer(&insts, 0, 4)}, 0)
+	for {
+		won, err := r.Wave(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if won {
+			break
+		}
+	}
+	if len(insts) != 1 || r.Restarts() != 0 {
+		t.Fatalf("unit 0 must never restart: %d engines, %d restarts", len(insts), r.Restarts())
+	}
+	if insts[0].rounds != 4 {
+		t.Fatalf("engine grew %d rounds, want 4", insts[0].rounds)
+	}
+}
+
+func TestRaceCancelAndResume(t *testing.T) {
+	var insts []*fakeInstance
+	r := New([]Racer{mkRacer(&insts, 5*time.Millisecond, 3)}, 100)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if won, err := r.Wave(ctx); won || err == nil {
+		t.Fatalf("cancelled wave: won=%v err=%v", won, err)
+	}
+	// Committed state is intact and the race resumes to the same winner.
+	for {
+		won, err := r.Wave(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if won {
+			break
+		}
+	}
+	if r.Winner() != 0 {
+		t.Fatalf("winner %d after resume, want 0", r.Winner())
+	}
+}
+
+func TestRaceAllRacersFailed(t *testing.T) {
+	boom := Racer{Build: func(int) (Instance, error) { return nil, errors.New("boom") }}
+	r := New([]Racer{boom, boom}, 1)
+	if _, err := r.Wave(context.Background()); !errors.Is(err, ErrAllRacersFailed) {
+		t.Fatalf("err = %v, want ErrAllRacersFailed", err)
+	}
+}

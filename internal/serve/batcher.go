@@ -49,11 +49,27 @@ func (t *tenant) batchWorker() {
 	for {
 		select {
 		case <-t.ctx.Done():
+			t.drainPending()
 			return
 		case first := <-t.pending:
 			batch = append(batch[:0], first)
 			batch = t.coalesce(batch)
 			t.serveBatch(batch)
+		}
+	}
+}
+
+// drainPending answers everything already admitted to the queue with a
+// clean shutdown error, so a cancelled tenant (pool close) never leaves
+// a request waiting out its own deadline. Requests admitted after the
+// drain are covered by the handler's own tenant-context select.
+func (t *tenant) drainPending() {
+	for {
+		select {
+		case r := <-t.pending:
+			r.respond(response{err: errTenantClosed})
+		default:
+			return
 		}
 	}
 }
@@ -103,6 +119,7 @@ func (t *tenant) serveBatch(batch []*request) {
 	var misses []*request
 	for _, r := range batch {
 		if r.ctx.Err() != nil {
+			t.rejected.Add(1)
 			r.respond(response{err: r.ctx.Err()})
 			continue
 		}

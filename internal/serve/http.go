@@ -145,7 +145,11 @@ func (s *Server) tenantFor(w http.ResponseWriter, spec Spec) *tenant {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return nil
 	}
-	t := s.pool.Tenant(canon)
+	t, err := s.pool.Tenant(canon)
+	if err != nil {
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		return nil
+	}
 	if t.buildErr != nil {
 		writeError(w, http.StatusBadRequest, "tenant build failed: %v", t.buildErr)
 		return nil

@@ -3,6 +3,7 @@ package serve
 import (
 	"container/list"
 	"context"
+	"errors"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -10,9 +11,22 @@ import (
 	"parmp"
 )
 
+// engine is what a tenant serves: a plain parmp.Engine or a
+// parmp.Portfolio, both of which grow round-by-round under cooperative
+// cancellation and publish immutable snapshots.
+type engine interface {
+	Grow(ctx context.Context) error
+	Rounds() int
+	Snapshot() *parmp.Snapshot
+}
+
 // Pool owns the server's engines: one tenant per canonical spec,
 // constructed lazily on first request, grown in the background, evicted
 // least-recently-used beyond the cap.
+//
+// WaitGroup discipline: every p.wg.Add happens under p.mu while closed
+// is provably false, so Close's Wait never races an Add — the Go
+// WaitGroup contract forbids Add concurrent with Wait.
 type Pool struct {
 	cfg    Config
 	ctx    context.Context
@@ -20,6 +34,7 @@ type Pool struct {
 	wg     sync.WaitGroup
 
 	mu      sync.Mutex
+	closed  bool
 	tenants map[string]*tenant
 	order   *list.List // *tenant, front = most recently used
 }
@@ -37,7 +52,7 @@ type tenant struct {
 	buildOnce sync.Once
 	built     atomic.Bool // set after buildOnce completes; gates buildErr/eng/space reads
 	buildErr  error
-	eng       *parmp.Engine
+	eng       engine
 	space     *parmp.Space
 
 	cache   *pathCache
@@ -48,15 +63,20 @@ type tenant struct {
 
 	queries   atomic.Int64 // admitted requests
 	cacheHits atomic.Int64
-	rejected  atomic.Int64 // 429s
+	rejected  atomic.Int64 // 429s and requests expired in queue
 	batches   atomic.Int64 // coalesced batches served
 	batched   atomic.Int64 // requests served through batches
 	growDone  atomic.Bool
+	growErr   atomic.Pointer[error] // terminal (non-cancellation) Grow failure
 }
 
-// errTenantClosed is returned to requests stranded in an evicted
-// tenant's queue.
-var errTenantClosed = errTenant("tenant evicted; retry to rebuild")
+// errTenantClosed is returned to requests stranded in the queue of a
+// tenant that was evicted or whose pool is shutting down.
+var errTenantClosed = errTenant("tenant closed (evicted or pool shutting down); retry")
+
+// ErrPoolClosed is returned by Tenant after Close: a closed pool
+// refuses new tenants instead of leaking goroutines on a dead context.
+var ErrPoolClosed = errors.New("serve: pool closed")
 
 type errTenant string
 
@@ -75,10 +95,14 @@ func NewPool(cfg Config) *Pool {
 }
 
 // Close cancels every tenant's growth and serving and waits for their
-// goroutines to exit. Engines are left to the garbage collector.
+// goroutines — grow loops, batch workers, eviction drains — to exit.
+// After Close, Tenant returns ErrPoolClosed and requests already queued
+// are answered with errTenantClosed by the exiting workers; engines are
+// left to the garbage collector. Close is idempotent.
 func (p *Pool) Close() {
-	p.cancel()
 	p.mu.Lock()
+	p.closed = true
+	p.cancel()
 	for _, t := range p.tenants {
 		t.cancel()
 	}
@@ -88,16 +112,20 @@ func (p *Pool) Close() {
 
 // Tenant returns the live tenant for a canonical spec, creating (and
 // lazily building) it on first use and touching it in the LRU order.
-// The returned tenant's init must be checked: a build error makes it
-// unservable.
-func (p *Pool) Tenant(spec Spec) *tenant {
+// After Close it returns ErrPoolClosed. The returned tenant's init must
+// be checked: a build error makes it unservable.
+func (p *Pool) Tenant(spec Spec) (*tenant, error) {
 	key := spec.Key()
 	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil, ErrPoolClosed
+	}
 	if t, ok := p.tenants[key]; ok {
 		p.order.MoveToFront(t.elem)
 		p.mu.Unlock()
 		t.init()
-		return t
+		return t, nil
 	}
 	ctx, cancel := context.WithCancel(p.ctx)
 	t := &tenant{
@@ -117,17 +145,23 @@ func (p *Pool) Tenant(spec Spec) *tenant {
 		evicted = back.Value.(*tenant)
 		p.order.Remove(back)
 		delete(p.tenants, evicted.key)
+		// Reserve the eviction drain's WaitGroup slot here, while the
+		// pool is provably open, so Close waits for the drain too.
+		p.wg.Add(1)
 	}
 	p.mu.Unlock()
 	if evicted != nil {
 		evicted.close()
 	}
 	t.init()
-	return t
+	return t, nil
 }
 
 // init builds the engine and starts the tenant's background goroutines,
-// exactly once. Safe to call from every request.
+// exactly once. Safe to call from every request. If the pool closed
+// while the engine was building, no goroutines start — the tenant's
+// context is already dead and queued requests are handled by the
+// closing pool.
 func (t *tenant) init() {
 	t.buildOnce.Do(func() {
 		eng, space, err := t.spec.build()
@@ -138,10 +172,17 @@ func (t *tenant) init() {
 		}
 		t.eng, t.space = eng, space
 		t.built.Store(true)
-		t.pool.wg.Add(1 + t.pool.cfg.BatchWorkers)
-		t.workers.Add(t.pool.cfg.BatchWorkers)
+		p := t.pool
+		p.mu.Lock()
+		if p.closed {
+			p.mu.Unlock()
+			return
+		}
+		p.wg.Add(1 + p.cfg.BatchWorkers)
+		t.workers.Add(p.cfg.BatchWorkers)
+		p.mu.Unlock()
 		go t.growLoop()
-		for i := 0; i < t.pool.cfg.BatchWorkers; i++ {
+		for i := 0; i < p.cfg.BatchWorkers; i++ {
 			go t.batchWorker()
 		}
 	})
@@ -149,10 +190,11 @@ func (t *tenant) init() {
 
 // close cancels the tenant and drains queued requests with
 // errTenantClosed until the queue has been quiet for a grace period, so
-// no admitted request is silently dropped.
+// no admitted request is silently dropped. The caller (eviction in
+// Pool.Tenant) has already reserved this goroutine's WaitGroup slot
+// under p.mu.
 func (t *tenant) close() {
 	t.cancel()
-	t.pool.wg.Add(1)
 	go func() {
 		defer t.pool.wg.Done()
 		grace := time.NewTimer(t.pool.cfg.RequestTimeout)
@@ -163,6 +205,17 @@ func (t *tenant) close() {
 				r.respond(response{err: errTenantClosed})
 			case <-grace.C:
 				return
+			case <-t.pool.ctx.Done():
+				// Pool closing: answer what is already queued and exit
+				// now — Close is waiting on this goroutine.
+				for {
+					select {
+					case r := <-t.pending:
+						r.respond(response{err: errTenantClosed})
+					default:
+						return
+					}
+				}
 			}
 		}
 	}()
@@ -171,12 +224,19 @@ func (t *tenant) close() {
 // growLoop grows the tenant's engine toward its spec's round target,
 // invalidating the path cache after every committed round (snapshot
 // rollover). Serving never blocks on growth: queries read whichever
-// snapshot is currently published.
+// snapshot is currently published. A non-cancellation Grow error is
+// terminal for growth but not for serving: it is recorded on the tenant
+// (surfaced as grow_error in stats) and the already-committed snapshots
+// keep answering queries.
 func (t *tenant) growLoop() {
 	defer t.pool.wg.Done()
 	for t.eng.Rounds() < t.spec.Rounds {
 		if err := t.eng.Grow(t.ctx); err != nil {
-			return // canceled: pool closing or tenant evicted
+			if errors.Is(err, parmp.ErrStopped) || t.ctx.Err() != nil {
+				return // canceled: pool closing or tenant evicted
+			}
+			t.growErr.Store(&err)
+			return
 		}
 		t.cache.invalidate(int64(t.eng.Snapshot().Rounds()))
 		if iv := t.pool.cfg.GrowInterval; iv > 0 {
@@ -192,10 +252,13 @@ func (t *tenant) growLoop() {
 
 // TenantStats is one tenant's row in the stats endpoint.
 type TenantStats struct {
-	Env       string `json:"env"`
-	Planner   string `json:"planner"`
-	Seed      uint64 `json:"seed"`
-	BuildErr  string `json:"build_error,omitempty"`
+	Env      string `json:"env"`
+	Planner  string `json:"planner"`
+	Seed     uint64 `json:"seed"`
+	BuildErr string `json:"build_error,omitempty"`
+	// GrowError is a terminal background-growth failure; the tenant
+	// still serves its last committed snapshot.
+	GrowError string `json:"grow_error,omitempty"`
 	Rounds    int    `json:"rounds"`
 	Nodes     int    `json:"nodes"`
 	GrowDone  bool   `json:"grow_done"`
@@ -206,6 +269,13 @@ type TenantStats struct {
 	Batches   int64  `json:"batches"`
 	Batched   int64  `json:"batched"`
 	QueueLen  int    `json:"queue_len"`
+	// Portfolio tenants additionally report the race's progress.
+	Racers   int `json:"racers,omitempty"`
+	Waves    int `json:"waves,omitempty"`
+	Restarts int `json:"restarts,omitempty"`
+	// Winner is the winning racer index; absent while the race is
+	// undecided (only set when Racers > 0).
+	Winner *int `json:"winner,omitempty"`
 }
 
 // Stats snapshots every live tenant, most recently used first.
@@ -235,6 +305,9 @@ func (p *Pool) Stats() []TenantStats {
 			QueueLen:  len(t.pending),
 			GrowDone:  t.growDone.Load(),
 		}
+		if errp := t.growErr.Load(); errp != nil {
+			st.GrowError = (*errp).Error()
+		}
 		if t.built.Load() {
 			if t.buildErr != nil {
 				st.BuildErr = t.buildErr.Error()
@@ -242,6 +315,15 @@ func (p *Pool) Stats() []TenantStats {
 				snap := t.eng.Snapshot()
 				st.Rounds = snap.Rounds()
 				st.Nodes = snap.NumNodes()
+				if pf, ok := t.eng.(*parmp.Portfolio); ok {
+					ps := pf.Stats()
+					st.Racers = ps.Racers
+					st.Waves = ps.Waves
+					st.Restarts = ps.Restarts
+					if w := ps.Winner; w >= 0 {
+						st.Winner = &w
+					}
+				}
 			}
 		}
 		out = append(out, st)

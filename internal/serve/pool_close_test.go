@@ -1,0 +1,154 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"parmp"
+)
+
+// TestPoolCloseRace hammers Tenant creation, queries, and LRU eviction
+// concurrently with Close. Run with -race: the pre-fix pool called
+// wg.Add from tenant.close and tenant.init while Close could already be
+// in wg.Wait (a WaitGroup misuse that panics or races), and Tenant
+// could create tenants after Close, leaking goroutines on a dead
+// context. Post-fix, every spawned request must come back as a path or
+// a clean error — never hang — and Tenant must refuse a closed pool
+// with ErrPoolClosed.
+func TestPoolCloseRace(t *testing.T) {
+	for iter := 0; iter < 8; iter++ {
+		cfg := testConfig()
+		cfg.MaxTenants = 2 // small cap: creations force evictions
+		cfg.RequestTimeout = 2 * time.Second
+		p := NewPool(cfg)
+
+		specs := make([]Spec, 6)
+		for i := range specs {
+			sp, err := Spec{Env: "small-cube", Seed: uint64(i + 1), Procs: 2, Regions: 8, Samples: 4}.Canonical(1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			specs[i] = sp
+		}
+
+		var wg sync.WaitGroup
+		start := make(chan struct{})
+		type outcome struct {
+			id  int
+			err error
+		}
+		results := make(chan outcome, 64)
+		for g := 0; g < 8; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				<-start
+				for i := 0; i < 8; i++ {
+					ten, err := p.Tenant(specs[(g+i)%len(specs)])
+					if err != nil {
+						if !errors.Is(err, ErrPoolClosed) {
+							results <- outcome{g*100 + i, fmt.Errorf("Tenant: %v", err)}
+							return
+						}
+						continue
+					}
+					if ten.buildErr != nil {
+						results <- outcome{g*100 + i, ten.buildErr}
+						return
+					}
+					ctx, cancel := context.WithTimeout(context.Background(), cfg.RequestTimeout)
+					req := &request{
+						ctx:   ctx,
+						key:   fmt.Sprintf("g%d-i%d", g, i),
+						start: parmp.Config{0.1, 0.1, 0.1},
+						goal:  parmp.Config{0.9, 0.9, 0.9},
+						k:     4,
+						resp:  make(chan response, 1),
+					}
+					select {
+					case ten.pending <- req:
+						// Every admitted request must be answered: by a
+						// worker, a drain, or the tenant dying under it.
+						select {
+						case <-req.resp:
+						case <-ten.ctx.Done():
+						case <-time.After(2 * cfg.RequestTimeout):
+							results <- outcome{g*100 + i, errors.New("admitted request hung")}
+							cancel()
+							return
+						}
+					default:
+					}
+					cancel()
+				}
+			}(g)
+		}
+		close(start)
+		// Close mid-hammer, concurrently with creations and evictions.
+		time.Sleep(time.Duration(iter) * 3 * time.Millisecond)
+		p.Close()
+		wg.Wait()
+		close(results)
+		for r := range results {
+			t.Errorf("iter %d worker %d: %v", iter, r.id, r.err)
+		}
+		if t.Failed() {
+			return
+		}
+		// Post-close semantics: no new tenants, ever.
+		if _, err := p.Tenant(specs[0]); !errors.Is(err, ErrPoolClosed) {
+			t.Fatalf("Tenant after Close returned %v, want ErrPoolClosed", err)
+		}
+	}
+}
+
+// TestPoolCloseDrainsQueued verifies the batcher drain: requests
+// already admitted to a tenant's queue when the pool closes are
+// answered with a clean shutdown error rather than waiting out their
+// own deadlines.
+func TestPoolCloseDrainsQueued(t *testing.T) {
+	cfg := testConfig()
+	cfg.BatchWorkers = 1
+	cfg.RequestTimeout = 30 * time.Second // a hang would be obvious
+	p := NewPool(cfg)
+	sp, err := Spec{Env: "small-cube", Procs: 2, Regions: 8, Samples: 4}.Canonical(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ten, err := p.Tenant(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ten.buildErr != nil {
+		t.Fatal(ten.buildErr)
+	}
+	// Queue requests, then close. The worker (or its exit drain) must
+	// answer every one of them promptly.
+	reqs := make([]*request, 16)
+	for i := range reqs {
+		reqs[i] = &request{
+			ctx:   context.Background(),
+			key:   fmt.Sprintf("q%d", i),
+			start: parmp.Config{0.1, 0.1, 0.1},
+			goal:  parmp.Config{0.9, 0.9, 0.9},
+			k:     4,
+			resp:  make(chan response, 1),
+		}
+		ten.pending <- reqs[i]
+	}
+	p.Close()
+	for i, r := range reqs {
+		select {
+		case resp := <-r.resp:
+			if resp.err != nil && !errors.Is(resp.err, errTenantClosed) {
+				t.Fatalf("request %d: unexpected error %v", i, resp.err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("request %d unanswered after Close", i)
+		}
+	}
+}

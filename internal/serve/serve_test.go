@@ -123,6 +123,39 @@ func TestServeQueryEndToEnd(t *testing.T) {
 	}
 }
 
+// A portfolio-built tenant serves through the same endpoints: the race
+// runs in the background grow loop, the winner's snapshot answers the
+// race query, and stats report the race's progress.
+func TestServePortfolioTenant(t *testing.T) {
+	srv := New(testConfig())
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	start, goal := []float64{0.05, 0.05, 0.05}, []float64{0.95, 0.95, 0.95}
+	spec := Spec{Env: "walls", Portfolio: 2, Root: start, Goal: goal, Procs: 2, Regions: 16, Samples: 8}
+	req := QueryRequest{Spec: spec, Start: start, Goal: goal}
+	var qr QueryResponse
+	code, _ := postJSON(t, ts.Client(), ts.URL+"/v1/query", req, &qr)
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	waitGrown(t, ts.Client(), ts.URL, 30*time.Second)
+
+	code, _ = postJSON(t, ts.Client(), ts.URL+"/v1/query", req, &qr)
+	if code != http.StatusOK || !qr.OK || len(qr.Path) < 2 {
+		t.Fatalf("post-race query: status %d ok=%v path=%d", code, qr.OK, len(qr.Path))
+	}
+	stats := srv.Pool().Stats()
+	if len(stats) != 1 {
+		t.Fatalf("tenants = %d, want 1", len(stats))
+	}
+	st := stats[0]
+	if st.Racers != 2 || st.Winner == nil || st.Waves == 0 {
+		t.Fatalf("portfolio stats %+v: want 2 racers, a winner, and waves > 0", st)
+	}
+}
+
 func TestServeBatchEndpoint(t *testing.T) {
 	srv := New(testConfig())
 	defer srv.Close()
@@ -264,7 +297,10 @@ func TestServeBackpressure(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ten := srv.Pool().Tenant(spec)
+	ten, err := srv.Pool().Tenant(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if ten.buildErr != nil {
 		t.Fatal(ten.buildErr)
 	}
@@ -312,19 +348,25 @@ func TestPoolLazyAndLRU(t *testing.T) {
 		}
 		return sp
 	}
-	a := p.Tenant(mk("med-cube", 1))
+	get := func(sp Spec) *tenant {
+		t.Helper()
+		ten, err := p.Tenant(sp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ten
+	}
+	a := get(mk("med-cube", 1))
 	if a.buildErr != nil {
 		t.Fatal(a.buildErr)
 	}
-	if again := p.Tenant(mk("med-cube", 1)); again != a {
+	if again := get(mk("med-cube", 1)); again != a {
 		t.Fatal("same canonical spec must share the tenant")
 	}
-	b := p.Tenant(mk("small-cube", 1))
-	_ = b
+	b := get(mk("small-cube", 1))
 	// Touch a so the next insert evicts b.
-	p.Tenant(mk("med-cube", 1))
-	c := p.Tenant(mk("free", 1))
-	_ = c
+	get(mk("med-cube", 1))
+	get(mk("free", 1))
 	stats := p.Stats()
 	if len(stats) != 2 {
 		t.Fatalf("tenants = %d, want 2 after eviction", len(stats))

@@ -40,6 +40,15 @@ type Spec struct {
 	// Rounds is the background growth target; 0 uses the server
 	// default.
 	Rounds int `json:"rounds,omitempty"`
+
+	// Portfolio races this many derived-seed configurations of the
+	// planner to first solution (Luby restarts, lowest-index
+	// arbitration) instead of growing one engine; 0 serves a single
+	// engine. Requires Root and Goal — the race query.
+	Portfolio int `json:"portfolio,omitempty"`
+	// Restarts is the portfolio restart schedule, "luby" (default) or
+	// "none"; only meaningful with Portfolio > 0.
+	Restarts string `json:"restarts,omitempty"`
 }
 
 // Canonical returns the spec with defaults applied and names
@@ -67,19 +76,41 @@ func (sp Spec) Canonical(growRounds int) (Spec, error) {
 		c.Planner = "prm"
 	}
 	switch c.Planner {
-	case "prm":
-		c.Root, c.Goal = nil, nil
-	case "rrt":
-		if len(c.Root) == 0 {
-			return c, fmt.Errorf("spec: planner rrt requires root")
-		}
-		c.Goal = nil
-	case "rrtconnect":
-		if len(c.Root) == 0 || len(c.Goal) == 0 {
-			return c, fmt.Errorf("spec: planner rrtconnect requires root and goal")
-		}
+	case "prm", "rrt", "rrtconnect":
 	default:
 		return c, fmt.Errorf("spec: unknown planner %q (want %s)", c.Planner, strings.Join(parmp.PlannerNames(), ", "))
+	}
+	if c.Portfolio < 0 {
+		c.Portfolio = 0
+	}
+	if c.Portfolio > 0 {
+		// A portfolio tenant always carries the race query, whatever the
+		// planner family.
+		if len(c.Root) == 0 || len(c.Goal) == 0 {
+			return c, fmt.Errorf("spec: portfolio requires root and goal (the race query)")
+		}
+		c.Restarts = strings.ToLower(strings.TrimSpace(c.Restarts))
+		if c.Restarts == "" {
+			c.Restarts = "luby"
+		}
+		if c.Restarts != "luby" && c.Restarts != "none" {
+			return c, fmt.Errorf("spec: unknown restart schedule %q (want luby or none)", c.Restarts)
+		}
+	} else {
+		c.Restarts = ""
+		switch c.Planner {
+		case "prm":
+			c.Root, c.Goal = nil, nil
+		case "rrt":
+			if len(c.Root) == 0 {
+				return c, fmt.Errorf("spec: planner rrt requires root")
+			}
+			c.Goal = nil
+		case "rrtconnect":
+			if len(c.Root) == 0 || len(c.Goal) == 0 {
+				return c, fmt.Errorf("spec: planner rrtconnect requires root and goal")
+			}
+		}
 	}
 	if c.Procs <= 0 {
 		c.Procs = 8
@@ -167,8 +198,14 @@ func strategyOptions(name string) (parmp.Strategy, parmp.StealPolicy, error) {
 	return 0, nil, fmt.Errorf("spec: unknown strategy %q (want none, repartition, hybrid, rand-8, diffusive)", name)
 }
 
-// build constructs the tenant's space and engine from a canonical spec.
-func (sp Spec) build() (*parmp.Engine, *parmp.Space, error) {
+// portfolioMaxWaves bounds background racing: an unsolvable race query
+// stops burning CPU after this many lockstep waves (the tenant keeps
+// serving its empty snapshot and surfaces grow_error in stats).
+const portfolioMaxWaves = 256
+
+// build constructs the tenant's space and engine — a plain Engine, or a
+// Portfolio when the spec races one — from a canonical spec.
+func (sp Spec) build() (engine, *parmp.Space, error) {
 	var e *parmp.Environment
 	if sp.Env != "" {
 		e = parmp.EnvironmentByName(sp.Env)
@@ -232,6 +269,23 @@ func (sp Spec) build() (*parmp.Engine, *parmp.Space, error) {
 			return nil, fmt.Errorf("%s has %d coordinates, space is %dD", what, len(v), dim)
 		}
 		return parmp.Config(v), nil
+	}
+	if sp.Portfolio > 0 {
+		root, err := toConfig(sp.Root, "root")
+		if err != nil {
+			return nil, nil, err
+		}
+		goal, err := toConfig(sp.Goal, "goal")
+		if err != nil {
+			return nil, nil, err
+		}
+		pf, err := parmp.NewPortfolio(space, root, goal, opts, parmp.PortfolioOptions{
+			Racers:   sp.Portfolio,
+			Planners: []string{sp.Planner},
+			Restarts: sp.Restarts,
+			MaxWaves: portfolioMaxWaves,
+		})
+		return pf, space, err
 	}
 	switch sp.Planner {
 	case "prm":

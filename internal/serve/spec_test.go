@@ -3,6 +3,8 @@ package serve
 import (
 	"strings"
 	"testing"
+
+	"parmp"
 )
 
 func TestSpecCanonicalKey(t *testing.T) {
@@ -62,6 +64,8 @@ func TestSpecCanonicalErrors(t *testing.T) {
 		{"unknown robot", Spec{Env: "med-cube", Robot: "blob"}, "unknown robot"},
 		{"bad robot params", Spec{Env: "med-cube", Robot: "se2:0.1"}, "needs 2 half-extents"},
 		{"negative half-extent", Spec{Env: "med-cube", Robot: "rigid:-1,1,1"}, "bad half-extent"},
+		{"portfolio without query", Spec{Env: "med-cube", Portfolio: 2}, "requires root and goal"},
+		{"bad restart schedule", Spec{Env: "med-cube", Portfolio: 2, Root: []float64{0.1, 0.1, 0.1}, Goal: []float64{0.9, 0.9, 0.9}, Restarts: "fibonacci"}, "unknown restart schedule"},
 	}
 	for _, tc := range bad {
 		if _, err := tc.sp.Canonical(3); err == nil || !strings.Contains(err.Error(), tc.want) {
@@ -90,5 +94,55 @@ func TestSpecBuildInlineEnv(t *testing.T) {
 	}
 	if _, _, err := sp2.build(); err == nil || !strings.Contains(err.Error(), "2D environment") {
 		t.Fatalf("se2-in-3D build err = %v", err)
+	}
+}
+
+func TestSpecPortfolioCanonicalAndBuild(t *testing.T) {
+	root, goal := []float64{0.05, 0.05, 0.05}, []float64{0.95, 0.95, 0.95}
+	sp, err := Spec{Env: "walls", Portfolio: 2, Root: root, Goal: goal, Procs: 2, Regions: 16, Samples: 8}.Canonical(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.Restarts != "luby" {
+		t.Fatalf("Restarts = %q, want luby default", sp.Restarts)
+	}
+	// A PRM portfolio keeps its race query — unlike a plain PRM spec —
+	// and the portfolio fields flow into the tenant key.
+	if len(sp.Root) == 0 || len(sp.Goal) == 0 {
+		t.Fatal("canonical portfolio spec dropped the race query")
+	}
+	plain, err := Spec{Env: "walls", Procs: 2, Regions: 16, Samples: 8}.Canonical(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.Key() == plain.Key() {
+		t.Fatal("portfolio spec shares a tenant with the plain spec")
+	}
+	none, err := Spec{Env: "walls", Portfolio: 2, Restarts: "none", Root: root, Goal: goal, Procs: 2, Regions: 16, Samples: 8}.Canonical(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if none.Key() == sp.Key() {
+		t.Fatal("restart schedule does not differentiate tenants")
+	}
+	// Restarts without Portfolio is not a distinct tenant.
+	stray, err := Spec{Env: "walls", Restarts: "luby", Procs: 2, Regions: 16, Samples: 8}.Canonical(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stray.Key() != plain.Key() {
+		t.Fatal("stray Restarts field leaked into the tenant key")
+	}
+
+	eng, _, err := sp.build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pf, ok := eng.(*parmp.Portfolio)
+	if !ok {
+		t.Fatalf("portfolio spec built %T, want *parmp.Portfolio", eng)
+	}
+	if st := pf.Stats(); st.Racers != 2 || st.Winner != -1 {
+		t.Fatalf("fresh portfolio stats %+v", st)
 	}
 }

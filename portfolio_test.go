@@ -1,0 +1,234 @@
+package parmp
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// testPortfolioSetup returns a narrow-passage race small enough for CI:
+// the walls environment's corner-to-corner query, PRM racers.
+func testPortfolioSetup() (*Space, Config, Config, Options) {
+	space := NewPointSpace(EnvironmentByName("walls"))
+	start := V(0.05, 0.05, 0.05)
+	goal := V(0.95, 0.95, 0.95)
+	opts := Options{
+		Procs:            4,
+		Regions:          32,
+		SamplesPerRegion: 8,
+		Strategy:         Repartition,
+		Seed:             3,
+	}
+	return space, start, goal, opts
+}
+
+// A portfolio's winner and published snapshot must be a pure function
+// of the configuration: same base seed, same outcome, run after run.
+func TestPortfolioDeterministicWinnerAndSnapshot(t *testing.T) {
+	run := func() (int, int, string) {
+		space, start, goal, opts := testPortfolioSetup()
+		pf, err := NewPortfolio(space, start, goal, opts, PortfolioOptions{
+			Racers: 3, MaxWaves: 64,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := pf.Solve(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		path, ok := pf.Snapshot().Query(start, goal, 8)
+		if !ok {
+			t.Fatal("winner snapshot does not answer the race query")
+		}
+		return rep.Winner, pf.Rounds(), fmt.Sprint(path)
+	}
+	w1, r1, p1 := run()
+	w2, r2, p2 := run()
+	if w1 != w2 || r1 != r2 || p1 != p2 {
+		t.Fatalf("runs diverged: winner %d/%d rounds %d/%d pathEq=%v", w1, w2, r1, r2, p1 == p2)
+	}
+	if w1 < 0 {
+		t.Fatal("race never decided")
+	}
+}
+
+// Losers are cancelled (or simply stop being grown) without tearing
+// committed state: every racer's engine still serves a coherent
+// snapshot after the race, and the report stays consistent.
+func TestPortfolioLosersUntorn(t *testing.T) {
+	space, start, goal, opts := testPortfolioSetup()
+	pf, err := NewPortfolio(space, start, goal, opts, PortfolioOptions{
+		Racers: 3, MaxWaves: 64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := pf.Solve(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Winner < 0 || !rep.Racers[rep.Winner].Solved {
+		t.Fatalf("winner %d not marked solved", rep.Winner)
+	}
+	if rep.WinnerSeed == opts.Seed {
+		t.Fatal("winner seed must be derived, not the base seed")
+	}
+	for i, rr := range rep.Racers {
+		if rr.Err != nil {
+			t.Fatalf("racer %d failed: %v", i, rr.Err)
+		}
+		// Several racers may solve in the same wave; the winner must be
+		// the lowest-indexed one of them.
+		if rr.Solved && i < rep.Winner {
+			t.Fatalf("racer %d solved but higher index %d won", i, rep.Winner)
+		}
+		// A cancelled (Stopped) racer committed nothing that wave; its
+		// round count can be at most the wave count either way.
+		if rr.Rounds > rep.Waves {
+			t.Fatalf("racer %d committed %d rounds in %d waves", i, rr.Rounds, rep.Waves)
+		}
+		// Committed state is queryable (possibly a miss) — no torn
+		// snapshot, no panic — and phase reports survived for obsv.
+		if _, err := func() (ok bool, err error) {
+			defer func() {
+				if r := recover(); r != nil {
+					err = fmt.Errorf("racer %d snapshot panicked: %v", i, r)
+				}
+			}()
+			_, ok = pf.Snapshot().Query(start, goal, 8)
+			return ok, nil
+		}(); err != nil {
+			t.Fatal(err)
+		}
+		if rr.Rounds > 0 && len(rr.PhaseReports) == 0 {
+			t.Fatalf("racer %d grew %d rounds but retained no phase reports", i, rr.Rounds)
+		}
+	}
+}
+
+// Cancellation returns ErrStopped with the race intact, and the same
+// portfolio resumes to a solution afterwards.
+func TestPortfolioCancelAndResume(t *testing.T) {
+	space, start, goal, opts := testPortfolioSetup()
+	pf, err := NewPortfolio(space, start, goal, opts, PortfolioOptions{Racers: 2, MaxWaves: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := pf.Solve(done); !errors.Is(err, ErrStopped) {
+		t.Fatalf("cancelled Solve returned %v, want ErrStopped", err)
+	}
+	if pf.Rounds() != 0 {
+		t.Fatalf("cancelled race published %d rounds, want 0", pf.Rounds())
+	}
+	if _, ok := pf.Snapshot().Query(start, goal, 8); ok {
+		t.Fatal("empty snapshot answered the race query")
+	}
+	// Mid-race cancellation: cancel while waves are in flight, then
+	// resume on a fresh context.
+	mid, cancelMid := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancelMid()
+	_, err = pf.Solve(mid)
+	if err != nil && !errors.Is(err, ErrStopped) {
+		t.Fatalf("mid-race cancel returned %v", err)
+	}
+	rep, err := pf.Solve(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Winner < 0 {
+		t.Fatal("resumed race never decided")
+	}
+	if _, ok := pf.Snapshot().Query(start, goal, 8); !ok {
+		t.Fatal("resumed winner does not answer the race query")
+	}
+}
+
+// After the race, Grow keeps growing the winner like a plain engine.
+func TestPortfolioGrowsWinnerAfterRace(t *testing.T) {
+	space, start, goal, opts := testPortfolioSetup()
+	pf, err := NewPortfolio(space, start, goal, opts, PortfolioOptions{Racers: 2, MaxWaves: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pf.Solve(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	before := pf.Rounds()
+	if err := pf.Grow(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if pf.Rounds() != before+1 {
+		t.Fatalf("post-race Grow: rounds %d -> %d, want +1", before, pf.Rounds())
+	}
+	st := pf.Stats()
+	if st.Winner < 0 || st.Racers != 2 {
+		t.Fatalf("stats %+v after win", st)
+	}
+}
+
+// MaxWaves bounds a hopeless race with ErrNoSolution, without tearing.
+func TestPortfolioMaxWaves(t *testing.T) {
+	// A goal inside an obstacle is unreachable; the engines still grow.
+	space, start, _, opts := testPortfolioSetup()
+	goal := V(0.25, 0.5, 0.5) // inside the first wall slab
+	if space.Valid(goal, nil) {
+		t.Skip("expected an in-collision goal for the hopeless race")
+	}
+	pf, err := NewPortfolio(space, start, goal, opts, PortfolioOptions{Racers: 2, MaxWaves: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := pf.Solve(context.Background())
+	if !errors.Is(err, ErrNoSolution) {
+		t.Fatalf("err = %v, want ErrNoSolution", err)
+	}
+	if rep.Winner != -1 || rep.Waves != 3 {
+		t.Fatalf("report %+v, want undecided after 3 waves", rep)
+	}
+}
+
+// Mixed planner families race side by side; tree racers root at start.
+func TestPortfolioMixedPlanners(t *testing.T) {
+	space, start, goal, opts := testPortfolioSetup()
+	opts.NodesPerRegion = 8
+	opts.Radius = 2 // cover the unit cube from any cone
+	pf, err := NewPortfolio(space, start, goal, opts, PortfolioOptions{
+		Racers:   3,
+		Planners: []string{"prm", "rrtconnect"},
+		MaxWaves: 96,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := pf.Solve(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"prm", "rrtconnect", "prm"}
+	for i, rr := range rep.Racers {
+		if rr.Planner != want[i] {
+			t.Fatalf("racer %d planner %q, want %q", i, rr.Planner, want[i])
+		}
+	}
+	if _, ok := pf.Snapshot().Query(start, goal, 8); !ok {
+		t.Fatal("mixed-planner winner does not answer the race query")
+	}
+}
+
+func TestPortfolioOptionValidation(t *testing.T) {
+	space, start, goal, opts := testPortfolioSetup()
+	if _, err := NewPortfolio(space, start, goal, opts, PortfolioOptions{Planners: []string{"dijkstra"}}); err == nil {
+		t.Fatal("unknown planner accepted")
+	}
+	if _, err := NewPortfolio(space, start, goal, opts, PortfolioOptions{Restarts: "fibonacci"}); err == nil {
+		t.Fatal("unknown restart schedule accepted")
+	}
+	if _, err := NewPortfolio(space, start[:1], goal, opts, PortfolioOptions{}); err == nil {
+		t.Fatal("wrong-dimension start accepted")
+	}
+}
