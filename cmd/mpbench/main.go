@@ -6,6 +6,7 @@
 //	mpbench -exp all -scale full
 //	mpbench -list
 //	mpbench -kernels BENCH_kernels.json -kernels-max-allocs 50
+//	mpbench -balance BENCH_balance.json -balance-baseline results/BENCH_balance_baseline.json
 //
 // The -kernels mode benchmarks the hot compute kernels (sampling,
 // collision checking, kNN, region connection) instead of running
@@ -13,6 +14,11 @@
 // per kernel) to the given file ("-" for stdout), and exits non-zero if
 // any kernel allocates more than -kernels-max-allocs per op — the CI
 // benchmark-regression gate.
+//
+// The -balance mode runs the deterministic load-balance benchmark
+// (internal/balancebench): a multi-round closed-loop PRM on the
+// virtual-time backend, reporting per-phase imbalance, utilization and
+// steal efficiency, gated against a checked-in baseline the same way.
 //
 // Each experiment prints one or more text tables whose rows/series mirror
 // the corresponding figure of "Using Load Balancing to Scalably
@@ -31,6 +37,7 @@ import (
 	"testing"
 	"time"
 
+	"parmp/internal/balancebench"
 	"parmp/internal/experiments"
 	"parmp/internal/kernelbench"
 	"parmp/internal/metrics"
@@ -49,6 +56,10 @@ func main() {
 	kernelsBatchMaxRatio := flag.Float64("kernels-batch-max-ratio", -1, "with -kernels, exit non-zero if any batch kernel's ns/item exceeds its scalar counterpart's by this ratio (e.g. 1.15)")
 	kernelsBaseline := flag.String("kernels-baseline", "", "with -kernels, compare ns/op against this baseline JSON file")
 	kernelsMaxRegress := flag.Float64("kernels-max-regress", 0.15, "with -kernels-baseline, exit non-zero if any kernel's ns/op regresses by more than this fraction")
+	balance := flag.String("balance", "", "run the deterministic load-balance benchmark and write BENCH_balance.json to this file (\"-\" for stdout)")
+	balanceBaseline := flag.String("balance-baseline", "", "with -balance, compare against this baseline JSON file")
+	balanceMaxRegress := flag.Float64("balance-max-regress", 0.10, "with -balance-baseline, exit non-zero if the construct CV or total virtual time regresses by more than this fraction")
+	balanceMaxUtilDrop := flag.Float64("balance-max-util-drop", 0.05, "with -balance-baseline, exit non-zero if mean utilization drops by more than this many absolute points")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
 	flag.Parse()
@@ -68,6 +79,14 @@ func main() {
 			maxRegress:    *kernelsMaxRegress,
 		}
 		if err := runKernels(*kernels, *kernelsBenchtime, gates); err != nil {
+			fmt.Fprintln(os.Stderr, "mpbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *balance != "" {
+		if err := runBalance(*balance, *balanceBaseline, *balanceMaxRegress, *balanceMaxUtilDrop); err != nil {
 			fmt.Fprintln(os.Stderr, "mpbench:", err)
 			os.Exit(1)
 		}
@@ -156,6 +175,39 @@ func main() {
 		}
 	}
 	fmt.Fprintf(os.Stderr, "mpbench: %s at scale %s in %v\n", *exp, sc.Name, time.Since(start).Round(time.Millisecond))
+}
+
+// runBalance runs the deterministic load-balance benchmark, writes
+// BENCH_balance.json to path ("-" for stdout), and when a baseline is
+// given enforces the balance regression gate (construct CV, mean
+// utilization, total virtual time).
+func runBalance(path, baselinePath string, maxRegress, maxUtilDrop float64) error {
+	start := time.Now()
+	r, err := balancebench.Run(balancebench.DefaultConfig())
+	if err != nil {
+		return err
+	}
+	if err := balancebench.WriteFile(path, r); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "mpbench: balance %s procs=%d regions=%d rounds=%d: construct CV %.4f, util %.4f, imbalance max %.3f, migrated %d, diffused %d, T=%.1f in %v\n",
+		r.Env, r.Procs, r.Regions, r.Rounds,
+		r.ConstructCVMean, r.UtilizationMean, r.ImbalanceMax,
+		r.MigratedRegions, r.DiffusedRegions, r.TotalVirtualTime,
+		time.Since(start).Round(time.Millisecond))
+	if baselinePath == "" {
+		return nil
+	}
+	baseline, err := balancebench.Load(baselinePath)
+	if err != nil {
+		return fmt.Errorf("bad baseline: %w", err)
+	}
+	gate := balancebench.Gate{
+		MaxCVRegress:   maxRegress,
+		MaxUtilDrop:    maxUtilDrop,
+		MaxTimeRegress: maxRegress,
+	}
+	return gate.Check(r, &baseline)
 }
 
 // kernelGates bundles the -kernels mode's regression thresholds.

@@ -5,20 +5,30 @@
 // Chrome trace_event JSON, loadable in chrome://tracing or Perfetto, one
 // track per processor.
 //
+// With -costs it instead runs a multi-round closed-loop PRM (observed
+// cost model + repartitioning) and prints a per-region task-cost table
+// after every round: where the construct time actually went, which
+// regions dominate, and how the per-processor load evens out as the
+// cost model warms up.
+//
 // Usage:
 //
 //	mptrace -env med-cube -procs 8 -regions 64 -policy hybrid
 //	mptrace -policy rand-8 -chrome out.json
+//	mptrace -costs -env mixed -rounds 4
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 
+	"parmp/internal/core"
 	"parmp/internal/cspace"
 	"parmp/internal/dist"
 	"parmp/internal/env"
+	"parmp/internal/metrics"
 	"parmp/internal/obsv"
 	"parmp/internal/prm"
 	"parmp/internal/region"
@@ -35,6 +45,9 @@ func main() {
 	policyName := flag.String("policy", "hybrid", "steal policy (hybrid, rand-8, diffusive, none)")
 	width := flag.Int("width", 72, "timeline width in characters")
 	chromeOut := flag.String("chrome", "", "write the trace as Chrome trace_event JSON to this file")
+	costs := flag.Bool("costs", false, "run a multi-round closed-loop PRM and print per-region task-cost tables per round")
+	rounds := flag.Int("rounds", 4, "with -costs, growth rounds to run")
+	top := flag.Int("top", 12, "with -costs, heaviest regions to list per round")
 	verbose := flag.Bool("v", false, "print the raw event log too")
 	flag.Parse()
 
@@ -42,6 +55,14 @@ func main() {
 	if e == nil {
 		fmt.Fprintf(os.Stderr, "mptrace: unknown environment %q\n", *envName)
 		os.Exit(2)
+	}
+
+	if *costs {
+		if err := runCosts(e, *procs, *regions, *samples, *rounds, *top); err != nil {
+			fmt.Fprintln(os.Stderr, "mptrace:", err)
+			os.Exit(1)
+		}
+		return
 	}
 	var policy steal.Policy
 	if *policyName != "none" {
@@ -126,4 +147,67 @@ func main() {
 			fmt.Println(ev)
 		}
 	}
+}
+
+// runCosts drives the closed-loop PRM engine (observed cost model +
+// repartitioning) and, after every committed round, prints that round's
+// per-region construct costs: the heaviest regions with their owner and
+// cumulative mean/max, then the per-processor cost distribution the next
+// repartition will balance.
+func runCosts(e *env.Environment, procs, regions, samples, rounds, top int) error {
+	s := cspace.NewPointSpace(e)
+	eng, err := core.NewPRMEngine(s, core.Options{
+		Procs:            procs,
+		Regions:          regions,
+		SamplesPerRegion: samples,
+		ConnectK:         3,
+		Profile:          work.Hopper(),
+		Seed:             7,
+		Strategy:         core.Repartition,
+		CostModel:        core.CostObserved,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("closed-loop PRM on %s: %d procs, %d regions, %d samples/region/round, cost model %s\n",
+		e, procs, regions, samples, core.CostObserved)
+	prev := make([]float64, regions)
+	for round := 0; round < rounds; round++ {
+		if err := eng.GrowRound(nil); err != nil {
+			return err
+		}
+		res := eng.Result()
+		rg := res.RegionGraph
+
+		type row struct {
+			region int
+			cost   float64
+		}
+		thisRound := make([]row, regions)
+		perProc := make([]float64, procs)
+		var total float64
+		for i, rc := range res.RegionCosts {
+			c := rc.Sum - prev[i]
+			prev[i] = rc.Sum
+			thisRound[i] = row{i, c}
+			perProc[rg.Owner[i]] += c
+			total += c
+		}
+		sort.Slice(thisRound, func(a, b int) bool { return thisRound[a].cost > thisRound[b].cost })
+
+		fmt.Printf("\nround %d: construct cost %.0f units over %d regions (top %d)\n",
+			round, total, regions, top)
+		fmt.Printf("%8s %6s %12s %12s %12s\n", "region", "owner", "cost", "cum-mean", "cum-max")
+		for _, r := range thisRound[:min(top, len(thisRound))] {
+			rc := res.RegionCosts[r.region]
+			fmt.Printf("%8d %6d %12.1f %12.1f %12.1f\n",
+				r.region, rg.Owner[r.region], r.cost, rc.Mean(), rc.Max)
+		}
+		fmt.Printf("per-proc: cv=%.3f", metrics.CV(perProc))
+		for p, c := range perProc {
+			fmt.Printf(" p%d=%.0f", p, c)
+		}
+		fmt.Println()
+	}
+	return nil
 }

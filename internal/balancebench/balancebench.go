@@ -1,0 +1,275 @@
+// Package balancebench defines the load-balance benchmark schema
+// (BENCH_balance.json) and its regression gate — the balance sibling of
+// internal/kernelbench's allocation gate and internal/servebench's
+// tail-latency gate.
+//
+// The benchmark runs the closed-loop planner configuration (observed-cost
+// repartitioning plus between-rounds diffusive rebalance) on the
+// deterministic virtual-time backend, so every number here is
+// machine-independent and bit-stable: the per-phase imbalance factor,
+// utilization and steal efficiency that the paper's figures are built
+// from (derived via internal/obsv) can be gated in CI against a
+// checked-in baseline without flakiness.
+package balancebench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"parmp/internal/core"
+	"parmp/internal/cspace"
+	"parmp/internal/env"
+	"parmp/internal/metrics"
+	"parmp/internal/obsv"
+	"parmp/internal/work"
+)
+
+// PhaseBalance is one phase's load-balance profile, one row per
+// (round, phase) of the run.
+type PhaseBalance struct {
+	Round int    `json:"round"`
+	Phase string `json:"phase"`
+	// Makespan is the phase's virtual completion time.
+	Makespan float64 `json:"makespan"`
+	// Utilization, Imbalance and StealEfficiency are obsv.Metrics ratios
+	// (unit-free; see internal/obsv).
+	Utilization     float64 `json:"utilization"`
+	Imbalance       float64 `json:"imbalance"`
+	StealEfficiency float64 `json:"steal_efficiency"`
+	TasksMigrated   int     `json:"tasks_migrated"`
+	// BusyCV is the coefficient of variation of per-worker busy time —
+	// the paper's imbalance measure for the phase.
+	BusyCV float64 `json:"busy_cv"`
+}
+
+// Result is one balance benchmark run: the BENCH_balance.json schema.
+type Result struct {
+	Source    string `json:"source"` // "mpbench"
+	Env       string `json:"env"`
+	Procs     int    `json:"procs"`
+	Regions   int    `json:"regions"`
+	Rounds    int    `json:"rounds"`
+	Strategy  string `json:"strategy"`
+	CostModel string `json:"cost_model"`
+	Rebalance string `json:"rebalance"`
+
+	// TotalVirtualTime is the cumulative virtual makespan of every round.
+	TotalVirtualTime float64 `json:"total_virtual_time"`
+	// ConstructCVMean averages BusyCV over the construct phases of the
+	// warm rounds (round >= 1) — the quantity the observed-cost model
+	// exists to shrink. With a single round it falls back to round 0.
+	ConstructCVMean float64 `json:"construct_cv_mean"`
+	// UtilizationMean averages utilization over all phases.
+	UtilizationMean float64 `json:"utilization_mean"`
+	// ImbalanceMax is the worst per-phase imbalance factor of the run.
+	ImbalanceMax float64 `json:"imbalance_max"`
+	// StealEfficiencyMin is the worst per-phase steal efficiency (1 when
+	// no phase issued steals).
+	StealEfficiencyMin float64 `json:"steal_efficiency_min"`
+	// MigratedRegions / DiffusedRegions count ownership transfers due to
+	// bulk repartitioning and the diffusive rebalance respectively.
+	MigratedRegions int `json:"migrated_regions"`
+	DiffusedRegions int `json:"diffused_regions"`
+
+	Phases []PhaseBalance `json:"phases"`
+}
+
+// Config parameterizes Run. The zero value is not runnable; use
+// DefaultConfig for the CI shape.
+type Config struct {
+	Env     string // environment name understood by env.ByName
+	Procs   int
+	Regions int
+	Rounds  int
+	Seed    int64
+	// SamplesPerRegion per round (PRM).
+	SamplesPerRegion int
+}
+
+// DefaultConfig is the CI benchmark shape: big enough that imbalance and
+// stealing actually occur, small enough to finish in well under a second.
+func DefaultConfig() Config {
+	return Config{
+		Env:              "med-cube",
+		Procs:            8,
+		Regions:          128,
+		Rounds:           4,
+		Seed:             1,
+		SamplesPerRegion: 5,
+	}
+}
+
+// Run executes the closed-loop PRM configuration (repartition on
+// observed costs + diffusive rebalance) for cfg.Rounds rounds on the
+// virtual-time backend and derives the balance profile. Deterministic:
+// equal cfg always yields an identical Result.
+func Run(cfg Config) (Result, error) {
+	e := env.ByName(cfg.Env)
+	if e == nil {
+		return Result{}, fmt.Errorf("unknown environment %q", cfg.Env)
+	}
+	s := cspace.NewPointSpace(e)
+	opts := core.Options{
+		Procs:            cfg.Procs,
+		Regions:          cfg.Regions,
+		SamplesPerRegion: cfg.SamplesPerRegion,
+		ConnectK:         3,
+		Seed:             uint64(cfg.Seed),
+		Profile:          work.Hopper(),
+		Strategy:         core.Repartition,
+		CostModel:        core.CostObserved,
+		Rebalance:        core.RebalanceDiffusive,
+	}
+	eng, err := core.NewPRMEngine(s, opts)
+	if err != nil {
+		return Result{}, err
+	}
+	for i := 0; i < cfg.Rounds; i++ {
+		if err := eng.GrowRound(nil); err != nil {
+			return Result{}, err
+		}
+	}
+	res := eng.Result()
+
+	r := Result{
+		Source:             "mpbench",
+		Env:                cfg.Env,
+		Procs:              cfg.Procs,
+		Regions:            cfg.Regions,
+		Rounds:             cfg.Rounds,
+		Strategy:           opts.Strategy.String(),
+		CostModel:          opts.CostModel.String(),
+		Rebalance:          opts.Rebalance.String(),
+		TotalVirtualTime:   res.TotalTime,
+		MigratedRegions:    res.MigratedRegions,
+		DiffusedRegions:    res.DiffusedRegions,
+		StealEfficiencyMin: 1,
+	}
+	var utilSum, cvSum float64
+	var cvN int
+	for _, pr := range res.PhaseReports {
+		m := obsv.Analyze(pr.Report)
+		busy := make([]float64, len(pr.Report.Workers))
+		for i, ws := range pr.Report.Workers {
+			busy[i] = ws.Busy
+		}
+		cv := metrics.CV(busy)
+		r.Phases = append(r.Phases, PhaseBalance{
+			Round:           pr.Round,
+			Phase:           pr.Phase,
+			Makespan:        m.Makespan,
+			Utilization:     m.Utilization,
+			Imbalance:       m.Imbalance,
+			StealEfficiency: m.StealEfficiency,
+			TasksMigrated:   m.TasksMigrated,
+			BusyCV:          cv,
+		})
+		utilSum += m.Utilization
+		if m.Imbalance > r.ImbalanceMax {
+			r.ImbalanceMax = m.Imbalance
+		}
+		if m.StealEfficiency < r.StealEfficiencyMin {
+			r.StealEfficiencyMin = m.StealEfficiency
+		}
+		if pr.Phase == "construct" && (pr.Round >= 1 || cfg.Rounds == 1) {
+			cvSum += cv
+			cvN++
+		}
+	}
+	if n := len(r.Phases); n > 0 {
+		r.UtilizationMean = utilSum / float64(n)
+	}
+	if cvN > 0 {
+		r.ConstructCVMean = cvSum / float64(cvN)
+	}
+	return r, nil
+}
+
+// Write marshals r as indented JSON.
+func Write(w io.Writer, r Result) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// WriteFile writes r to path ("-" for stdout).
+func WriteFile(path string, r Result) error {
+	if path == "-" {
+		return Write(os.Stdout, r)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := Write(f, r); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Load reads a Result from path.
+func Load(path string) (Result, error) {
+	var r Result
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return r, err
+	}
+	if err := json.Unmarshal(b, &r); err != nil {
+		return r, fmt.Errorf("%s: %w", path, err)
+	}
+	return r, nil
+}
+
+// Gate bundles the balance regression thresholds. The benchmark is
+// deterministic, so any drift is a real behavior change: thresholds
+// exist to let intentional small improvements land without a baseline
+// refresh, not to absorb noise.
+type Gate struct {
+	// MaxCVRegress fails the run when the warm-round construct CV exceeds
+	// the baseline's by more than this fraction. Negative disables.
+	MaxCVRegress float64
+	// MaxUtilDrop fails the run when mean utilization falls more than
+	// this many absolute points below the baseline's. Negative disables.
+	MaxUtilDrop float64
+	// MaxTimeRegress fails the run when total virtual time exceeds the
+	// baseline's by more than this fraction. Negative disables.
+	MaxTimeRegress float64
+}
+
+// Check enforces g against r relative to baseline. It returns every
+// violation, not just the first; nil baseline checks nothing.
+func (g Gate) Check(r Result, baseline *Result) error {
+	if baseline == nil {
+		return nil
+	}
+	var errs []error
+	if g.MaxCVRegress >= 0 && baseline.ConstructCVMean > 0 {
+		if limit := baseline.ConstructCVMean * (1 + g.MaxCVRegress); r.ConstructCVMean > limit {
+			errs = append(errs, fmt.Errorf("construct CV %.4f exceeds baseline %.4f by more than %.0f%% (limit %.4f)",
+				r.ConstructCVMean, baseline.ConstructCVMean, 100*g.MaxCVRegress, limit))
+		}
+	}
+	if g.MaxUtilDrop >= 0 {
+		if limit := baseline.UtilizationMean - g.MaxUtilDrop; r.UtilizationMean < limit {
+			errs = append(errs, fmt.Errorf("mean utilization %.4f below baseline %.4f by more than %.2f (limit %.4f)",
+				r.UtilizationMean, baseline.UtilizationMean, g.MaxUtilDrop, limit))
+		}
+	}
+	if g.MaxTimeRegress >= 0 && baseline.TotalVirtualTime > 0 {
+		if limit := baseline.TotalVirtualTime * (1 + g.MaxTimeRegress); r.TotalVirtualTime > limit {
+			errs = append(errs, fmt.Errorf("total virtual time %.2f exceeds baseline %.2f by more than %.0f%% (limit %.2f)",
+				r.TotalVirtualTime, baseline.TotalVirtualTime, 100*g.MaxTimeRegress, limit))
+		}
+	}
+	if len(errs) == 0 {
+		return nil
+	}
+	msg := "balance gate:"
+	for _, e := range errs {
+		msg += "\n  " + e.Error()
+	}
+	return fmt.Errorf("%s", msg)
+}

@@ -1,0 +1,96 @@
+package balancebench
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestBalanceBenchDeterministicCostProfile: the virtual-time benchmark
+// is bit-stable — two runs of the same config serialize identically, so
+// the CI gate never sees noise.
+func TestBalanceBenchDeterministicCostProfile(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Rounds = 2 // keep the test cheap; determinism is round-count independent
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ab, bb bytes.Buffer
+	if err := Write(&ab, a); err != nil {
+		t.Fatal(err)
+	}
+	if err := Write(&bb, b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ab.Bytes(), bb.Bytes()) {
+		t.Fatal("two identical runs serialized differently")
+	}
+
+	if len(a.Phases) == 0 {
+		t.Fatal("no per-phase rows")
+	}
+	if a.ConstructCVMean <= 0 {
+		t.Fatal("construct CV not populated")
+	}
+	if a.UtilizationMean <= 0 || a.UtilizationMean > 1 {
+		t.Fatalf("mean utilization %.4f outside (0, 1]", a.UtilizationMean)
+	}
+	if a.ImbalanceMax < 1 {
+		t.Fatalf("max imbalance %.4f below 1", a.ImbalanceMax)
+	}
+	if a.MigratedRegions == 0 {
+		t.Fatal("repartitioning benchmark migrated no regions")
+	}
+	if a.CostModel != "observed" || a.Rebalance != "diffusive" || a.Strategy != "repartition" {
+		t.Fatalf("unexpected config echo: %s/%s/%s", a.Strategy, a.CostModel, a.Rebalance)
+	}
+}
+
+// TestBalanceGateRebalanceRegression: the gate passes on an identical
+// result and reports every violated threshold on a degraded one.
+func TestBalanceGateRebalanceRegression(t *testing.T) {
+	base := Result{
+		ConstructCVMean:  0.10,
+		UtilizationMean:  0.90,
+		TotalVirtualTime: 100,
+	}
+	g := Gate{MaxCVRegress: 0.10, MaxUtilDrop: 0.05, MaxTimeRegress: 0.10}
+
+	if err := g.Check(base, &base); err != nil {
+		t.Fatalf("identical result failed the gate: %v", err)
+	}
+	if err := g.Check(base, nil); err != nil {
+		t.Fatalf("nil baseline should check nothing: %v", err)
+	}
+
+	within := base
+	within.ConstructCVMean = 0.105
+	within.UtilizationMean = 0.87
+	within.TotalVirtualTime = 105
+	if err := g.Check(within, &base); err != nil {
+		t.Fatalf("within-threshold result failed: %v", err)
+	}
+
+	bad := base
+	bad.ConstructCVMean = 0.15
+	bad.UtilizationMean = 0.80
+	bad.TotalVirtualTime = 150
+	err := g.Check(bad, &base)
+	if err == nil {
+		t.Fatal("degraded result passed the gate")
+	}
+	for _, want := range []string{"construct CV", "utilization", "virtual time"} {
+		if !bytes.Contains([]byte(err.Error()), []byte(want)) {
+			t.Errorf("gate error missing %q violation:\n%v", want, err)
+		}
+	}
+
+	off := Gate{MaxCVRegress: -1, MaxUtilDrop: -1, MaxTimeRegress: -1}
+	if err := off.Check(bad, &base); err != nil {
+		t.Fatalf("disabled gate still failed: %v", err)
+	}
+}

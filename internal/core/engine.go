@@ -52,6 +52,9 @@ type PRMEngine struct {
 	// data accumulates each region's committed nodes and local edges
 	// across rounds. Edge indices are local to the region's node slice.
 	data []prmRegionData
+	// costAcc accumulates the bounded per-region construct-cost summary
+	// across committed rounds (published as Result().RegionCosts).
+	costAcc []RegionCost
 	// boundary accumulates committed cross-region edges across rounds.
 	boundary []boundaryEdge
 
@@ -83,12 +86,13 @@ func NewPRMEngine(s *cspace.Space, opts Options) (*PRMEngine, error) {
 	}
 	region.NaiveColumnPartition(rg, opts.Procs)
 	e := &PRMEngine{
-		s:      s,
-		opts:   opts,
-		pl:     newPipeline(opts),
-		rg:     rg,
-		params: prm.Params{SamplesPerRegion: opts.SamplesPerRegion, K: opts.ConnectK, Sampler: opts.Sampler},
-		data:   make([]prmRegionData, rg.NumRegions()),
+		s:       s,
+		opts:    opts,
+		pl:      newPipeline(opts),
+		rg:      rg,
+		params:  prm.Params{SamplesPerRegion: opts.SamplesPerRegion, K: opts.ConnectK, Sampler: opts.Sampler},
+		data:    make([]prmRegionData, rg.NumRegions()),
+		costAcc: make([]RegionCost, rg.NumRegions()),
 	}
 	e.res = &PRMResult{Roadmap: prm.NewRoadmap(), RegionGraph: rg}
 	return e, nil
@@ -164,7 +168,10 @@ func (e *PRMEngine) GrowRound(stop <-chan struct{}) error {
 
 	// --- Weight phase: this round's sample counts estimate this round's
 	// connection work (the construct phase only processes new samples).
-	weights := repart.SampleCountWeights(sampleCounts)
+	// Under CostObserved, warm rounds replace the sample-count estimate
+	// with the EWMA of the construct costs actually observed in prior
+	// rounds (round 0 passes through unchanged — the cold start).
+	weights := pl.roundWeights(repart.SampleCountWeights(sampleCounts), sampleCounts)
 	if err := rg.SetWeights(weights); err != nil {
 		return err
 	}
@@ -191,18 +198,24 @@ func (e *PRMEngine) GrowRound(stop <-chan struct{}) error {
 		combined[i] = append(combined[i], e.data[i].nodes...)
 		combined[i] = append(combined[i], fresh[i].nodes...)
 	}
+	constructQueues := queuesByOwner(opts.Procs, rg.Owner, n, func(i int) work.Task {
+		return work.Task{
+			ID:      i,
+			Payload: len(combined[i]), // stealing this region moves its samples
+			Run: func() (float64, int) {
+				fresh[i].edges, fresh[i].connectWork = prm.ConnectRegionIncremental(e.s, combined[i], firstNew[i], e.params)
+				return opts.Cost.Time(fresh[i].connectWork), len(combined[i])
+			},
+		}
+	})
+	// Optional between-rounds diffusive rebalance: polish the construct
+	// queues along the steal mesh toward the weight equilibrium (after
+	// any bulk repartition, before the phase runs).
+	diffused, diffuseCost := pl.diffuse(rg, constructQueues, weights, sampleCounts)
+	phases.Redistribution += diffuseCost
 	report := pl.run(phaseSpec{
-		name: "construct",
-		queues: queuesByOwner(opts.Procs, rg.Owner, n, func(i int) work.Task {
-			return work.Task{
-				ID:      i,
-				Payload: len(combined[i]), // stealing this region moves its samples
-				Run: func() (float64, int) {
-					fresh[i].edges, fresh[i].connectWork = prm.ConnectRegionIncremental(e.s, combined[i], firstNew[i], e.params)
-					return opts.Cost.Time(fresh[i].connectWork), len(combined[i])
-				},
-			}
-		}),
+		name:   "construct",
+		queues: constructQueues,
 		policy: pl.stealPolicy(),
 		salt:   saltPRMConstruct,
 	})
@@ -279,6 +292,10 @@ func (e *PRMEngine) GrowRound(stop <-chan struct{}) error {
 		e.data[i].connectWork.Add(fresh[i].connectWork)
 	}
 	e.boundary = append(e.boundary, newBoundary...)
+	// Feed the committed round's observed construct costs to the cost
+	// model (next round's weights) and the bounded per-region summary.
+	pl.observeConstruct(n, report, sampleCounts)
+	accumulateRegionCosts(e.costAcc, report)
 	e.round++
 
 	prev := e.res
@@ -291,6 +308,8 @@ func (e *PRMEngine) GrowRound(stop <-chan struct{}) error {
 		RegionRemote:    prev.RegionRemote + regionRemote,
 		RoadmapRemote:   prev.RoadmapRemote + roadmapRemote,
 		MigratedRegions: prev.MigratedRegions + migrated,
+		DiffusedRegions: prev.DiffusedRegions + diffused,
+		RegionCosts:     append([]RegionCost(nil), e.costAcc...),
 		CVBefore:        prev.CVBefore,
 	}
 	if round == 0 {

@@ -42,6 +42,9 @@ type RRTConnectEngine struct {
 	bis          []*rrt.BiTree
 	bridges      [][4]int
 	prunedCycles int
+	// costAcc accumulates the bounded per-region construct-cost summary
+	// across committed rounds (published as Result().RegionCosts).
+	costAcc []RegionCost
 
 	res   *RRTResult // last committed cumulative result
 	round int
@@ -104,6 +107,7 @@ func NewRRTConnectEngine(s *cspace.Space, root, goal cspace.Config, opts Options
 		params: rrt.Params{Nodes: opts.NodesPerRegion, Step: opts.Step, GoalBias: opts.GoalBias},
 	}
 	e.bis = make([]*rrt.BiTree, rg.NumRegions())
+	e.costAcc = make([]RegionCost, rg.NumRegions())
 	e.res = &RRTResult{RegionGraph: rg}
 	return e, nil
 }
@@ -173,6 +177,21 @@ func (e *RRTConnectEngine) GrowRound(stop <-chan struct{}) error {
 			phases.Redistribution += cost
 		}
 	}
+	// Observed cost model: warm rounds re-weigh on measured pair-growth
+	// costs and re-repartition every round, exactly as in RRTEngine.
+	if round > 0 && opts.CostModel == CostObserved {
+		weights = pl.roundWeights(weights, nil)
+		if err := rg.SetWeights(weights); err != nil {
+			return err
+		}
+		if opts.Strategy == Repartition {
+			var cost float64
+			migrated, cost = pl.rebalance(rg, weights, e.nodeCounts())
+			if migrated > 0 {
+				phases.Redistribution = cost + pl.barrier()
+			}
+		}
+	}
 	if sched.Canceled(stop) {
 		return abort()
 	}
@@ -186,24 +205,27 @@ func (e *RRTConnectEngine) GrowRound(stop <-chan struct{}) error {
 	params := e.params
 	params.Nodes = targetNodes
 	results := make([]rrt.BiResult, n)
+	constructQueues := queuesByOwner(opts.Procs, rg.Owner, n, func(i int) work.Task {
+		return work.Task{
+			ID: i,
+			Run: func() (float64, int) {
+				r := rng.Derive(opts.Seed, roundSalt(round, i))
+				bi := e.roundBiTree(i)
+				var rootWork cspace.Counters
+				if bi == nil {
+					bi, rootWork = rrt.NewBiTree(e.s, rg.Region(i), e.goal, r)
+				}
+				results[i] = rrt.GrowBiTree(e.s, rg.Region(i), bi, params, r)
+				results[i].Work.Add(rootWork)
+				return opts.Cost.Time(results[i].Work), bi.Len()
+			},
+		}
+	})
+	diffused, diffuseCost := pl.diffuse(rg, constructQueues, weights, e.nodeCounts())
+	phases.Redistribution += diffuseCost
 	report := pl.run(phaseSpec{
-		name: "construct",
-		queues: queuesByOwner(opts.Procs, rg.Owner, n, func(i int) work.Task {
-			return work.Task{
-				ID: i,
-				Run: func() (float64, int) {
-					r := rng.Derive(opts.Seed, roundSalt(round, i))
-					bi := e.roundBiTree(i)
-					var rootWork cspace.Counters
-					if bi == nil {
-						bi, rootWork = rrt.NewBiTree(e.s, rg.Region(i), e.goal, r)
-					}
-					results[i] = rrt.GrowBiTree(e.s, rg.Region(i), bi, params, r)
-					results[i].Work.Add(rootWork)
-					return opts.Cost.Time(results[i].Work), bi.Len()
-				},
-			}
-		}),
+		name:   "construct",
+		queues: constructQueues,
 		policy: pl.stealPolicy(),
 		salt:   saltConnectConstruct,
 	})
@@ -214,7 +236,7 @@ func (e *RRTConnectEngine) GrowRound(stop <-chan struct{}) error {
 	pl.applyOwnership(rg, report)
 
 	weightCorr := e.res.WeightActualCorr
-	if round == 0 && opts.Strategy == Repartition {
+	if opts.Strategy == Repartition && (round == 0 || opts.CostModel == CostObserved) {
 		costs := make([]float64, n)
 		for i := 0; i < n; i++ {
 			costs[i] = report.Cost[i]
@@ -242,6 +264,8 @@ func (e *RRTConnectEngine) GrowRound(stop <-chan struct{}) error {
 	}
 	e.bridges = append(e.bridges, conn.newBridges...)
 	e.prunedCycles += conn.newPruned
+	pl.observeConstruct(n, report, nil)
+	accumulateRegionCosts(e.costAcc, report)
 	e.round++
 
 	prev := e.res
@@ -255,6 +279,8 @@ func (e *RRTConnectEngine) GrowRound(stop <-chan struct{}) error {
 		EdgeCut:          rg.EdgeCut(),
 		RegionRemote:     prev.RegionRemote + conn.regionRemote,
 		MigratedRegions:  prev.MigratedRegions + migrated,
+		DiffusedRegions:  prev.DiffusedRegions + diffused,
+		RegionCosts:      append([]RegionCost(nil), e.costAcc...),
 		CVBefore:         prev.CVBefore,
 		WeightActualCorr: weightCorr,
 	}
@@ -282,6 +308,19 @@ func (e *RRTConnectEngine) GrowRound(stop <-chan struct{}) error {
 	res.CVAfter = metrics.CV(res.NodeLoads)
 	e.res = res
 	return nil
+}
+
+// nodeCounts returns the committed tree-pair size per region — the
+// per-vertex migration payload when repartitioning or diffusing between
+// rounds (nil pairs, i.e. before round 0 commits, count zero).
+func (e *RRTConnectEngine) nodeCounts() []int {
+	counts := make([]int, len(e.bis))
+	for i, bi := range e.bis {
+		if bi != nil {
+			counts[i] = bi.Len()
+		}
+	}
+	return counts
 }
 
 // roundBiTree returns a round-local deep copy of region i's committed

@@ -35,6 +35,9 @@ type RRTEngine struct {
 	// connections; the per-round union-find is rebuilt from bridges.
 	bridges      [][4]int
 	prunedCycles int
+	// costAcc accumulates the bounded per-region construct-cost summary
+	// across committed rounds (published as Result().RegionCosts).
+	costAcc []RegionCost
 
 	res   *RRTResult // last committed cumulative result
 	round int
@@ -73,6 +76,7 @@ func NewRRTEngine(s *cspace.Space, root cspace.Config, opts Options) (*RRTEngine
 	} else {
 		e.trees = make([]*rrt.Tree, n)
 	}
+	e.costAcc = make([]RegionCost, n)
 	e.res = &RRTResult{RegionGraph: rg}
 	return e, nil
 }
@@ -148,6 +152,24 @@ func (e *RRTEngine) GrowRound(stop <-chan struct{}) error {
 			phases.Redistribution += cost
 		}
 	}
+	// Under the observed cost model, later rounds re-weigh on the EWMA of
+	// measured branch costs and — unlike the static k-ray setup, which
+	// repartitions only once — re-repartition every round: region costs
+	// are temporally autocorrelated, so last rounds' measurements are the
+	// good estimator the k-ray probe is not.
+	if round > 0 && opts.CostModel == CostObserved {
+		weights = pl.roundWeights(weights, nil)
+		if err := rg.SetWeights(weights); err != nil {
+			return err
+		}
+		if opts.Strategy == Repartition {
+			var cost float64
+			migrated, cost = pl.rebalance(rg, weights, e.nodeCounts())
+			if migrated > 0 {
+				phases.Redistribution = cost + pl.barrier()
+			}
+		}
+	}
 	if sched.Canceled(stop) {
 		return abort()
 	}
@@ -161,31 +183,34 @@ func (e *RRTEngine) GrowRound(stop <-chan struct{}) error {
 	results := make([]rrt.Result, n)
 	starResults := make([]*rrt.StarTree, n)
 	rewires := make([]int, n)
-	report := pl.run(phaseSpec{
-		name: "construct",
-		queues: queuesByOwner(opts.Procs, rg.Owner, n, func(i int) work.Task {
-			return work.Task{
-				ID: i,
-				Run: func() (float64, int) {
-					r := rng.Derive(opts.Seed, roundSalt(round, i))
-					if opts.Star {
-						tree := e.roundStarTree(i)
-						starRes := rrt.GrowStarTree(e.s, rg.Region(i), tree,
-							rrt.StarParams{Params: params, RewireRadius: opts.RewireRadius}, r)
-						starResults[i] = starRes.Tree
-						results[i] = rrt.Result{
-							Tree:  &rrt.Tree{Nodes: starRes.Tree.Nodes},
-							Work:  starRes.Work,
-							Iters: starRes.Iters,
-						}
-						rewires[i] = starRes.Rewires
-					} else {
-						results[i] = rrt.GrowTree(e.s, rg.Region(i), e.roundTree(i), params, r)
+	constructQueues := queuesByOwner(opts.Procs, rg.Owner, n, func(i int) work.Task {
+		return work.Task{
+			ID: i,
+			Run: func() (float64, int) {
+				r := rng.Derive(opts.Seed, roundSalt(round, i))
+				if opts.Star {
+					tree := e.roundStarTree(i)
+					starRes := rrt.GrowStarTree(e.s, rg.Region(i), tree,
+						rrt.StarParams{Params: params, RewireRadius: opts.RewireRadius}, r)
+					starResults[i] = starRes.Tree
+					results[i] = rrt.Result{
+						Tree:  &rrt.Tree{Nodes: starRes.Tree.Nodes},
+						Work:  starRes.Work,
+						Iters: starRes.Iters,
 					}
-					return opts.Cost.Time(results[i].Work), results[i].Tree.Len()
-				},
-			}
-		}),
+					rewires[i] = starRes.Rewires
+				} else {
+					results[i] = rrt.GrowTree(e.s, rg.Region(i), e.roundTree(i), params, r)
+				}
+				return opts.Cost.Time(results[i].Work), results[i].Tree.Len()
+			},
+		}
+	})
+	diffused, diffuseCost := pl.diffuse(rg, constructQueues, weights, e.nodeCounts())
+	phases.Redistribution += diffuseCost
+	report := pl.run(phaseSpec{
+		name:   "construct",
+		queues: constructQueues,
 		policy: pl.stealPolicy(),
 		salt:   saltRRTConstruct,
 	})
@@ -195,10 +220,12 @@ func (e *RRTEngine) GrowRound(stop <-chan struct{}) error {
 	phases.NodeConnection = report.Makespan + pl.barrier()
 	pl.applyOwnership(rg, report)
 
-	// Correlation between weight estimate and measured cost (round 0,
-	// where the estimate was computed).
+	// Correlation between weight estimate and measured cost: round 0
+	// (where the static estimate was computed), and every warm round
+	// under the observed model (whose whole point is that this
+	// correlation is high where the k-ray probe's is not).
 	weightCorr := e.res.WeightActualCorr
-	if round == 0 && opts.Strategy == Repartition {
+	if opts.Strategy == Repartition && (round == 0 || opts.CostModel == CostObserved) {
 		costs := make([]float64, n)
 		for i := 0; i < n; i++ {
 			costs[i] = report.Cost[i]
@@ -229,6 +256,8 @@ func (e *RRTEngine) GrowRound(stop <-chan struct{}) error {
 	}
 	e.bridges = append(e.bridges, conn.newBridges...)
 	e.prunedCycles += conn.newPruned
+	pl.observeConstruct(n, report, nil)
+	accumulateRegionCosts(e.costAcc, report)
 	e.round++
 
 	prev := e.res
@@ -242,6 +271,8 @@ func (e *RRTEngine) GrowRound(stop <-chan struct{}) error {
 		EdgeCut:          rg.EdgeCut(),
 		RegionRemote:     prev.RegionRemote + conn.regionRemote,
 		MigratedRegions:  prev.MigratedRegions + migrated,
+		DiffusedRegions:  prev.DiffusedRegions + diffused,
+		RegionCosts:      append([]RegionCost(nil), e.costAcc...),
 		CVBefore:         prev.CVBefore,
 		Rewires:          prev.Rewires,
 		WeightActualCorr: weightCorr,
@@ -263,6 +294,24 @@ func (e *RRTEngine) GrowRound(stop <-chan struct{}) error {
 	res.CVAfter = metrics.CV(res.NodeLoads)
 	e.res = res
 	return nil
+}
+
+// nodeCounts returns the committed tree size per region — the per-vertex
+// migration payload when repartitioning or diffusing between rounds
+// (nil-tree regions, i.e. before round 0 commits, count zero).
+func (e *RRTEngine) nodeCounts() []int {
+	n := e.rg.NumRegions()
+	counts := make([]int, n)
+	for i := 0; i < n; i++ {
+		if e.opts.Star {
+			if e.starTrees[i] != nil {
+				counts[i] = len(e.starTrees[i].Nodes)
+			}
+		} else if e.trees[i] != nil {
+			counts[i] = e.trees[i].Len()
+		}
+	}
+	return counts
 }
 
 // roundTree returns a round-local working copy of region i's committed

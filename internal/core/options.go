@@ -54,6 +54,64 @@ func (s Strategy) String() string {
 	return fmt.Sprintf("strategy(%d)", int(s))
 }
 
+// CostModelKind selects the per-region cost estimate driving
+// repartitioning (and the diffusive rebalance equilibrium).
+type CostModelKind int
+
+const (
+	// CostStatic uses the paper's static estimators: this round's sample
+	// counts for PRM, the round-0 k-random-ray probe for the tree
+	// planners. The paper's own result is that the k-ray estimate is
+	// noisy enough to make RRT repartitioning counter-productive.
+	CostStatic CostModelKind = iota
+	// CostObserved closes the loop: an EWMA (internal/costmodel) over the
+	// per-region task times the scheduler actually observed in prior
+	// rounds replaces the static estimate from round 1 on (round 0 has no
+	// observations, so it falls back to the static estimator and stays
+	// bit-identical to CostStatic). With CostObserved the tree planners
+	// also re-weigh and re-repartition every round, not just round 0.
+	CostObserved
+)
+
+// String names the cost model for reports.
+func (k CostModelKind) String() string {
+	switch k {
+	case CostStatic:
+		return "static"
+	case CostObserved:
+		return "observed"
+	}
+	return fmt.Sprintf("costmodel(%d)", int(k))
+}
+
+// RebalanceKind selects the between-rounds rebalance step applied to the
+// construct phase's task queues before the round starts.
+type RebalanceKind int
+
+const (
+	// RebalanceNone starts each round from the current region ownership.
+	RebalanceNone RebalanceKind = iota
+	// RebalanceDiffusive shifts queued construct tasks along the steal
+	// mesh (steal.MeshNeighbors) toward the cost-model equilibrium before
+	// the round runs — neighbor-local pairwise balancing, the scheme the
+	// diffusive load-balancing literature prefers over bulk-synchronous
+	// redistribution when estimates are noisy. Composes with any
+	// Strategy: after a bulk repartition it polishes the residual
+	// imbalance; without one it is the only balancer.
+	RebalanceDiffusive
+)
+
+// String names the rebalance step for reports.
+func (k RebalanceKind) String() string {
+	switch k {
+	case RebalanceNone:
+		return "none"
+	case RebalanceDiffusive:
+		return "diffusive"
+	}
+	return fmt.Sprintf("rebalance(%d)", int(k))
+}
+
 // Partitioner selects the repartitioning algorithm.
 type Partitioner int
 
@@ -99,6 +157,22 @@ type Options struct {
 	// bounded-retry behaviour; set negative for unbounded retries until
 	// global termination). Sweepable for ablations.
 	MaxRounds int
+
+	// CostModel selects what the repartitioner balances on: the static
+	// estimators (default; the paper's setup) or the observed per-region
+	// task times of prior rounds (CostObserved — see internal/costmodel).
+	// Zero-valued fields reproduce the legacy behaviour bit-identically.
+	CostModel CostModelKind
+	// CostAlpha is the observed cost model's EWMA smoothing factor in
+	// (0, 1]; 0 selects costmodel.DefaultAlpha.
+	CostAlpha float64
+	// Rebalance optionally adds a between-rounds diffusive rebalance of
+	// the construct queues along the steal mesh (RebalanceDiffusive).
+	Rebalance RebalanceKind
+	// DiffuseSweeps bounds the diffusive rebalance's mesh passes per
+	// round (0 = 3). Each pass terminates early once no move improves a
+	// neighbor pair.
+	DiffuseSweeps int
 
 	// Profile and Cost define the virtual machine.
 	Profile work.MachineProfile

@@ -3,6 +3,7 @@ package core
 import (
 	"sync"
 
+	"parmp/internal/costmodel"
 	"parmp/internal/dist"
 	"parmp/internal/exec"
 	"parmp/internal/region"
@@ -35,7 +36,16 @@ type phaseSpec struct {
 // with the phase name and its position in the replay sequence. The
 // planners keep every phase's report in their results, so per-phase
 // load-balance metrics (imbalance, utilization, steal efficiency — see
-// internal/obsv) are derivable after the run without re-executing it.
+// internal/obsv) are derivable from a finished run without re-executing
+// it.
+//
+// Memory bound: the retained reports drop their per-task maps
+// (ExecutedBy/Cost/Payload/Elapsed/TaskRegion) after the pipeline has
+// derived what it needs from them — the cost model observes the live
+// report before retention — so a result holds O(rounds × phases ×
+// workers) worker stats, not O(rounds × tasks) task entries. Per-region
+// cost detail survives in the results' bounded RegionCosts summary
+// (count/sum/max per region, O(regions) total).
 type PhaseReport struct {
 	// Phase is the phase name ("sample", "construct", "weight",
 	// "region-connect", ...).
@@ -66,6 +76,10 @@ type pipeline struct {
 	// Report.Stopped set. The engines set it per growth round from the
 	// caller's context; one-shot runs leave it nil (zero overhead).
 	stop <-chan struct{}
+	// cm is the observed per-region cost model (CostObserved only),
+	// lazily built at the first construct observation. The engines feed
+	// it at commit time, so an aborted round never pollutes it.
+	cm costmodel.Model
 }
 
 func newPipeline(opts Options) *pipeline {
@@ -109,7 +123,10 @@ func (pl *pipeline) hostExec(name string, queues [][]work.Task) {
 // replay plays a phase on the virtual-time runtime and returns its
 // report, keeping a copy in the pipeline's phase-report log. Memoized
 // tasks answer instantly with their recorded cost, so the replay is pure
-// accounting after a host pre-pass.
+// accounting after a host pre-pass. The retained copy is trimmed of its
+// per-task maps (see PhaseReport's memory bound); the returned report is
+// the full one, so same-round consumers (ownership write-back, cost
+// observation, weight correlation) see every task.
 func (pl *pipeline) replay(ph phaseSpec) sched.Report {
 	rep := pl.vt.Run(sched.Config{
 		Workers:    pl.opts.Procs,
@@ -120,7 +137,21 @@ func (pl *pipeline) replay(ph phaseSpec) sched.Report {
 		Seed:       pl.opts.Seed ^ ph.salt,
 		Stop:       pl.stop,
 	}, ph.queues)
-	pl.reports = append(pl.reports, PhaseReport{Phase: ph.name, Round: len(pl.reports), Report: rep})
+	pl.reports = append(pl.reports, PhaseReport{Phase: ph.name, Round: len(pl.reports), Report: trimReport(rep)})
+	return rep
+}
+
+// trimReport returns a copy of rep without the per-task maps, keeping the
+// O(workers) profile (stats, makespan, totals) that per-phase metrics
+// derive from. Retaining full reports across an engine's lifetime would
+// grow O(rounds × tasks); the bounded per-region view lives in the
+// results' RegionCosts instead.
+func trimReport(rep sched.Report) sched.Report {
+	rep.ExecutedBy = nil
+	rep.Cost = nil
+	rep.Payload = nil
+	rep.Elapsed = nil
+	rep.TaskRegion = nil
 	return rep
 }
 
@@ -129,6 +160,43 @@ func (pl *pipeline) replay(ph phaseSpec) sched.Report {
 func (pl *pipeline) run(ph phaseSpec) sched.Report {
 	pl.hostExec(ph.name, ph.queues)
 	return pl.replay(ph)
+}
+
+// RegionCost is a bounded summary of one region's observed
+// construct-phase task costs across an engine's committed rounds: how
+// many construct tasks the region ran, their total virtual cost, and the
+// most expensive single task. It replaces retaining the full per-task
+// event stream on results — O(regions) however many rounds run.
+type RegionCost struct {
+	Count int
+	Sum   float64
+	Max   float64
+}
+
+// Mean is the region's average per-round construct cost (0 before the
+// first observation).
+func (c RegionCost) Mean() float64 {
+	if c.Count == 0 {
+		return 0
+	}
+	return c.Sum / float64(c.Count)
+}
+
+// accumulateRegionCosts folds one construct report's per-task costs into
+// the per-region accumulator, keyed by TaskRegion. Untagged tasks
+// (work.NoRegion) are skipped.
+func accumulateRegionCosts(acc []RegionCost, rep sched.Report) {
+	for id, c := range rep.Cost {
+		r, ok := rep.TaskRegion[id]
+		if !ok || r < 0 || r >= len(acc) {
+			continue
+		}
+		acc[r].Count++
+		acc[r].Sum += c
+		if c > acc[r].Max {
+			acc[r].Max = c
+		}
+	}
 }
 
 // stealPolicy returns the victim policy for stealable phases, nil unless
@@ -147,18 +215,138 @@ func (pl *pipeline) barrier() float64 {
 
 // queuesByOwner shards n region tasks into per-processor queues by
 // current region ownership, preserving region order within each queue.
+// Every task is tagged with its region (Task.Region = i) so scheduler
+// reports attribute observed costs per region for the cost model.
 func queuesByOwner(procs int, owner []int, n int, mk func(i int) work.Task) [][]work.Task {
 	queues := make([][]work.Task, procs)
 	for i := 0; i < n; i++ {
-		queues[owner[i]] = append(queues[owner[i]], mk(i))
+		t := mk(i)
+		t.Region = i
+		queues[owner[i]] = append(queues[owner[i]], t)
 	}
 	return queues
 }
 
 // costTask wraps a precomputed cost as a task for bulk-synchronous
-// accounting phases.
+// accounting phases. Its ID is phase-local (a pair index, not a region),
+// so it carries no region attribution unless a caller tags it.
 func costTask(id int, cost float64) work.Task {
-	return work.Task{ID: id, Run: func() (float64, int) { return cost, 0 }}
+	return work.Task{ID: id, Region: work.NoRegion, Run: func() (float64, int) { return cost, 0 }}
+}
+
+// observeConstruct folds one round's construct-phase report into the
+// observed cost model, attributing each task's occupancy time (Elapsed,
+// which equals the virtual cost on the virtual-time backend) to its
+// TaskRegion. When units is non-nil the model tracks cost per work unit
+// (cost divided by units[r] — for PRM, the region's fresh sample count
+// that round) instead of raw task cost, which keeps the estimate
+// comparable across rounds whose unit counts differ; regions with zero
+// units that round carry no information and are skipped. No-op unless
+// Options.CostModel is CostObserved. The engines call it at commit time
+// only, so aborted rounds leave the model untouched.
+func (pl *pipeline) observeConstruct(n int, rep sched.Report, units []int) {
+	if pl.opts.CostModel != CostObserved {
+		return
+	}
+	if pl.cm == nil {
+		pl.cm = costmodel.NewEWMA(n, pl.opts.CostAlpha)
+	}
+	costs := make([]float64, n)
+	seen := make([]bool, n)
+	for id, c := range rep.Elapsed {
+		r, ok := rep.TaskRegion[id]
+		if !ok || r < 0 || r >= n {
+			continue
+		}
+		costs[r] += c
+		seen[r] = true
+	}
+	if units != nil {
+		for r := 0; r < n; r++ {
+			if !seen[r] {
+				continue
+			}
+			if units[r] <= 0 {
+				seen[r] = false
+				costs[r] = 0
+				continue
+			}
+			costs[r] /= float64(units[r])
+		}
+	}
+	pl.cm.Observe(costs, seen)
+}
+
+// roundWeights maps a static per-region estimate through the observed
+// cost model: under CostStatic (or before the model's first observation
+// — the cold start) the static weights pass through unchanged, so round
+// 0 is bit-identical across cost models; once warm, observed regions get
+// the EWMA estimate and cold ones the static weight rescaled into
+// observed units (costmodel.EWMA.Blend).
+//
+// units mirrors observeConstruct: when non-nil the model holds per-unit
+// costs, so the fitted weight is estimate × units[i] — the zero-lag unit
+// count carries this round's volume while the model carries the measured
+// per-unit heterogeneity. The cold-start blend then uses a unit static
+// estimate (1 per unit), so unobserved regions get the mean observed
+// per-unit cost.
+func (pl *pipeline) roundWeights(static []float64, units []int) []float64 {
+	if pl.opts.CostModel != CostObserved || pl.cm == nil || pl.cm.Rounds() == 0 {
+		return static
+	}
+	if units == nil {
+		return pl.cm.Blend(static)
+	}
+	ones := make([]float64, len(static))
+	for i := range ones {
+		ones[i] = 1
+	}
+	per := pl.cm.Blend(ones)
+	out := make([]float64, len(static))
+	for i := range out {
+		out[i] = per[i] * float64(units[i])
+	}
+	return out
+}
+
+// diffuse applies the between-rounds diffusive rebalance to the
+// construct queues: exec.Diffuse shifts region tasks along the steal
+// mesh toward the weight equilibrium, then the resulting placement is
+// written back as region ownership and the transfers priced like
+// migrations (vertexCounts supplies the per-vertex payload). Returns the
+// number of regions whose ownership moved and the migration cost; (0, 0)
+// unless Options.Rebalance is RebalanceDiffusive. Unlike the bulk
+// repartition there is no global barrier to charge — diffusion is
+// neighbor-local, which is its point.
+func (pl *pipeline) diffuse(rg *region.Graph, queues [][]work.Task, weights []float64, vertexCounts []int) (moved int, cost float64) {
+	if pl.opts.Rebalance != RebalanceDiffusive {
+		return 0, 0
+	}
+	sweeps := pl.opts.DiffuseSweeps
+	if sweeps <= 0 {
+		sweeps = 3
+	}
+	est := func(t work.Task) float64 {
+		if t.Region >= 0 && t.Region < len(weights) {
+			return weights[t.Region]
+		}
+		return 0
+	}
+	if exec.Diffuse(queues, est, sweeps) == 0 {
+		return 0, 0
+	}
+	assign := append([]int(nil), rg.Owner...)
+	for p, q := range queues {
+		for _, t := range q {
+			if t.Region >= 0 && t.Region < len(assign) {
+				assign[t.Region] = p
+			}
+		}
+	}
+	plan := repart.MakePlan(rg, assign)
+	cost = plan.MigrationCost(rg, pl.opts.Profile, vertexCounts, pl.opts.Procs)
+	plan.Apply(rg)
+	return len(plan.Moved), cost
 }
 
 // applyOwnership writes the final task ownership back into the region
@@ -232,6 +420,7 @@ func memoize(tasks []work.Task) []work.Task {
 		out[i] = work.Task{
 			ID:      tasks[i].ID,
 			Payload: tasks[i].Payload,
+			Region:  tasks[i].Region,
 			Run: func() (float64, int) {
 				once.Do(func() { cost, payload = inner() })
 				return cost, payload

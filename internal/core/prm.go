@@ -31,8 +31,16 @@ type PRMResult struct {
 	// processors; RoadmapRemote counts cross-processor roadmap accesses.
 	RegionRemote, RoadmapRemote int
 	EdgeCut                     int
-	// MigratedRegions counts ownership transfers due to repartitioning.
+	// MigratedRegions counts ownership transfers due to repartitioning;
+	// DiffusedRegions those due to the between-rounds diffusive rebalance
+	// (Options.Rebalance).
 	MigratedRegions int
+	DiffusedRegions int
+	// RegionCosts[i] summarizes region i's observed construct-phase task
+	// costs over all committed rounds (count/sum/max; see RegionCost).
+	// The bounded replacement for the per-task maps the retained
+	// PhaseReports drop.
+	RegionCosts []RegionCost
 }
 
 // prmRegionData memoizes per-region planning output.

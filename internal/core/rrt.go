@@ -32,6 +32,12 @@ type RRTResult struct {
 	RegionRemote      int
 	EdgeCut           int
 	MigratedRegions   int
+	// DiffusedRegions counts ownership transfers due to the
+	// between-rounds diffusive rebalance (Options.Rebalance).
+	DiffusedRegions int
+	// RegionCosts[i] summarizes region i's observed construct-phase task
+	// costs over all committed rounds (see PRMResult.RegionCosts).
+	RegionCosts []RegionCost
 	// Rewires counts RRT* parent improvements (0 for plain RRT).
 	Rewires int
 	// TreesMet counts regions whose RRT-Connect tree pairs have bridged

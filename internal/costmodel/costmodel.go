@@ -1,0 +1,155 @@
+// Package costmodel fits per-region cost estimates from the task times
+// the scheduler actually observed in prior rounds, closing the paper's
+// open load-balancing loop: its static estimators (sample counts for
+// PRM, k random rays for RRT) are noisy enough that repartitioning on
+// them can hurt — the paper's own negative result — while observed costs
+// are strongly autocorrelated round to round, so an exponentially
+// weighted moving average over them is a far better predictor of next
+// round's work.
+//
+// The model consumes sched.Report's per-task Elapsed times attributed by
+// TaskRegion (internal/core folds them per region before calling
+// Observe) and produces the weight vector internal/core feeds to
+// region.Graph.SetWeights before repartitioning. Cold start falls back
+// to the caller's static estimate: Blend rescales static weights into
+// observed units for regions the model has not seen yet, so a partially
+// warm model never compares microseconds against raw sample counts.
+package costmodel
+
+// Model is a pluggable per-region cost estimator fed one observation
+// vector per round. Implementations must be deterministic: the virtual
+// time pipeline replays rounds bit-identically, so the model may not
+// consult wall clocks or randomness of its own.
+type Model interface {
+	// Observe folds one round's measured per-region costs into the model.
+	// observed[i] reports whether region i actually executed this round
+	// (costs[i] is meaningless when false) — unobserved regions keep
+	// their previous estimate.
+	Observe(costs []float64, observed []bool)
+	// Estimate returns the model's current cost estimate for region i and
+	// whether the model has ever observed that region.
+	Estimate(i int) (float64, bool)
+	// Blend combines the model with a static fallback estimate: observed
+	// regions get the model's estimate, unobserved ones get the static
+	// weight rescaled into the model's units. A nil static slice makes
+	// unobserved regions default to the mean observed cost.
+	Blend(static []float64) []float64
+	// Rounds is how many observation rounds the model has absorbed.
+	Rounds() int
+	// Name identifies the model in experiment tables.
+	Name() string
+}
+
+// DefaultAlpha is the EWMA smoothing factor used when none is given:
+// half the weight on the newest round, which tracks the strong
+// round-to-round autocorrelation of region costs while still damping
+// one-round noise spikes.
+const DefaultAlpha = 0.5
+
+// EWMA is the default Model: an exponentially weighted moving average of
+// each region's observed cost, est ← α·cost + (1−α)·est.
+type EWMA struct {
+	alpha  float64
+	est    []float64
+	seen   []bool
+	rounds int
+}
+
+// NewEWMA returns an EWMA model over n regions. alpha outside (0, 1]
+// selects DefaultAlpha.
+func NewEWMA(n int, alpha float64) *EWMA {
+	if alpha <= 0 || alpha > 1 {
+		alpha = DefaultAlpha
+	}
+	return &EWMA{
+		alpha: alpha,
+		est:   make([]float64, n),
+		seen:  make([]bool, n),
+	}
+}
+
+// Observe implements Model. The first observation of a region seeds the
+// estimate directly (no decay from an arbitrary zero), later ones decay.
+func (m *EWMA) Observe(costs []float64, observed []bool) {
+	any := false
+	for i := range m.est {
+		if i >= len(costs) || i >= len(observed) || !observed[i] {
+			continue
+		}
+		c := costs[i]
+		if c < 0 {
+			c = 0
+		}
+		if m.seen[i] {
+			m.est[i] = m.alpha*c + (1-m.alpha)*m.est[i]
+		} else {
+			m.est[i] = c
+			m.seen[i] = true
+		}
+		any = true
+	}
+	if any {
+		m.rounds++
+	}
+}
+
+// Estimate implements Model.
+func (m *EWMA) Estimate(i int) (float64, bool) {
+	if i < 0 || i >= len(m.est) || !m.seen[i] {
+		return 0, false
+	}
+	return m.est[i], true
+}
+
+// Rounds implements Model.
+func (m *EWMA) Rounds() int { return m.rounds }
+
+// Name implements Model.
+func (m *EWMA) Name() string { return "ewma" }
+
+// Blend implements Model. Static weights are rescaled by the ratio of
+// the mean observed estimate to the mean static weight over observed
+// regions, mapping the static estimator's unit (sample counts, ray
+// costs) into the model's unit so a half-warm weight vector is
+// commensurable. Degenerate scales (nothing observed yet, zero-mean
+// static) fall back to a copy of static, or to the mean observed
+// estimate when static is nil.
+func (m *EWMA) Blend(static []float64) []float64 {
+	n := len(m.est)
+	out := make([]float64, n)
+	var obsSum, statSum float64
+	obsCount := 0
+	for i := 0; i < n; i++ {
+		if m.seen[i] {
+			obsSum += m.est[i]
+			obsCount++
+			if static != nil && i < len(static) {
+				statSum += static[i]
+			}
+		}
+	}
+	if obsCount == 0 {
+		for i := 0; i < n; i++ {
+			if static != nil && i < len(static) {
+				out[i] = static[i]
+			}
+		}
+		return out
+	}
+	meanObs := obsSum / float64(obsCount)
+	scale := 1.0
+	if static != nil && statSum > 0 {
+		scale = obsSum / statSum
+	}
+	for i := 0; i < n; i++ {
+		switch {
+		case m.seen[i]:
+			out[i] = m.est[i]
+		case static != nil && i < len(static) && statSum > 0:
+			out[i] = static[i] * scale
+		default:
+			out[i] = meanObs
+		}
+	}
+	return out
+}

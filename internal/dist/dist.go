@@ -132,6 +132,8 @@ func Run(cfg Config, queues [][]work.Task) Report {
 			ExecutedBy: map[int]int{},
 			Cost:       map[int]float64{},
 			Payload:    map[int]int{},
+			Elapsed:    map[int]float64{},
+			TaskRegion: map[int]int{},
 		},
 	}
 	for p := 0; p < cfg.Workers; p++ {
@@ -231,6 +233,11 @@ func (s *sim) execute(p int, q sched.Entry, t float64) {
 	s.report.ExecutedBy[q.Task.ID] = p
 	s.report.Cost[q.Task.ID] = cost
 	s.report.Payload[q.Task.ID] = payload
+	// In virtual time a task occupies its worker for exactly its reported
+	// cost, so Elapsed == Cost is the simulator's half of the parity
+	// contract (the executor records measured wall time instead).
+	s.report.Elapsed[q.Task.ID] = cost
+	s.report.TaskRegion[q.Task.ID] = q.Task.Region
 	s.remaining--
 	s.attempt[p] = 0
 	s.candidates[p] = nil

@@ -1,0 +1,91 @@
+package exec
+
+import (
+	"parmp/internal/steal"
+	"parmp/internal/work"
+)
+
+// Diffuse performs a between-rounds diffusive rebalance of per-worker
+// task queues: neighbor-local pairwise balancing along the same
+// near-square mesh the DIFFUSIVE steal policy uses (steal.MeshNeighbors),
+// the scheme the diffusive load-balancing literature prefers over
+// bulk-synchronous redistribution when cost estimates are noisy. Unlike
+// stealing — a runtime reaction to an already-idle worker — Diffuse runs
+// before the round starts, shifting whole tasks from the back of a
+// heavier queue to a lighter mesh neighbor while the move strictly
+// reduces the pair's imbalance under the given cost estimate.
+//
+// est prices one task (the cost model's per-region estimate); tasks whose
+// estimate is zero or negative never move, so an all-zero estimate makes
+// Diffuse a no-op rather than a churn source. sweeps bounds how many
+// full passes over the mesh run (values < 1 mean one pass); a pass that
+// moves nothing terminates early, so convergence does not depend on the
+// bound. The pass order (workers ascending, mesh neighbors in
+// MeshNeighbors order, pairs handled once from their lower endpoint) is
+// fixed, so the result is deterministic for a given input — the virtual
+// time pipeline replays it bit-identically.
+//
+// Queues are mutated in place; the return value is the number of tasks
+// moved. Callers that track ownership must re-derive it from the final
+// queue placement (internal/core re-points region owners and prices the
+// transfers like migrations).
+func Diffuse(queues [][]work.Task, est func(work.Task) float64, sweeps int) int {
+	w := len(queues)
+	if w <= 1 {
+		return 0
+	}
+	if sweeps < 1 {
+		sweeps = 1
+	}
+	loads := make([]float64, w)
+	for p := range queues {
+		for _, t := range queues[p] {
+			loads[p] += est(t)
+		}
+	}
+	moved := 0
+	for s := 0; s < sweeps; s++ {
+		movedThisSweep := 0
+		for p := 0; p < w; p++ {
+			for _, q := range steal.MeshNeighbors(p, w) {
+				if q <= p {
+					continue // each edge balances once per sweep, from its lower endpoint
+				}
+				movedThisSweep += balancePair(queues, loads, p, q, est)
+			}
+		}
+		moved += movedThisSweep
+		if movedThisSweep == 0 {
+			break
+		}
+	}
+	return moved
+}
+
+// balancePair moves tasks from the back of the heavier queue of (a, b)
+// to the lighter one while each move strictly reduces the pair's
+// imbalance: a task of estimated cost c improves |load[hi]-load[lo]|
+// exactly when 0 < c < load[hi]-load[lo].
+func balancePair(queues [][]work.Task, loads []float64, a, b int, est func(work.Task) float64) int {
+	moved := 0
+	for {
+		hi, lo := a, b
+		if loads[lo] > loads[hi] {
+			hi, lo = lo, hi
+		}
+		n := len(queues[hi])
+		if n == 0 {
+			return moved
+		}
+		t := queues[hi][n-1]
+		c := est(t)
+		if c <= 0 || c >= loads[hi]-loads[lo] {
+			return moved
+		}
+		queues[hi] = queues[hi][:n-1]
+		queues[lo] = append(queues[lo], t)
+		loads[hi] -= c
+		loads[lo] += c
+		moved++
+	}
+}

@@ -98,6 +98,8 @@ type workerState struct {
 	executedBy map[int]int
 	cost       map[int]float64
 	payload    map[int]int
+	elapsed    map[int]float64
+	region     map[int]int
 }
 
 // Run executes the per-worker task queues to completion and returns the
@@ -159,6 +161,8 @@ func Run(cfg Config, queues [][]work.Task) Report {
 			executedBy: map[int]int{},
 			cost:       map[int]float64{},
 			payload:    map[int]int{},
+			elapsed:    map[int]float64{},
+			region:     map[int]int{},
 		}
 		wg.Add(1)
 		go func() {
@@ -196,6 +200,11 @@ func Run(cfg Config, queues [][]work.Task) Report {
 					st.executedBy[q.Task.ID] = id
 					st.cost[q.Task.ID] = cost
 					st.payload[q.Task.ID] = payload
+					// Elapsed is the executor's half of the parity
+					// contract: measured wall seconds the task occupied
+					// this worker (the simulator records Elapsed == Cost).
+					st.elapsed[q.Task.ID] = d.Seconds()
+					st.region[q.Task.ID] = q.Task.Region
 					if q.Stolen {
 						st.stolen++
 					} else {
@@ -273,6 +282,8 @@ func Run(cfg Config, queues [][]work.Task) Report {
 		ExecutedBy: map[int]int{},
 		Cost:       map[int]float64{},
 		Payload:    map[int]int{},
+		Elapsed:    map[int]float64{},
+		TaskRegion: map[int]int{},
 		Stopped:    stopped.Load(),
 	}
 	for id := range states {
@@ -296,6 +307,12 @@ func Run(cfg Config, queues [][]work.Task) Report {
 		}
 		for task, p := range st.payload {
 			rep.Payload[task] = p
+		}
+		for task, e := range st.elapsed {
+			rep.Elapsed[task] = e
+		}
+		for task, r := range st.region {
+			rep.TaskRegion[task] = r
 		}
 	}
 	return rep

@@ -58,6 +58,9 @@ type Scale struct {
 	// PortfolioTrials sizes the portfolio tail-latency experiment (base
 	// seeds per configuration). Zero falls back to the quick default.
 	PortfolioTrials int
+	// RepartRounds is the growth-round budget of the closed-loop
+	// repartitioning experiment. Zero falls back to 4.
+	RepartRounds int
 }
 
 // Quick returns the fast scale used in tests and benchmarks.
@@ -83,6 +86,7 @@ func Quick() Scale {
 		RaceSeeds:        5,
 		RaceRounds:       64,
 		PortfolioTrials:  12,
+		RepartRounds:     4,
 	}
 }
 
@@ -110,6 +114,7 @@ func Full() Scale {
 		RaceSeeds:        5,
 		RaceRounds:       128,
 		PortfolioTrials:  40,
+		RepartRounds:     6,
 	}
 }
 
@@ -579,6 +584,7 @@ func All(sc Scale) []*metrics.Table {
 	out = append(out, Fig8(sc)...)
 	out = append(out, Fig9(sc)...)
 	out = append(out, Fig10(sc)...)
+	out = append(out, Repartition(sc)...)
 	return out
 }
 
@@ -624,6 +630,8 @@ func ByName(id string, sc Scale) ([]*metrics.Table, bool) {
 		return Planners(sc, nil), true
 	case "portfolio":
 		return []*metrics.Table{PortfolioTail(sc)}, true
+	case "repartition":
+		return Repartition(sc), true
 	case "ablations":
 		return []*metrics.Table{
 			AblationDecomposition(sc), AblationStealChunk(sc),
@@ -642,5 +650,5 @@ func Names() []string {
 		"fig7a", "fig7b", "fig8", "fig9", "fig10",
 		"ablation-decomposition", "ablation-stealchunk", "ablation-weights",
 		"ablation-partitioner", "ablation-victims", "ablation-rrtstar",
-		"ablations", "planners", "portfolio", "all"}
+		"ablations", "planners", "portfolio", "repartition", "all"}
 }

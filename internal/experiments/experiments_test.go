@@ -271,8 +271,9 @@ func TestByNameCoversAll(t *testing.T) {
 			}
 			lower := strings.ToLower(tb.Title)
 			if !strings.Contains(lower, "fig") && !strings.Contains(lower, "ablation") &&
-				!strings.Contains(lower, "rrt vs rrt-connect") {
-				t.Fatalf("%s: title %q does not name a figure, ablation or planner race", id, tb.Title)
+				!strings.Contains(lower, "rrt vs rrt-connect") &&
+				!strings.Contains(lower, "repartition") {
+				t.Fatalf("%s: title %q does not name a figure, ablation, planner race or repartition study", id, tb.Title)
 			}
 		}
 	}

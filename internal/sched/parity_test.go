@@ -30,6 +30,7 @@ func parityWorkload(workers, tasks int) ([][]work.Task, []int64) {
 		queues[0] = append(queues[0], work.Task{
 			ID:      i,
 			Payload: i % 3,
+			Region:  i % 4,
 			Run: func() (float64, int) {
 				atomic.AddInt64(&execCount[i], 1)
 				return float64(1 + i%5), i % 3
@@ -90,6 +91,19 @@ func checkParityReport(t *testing.T, name string, rep sched.Report, execCount []
 		if rep.Payload[i] != i%3 {
 			t.Errorf("%s: task %d payload %d, want %d", name, i, rep.Payload[i], i%3)
 		}
+		// Per-task cost attribution (the online cost model's input): both
+		// backends must record every executed task's occupancy time and its
+		// region tag, whatever the steal schedule did to placement.
+		if e, ok := rep.Elapsed[i]; !ok {
+			t.Errorf("%s: task %d missing from Elapsed", name, i)
+		} else if e < 0 {
+			t.Errorf("%s: task %d elapsed %v, want >= 0", name, i, e)
+		}
+		if r, ok := rep.TaskRegion[i]; !ok {
+			t.Errorf("%s: task %d missing from TaskRegion", name, i)
+		} else if r != i%4 {
+			t.Errorf("%s: task %d region %d, want %d", name, i, r, i%4)
+		}
 	}
 }
 
@@ -125,6 +139,52 @@ func TestRuntimeParity(t *testing.T) {
 				checkParityReport(t, rt.name+"/"+pol.name, rep, execCount, workers)
 			})
 		}
+	}
+}
+
+// TestPerTaskCostParity pins the backend-specific halves of the Elapsed
+// contract: the simulator's Elapsed is bit-identical to Cost (a task
+// occupies exactly its virtual cost), and in both backends each worker's
+// Busy equals the sum of the Elapsed of the tasks it executed (measured
+// wall time for the executor), so per-region cost attribution and
+// per-worker utilization are two views of the same measurements.
+func TestPerTaskCostParity(t *testing.T) {
+	const workers, tasks = 4, 24
+	for _, rt := range []struct {
+		name string
+		rt   sched.Runtime
+	}{{"dist", dist.Runtime}, {"exec", exec.Runtime}} {
+		t.Run(rt.name, func(t *testing.T) {
+			queues, execCount := parityWorkload(workers, tasks)
+			rep := rt.rt.Run(sched.Config{
+				Workers:    workers,
+				Profile:    work.Hopper(),
+				Policy:     steal.RandK{K: 2},
+				StealChunk: 0.25,
+				Seed:       42,
+			}, queues)
+			checkParityReport(t, rt.name, rep, execCount, workers)
+			if rt.name == "dist" {
+				for i := 0; i < tasks; i++ {
+					if rep.Elapsed[i] != rep.Cost[i] {
+						t.Errorf("dist: task %d elapsed %v != cost %v", i, rep.Elapsed[i], rep.Cost[i])
+					}
+				}
+			}
+			busySum := make([]float64, workers)
+			for id, e := range rep.Elapsed {
+				busySum[rep.ExecutedBy[id]] += e
+			}
+			for w := range rep.Workers {
+				got, want := rep.Workers[w].Busy, busySum[w]
+				// Tolerance covers float summation order (the executor sums
+				// durations as integers, the check sums float seconds).
+				tol := 1e-9 * (1 + want)
+				if diff := got - want; diff > tol || diff < -tol {
+					t.Errorf("%s: worker %d busy %v != sum of elapsed %v", rt.name, w, got, want)
+				}
+			}
+		})
 	}
 }
 

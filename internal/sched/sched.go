@@ -106,6 +106,21 @@ type Report struct {
 	// migration pricing.
 	Cost    map[int]float64
 	Payload map[int]int
+	// Elapsed[taskID] is the time the task actually occupied its worker,
+	// in the report's time units: for the simulator this is identical to
+	// Cost (a task occupies exactly its reported virtual cost); for the
+	// host executor it is the measured wall-clock seconds of the task's
+	// Run call (Cost stays whatever the closure reported, which may be in
+	// different units). Parity contract, asserted in internal/sched's
+	// tests: both backends populate Elapsed for every executed task, and
+	// each worker's Busy equals the sum of its tasks' Elapsed.
+	Elapsed map[int]float64
+	// TaskRegion[taskID] is the executed task's work.Task.Region tag, the
+	// attribution key the online cost model (internal/costmodel) uses to
+	// fold Elapsed into per-region estimates. Tasks tagged work.NoRegion
+	// are recorded as such; untagged producers leave the zero value
+	// (region 0), so only region-tagged phases should be fed to the model.
+	TaskRegion map[int]int
 	// TerminationCost is the virtual time spent detecting global
 	// termination (simulator only; zero when stealing is disabled).
 	TerminationCost float64

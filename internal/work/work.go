@@ -144,6 +144,12 @@ func (p MachineProfile) Barrier(procs int) float64 {
 	return p.BarrierPerLog * float64(logs)
 }
 
+// NoRegion marks a task that is not attributable to a single region
+// (e.g. a region-connection task spanning a pair). The zero value of
+// Task.Region is region 0 — a valid region — so producers that care
+// about attribution must tag explicitly.
+const NoRegion = -1
+
 // Task is one quantum of schedulable work: a region whose planning cost is
 // determined by actually running the closure. Run must be safe to call
 // exactly once; it returns the task's virtual-time cost and an opaque
@@ -154,8 +160,14 @@ func (p MachineProfile) Barrier(procs int) float64 {
 // ownership transfers before execution (e.g. the samples already
 // generated in a PRM region). Stealing a task is priced like migrating
 // it: ownership transfer is never free.
+//
+// Region tags the task with the decomposition region whose work it
+// performs, so scheduler reports can attribute observed costs to regions
+// for the online cost model (internal/costmodel). Use NoRegion for tasks
+// that have no single home region.
 type Task struct {
 	ID      int
 	Payload int
+	Region  int
 	Run     func() (cost float64, payload int)
 }
