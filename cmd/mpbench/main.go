@@ -20,6 +20,11 @@
 // virtual-time backend, reporting per-phase imbalance, utilization and
 // steal efficiency, gated against a checked-in baseline the same way.
 //
+// The -repair mode runs the deterministic repair-vs-rebuild benchmark
+// (internal/repairbench): a PRM roadmap in a scripted dynamic scenario,
+// costing each mutation step's incremental repair against a full
+// rebuild, gated on the repair speedup and a checked-in baseline.
+//
 // Each experiment prints one or more text tables whose rows/series mirror
 // the corresponding figure of "Using Load Balancing to Scalably
 // Parallelize Sampling-Based Motion Planning Algorithms" (IPDPS 2014).
@@ -41,6 +46,7 @@ import (
 	"parmp/internal/experiments"
 	"parmp/internal/kernelbench"
 	"parmp/internal/metrics"
+	"parmp/internal/repairbench"
 )
 
 func main() {
@@ -60,6 +66,11 @@ func main() {
 	balanceBaseline := flag.String("balance-baseline", "", "with -balance, compare against this baseline JSON file")
 	balanceMaxRegress := flag.Float64("balance-max-regress", 0.10, "with -balance-baseline, exit non-zero if the construct CV or total virtual time regresses by more than this fraction")
 	balanceMaxUtilDrop := flag.Float64("balance-max-util-drop", 0.05, "with -balance-baseline, exit non-zero if mean utilization drops by more than this many absolute points")
+	repair := flag.String("repair", "", "run the deterministic repair-vs-rebuild benchmark and write BENCH_repair.json to this file (\"-\" for stdout)")
+	repairScenario := flag.String("repair-scenario", "warehouse-forklift", "with -repair, the dynamic scenario to play")
+	repairBaseline := flag.String("repair-baseline", "", "with -repair, compare against this baseline JSON file")
+	repairMinSpeedup := flag.Float64("repair-min-speedup", 1, "with -repair, exit non-zero if the mean repair speedup falls below this floor")
+	repairMaxRegress := flag.Float64("repair-max-regress", 0.10, "with -repair-baseline, exit non-zero if the total repair makespan regresses by more than this fraction")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
 	flag.Parse()
@@ -87,6 +98,14 @@ func main() {
 
 	if *balance != "" {
 		if err := runBalance(*balance, *balanceBaseline, *balanceMaxRegress, *balanceMaxUtilDrop); err != nil {
+			fmt.Fprintln(os.Stderr, "mpbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *repair != "" {
+		if err := runRepair(*repair, *repairScenario, *repairBaseline, *repairMinSpeedup, *repairMaxRegress); err != nil {
 			fmt.Fprintln(os.Stderr, "mpbench:", err)
 			os.Exit(1)
 		}
@@ -208,6 +227,37 @@ func runBalance(path, baselinePath string, maxRegress, maxUtilDrop float64) erro
 		MaxTimeRegress: maxRegress,
 	}
 	return gate.Check(r, &baseline)
+}
+
+// runRepair runs the deterministic repair-vs-rebuild benchmark, writes
+// BENCH_repair.json to path ("-" for stdout), and enforces the repair
+// gate: the speedup floor always, the makespan regression when a
+// baseline is given.
+func runRepair(path, scenario, baselinePath string, minSpeedup, maxRegress float64) error {
+	start := time.Now()
+	cfg := repairbench.DefaultConfig()
+	cfg.Scenario = scenario
+	r, err := repairbench.Run(cfg)
+	if err != nil {
+		return err
+	}
+	if err := repairbench.WriteFile(path, r); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "mpbench: repair %s procs=%d regions=%d rounds=%d steps=%d: repair T=%.1f vs rebuild T=%.1f, speedup mean %.1fx min %.1fx in %v\n",
+		r.Scenario, r.Procs, r.Regions, r.Rounds, len(r.Steps),
+		r.RepairTotal, r.RebuildTotal, r.SpeedupMean, r.SpeedupMin,
+		time.Since(start).Round(time.Millisecond))
+	gate := repairbench.Gate{MinSpeedup: minSpeedup, MaxRepairRegress: maxRegress}
+	var baseline *repairbench.Result
+	if baselinePath != "" {
+		b, err := repairbench.Load(baselinePath)
+		if err != nil {
+			return fmt.Errorf("bad baseline: %w", err)
+		}
+		baseline = &b
+	}
+	return gate.Check(r, baseline)
 }
 
 // kernelGates bundles the -kernels mode's regression thresholds.

@@ -70,6 +70,7 @@ func main() {
 	baseline := flag.String("baseline", "", "baseline BENCH_serve.json to gate p99 against")
 	maxRegress := flag.Float64("max-regress", 0.5, "fail when client p99 exceeds the baseline's by more than this fraction (negative = off)")
 	maxErrorRate := flag.Float64("max-error-rate", 0.001, "fail when the non-2xx rate exceeds this (negative = off)")
+	mutateEvery := flag.Int("mutate-every", 0, "roughly every N queries, drop an obstacle onto the hot path via /v1/env/mutate, probe for stale cached answers, then restore the world; the run fails on any stale path (0 = off)")
 	flag.Parse()
 
 	if *n <= 0 || *workers <= 0 || *tenants <= 0 || *hotPairs <= 0 || *coldPairs <= 0 {
@@ -155,6 +156,16 @@ func main() {
 
 	t0 := time.Now()
 	var wg sync.WaitGroup
+	var mutations, stalePaths atomic.Int64
+	var mutWG sync.WaitGroup
+	if *mutateEvery > 0 {
+		mutWG.Add(1)
+		go func() {
+			defer mutWG.Done()
+			runMutator(client, *url, specs[0], hotSet[0], len(e.Obstacles), space,
+				*mutateEvery, int64(*n), &next, &mutations, &stalePaths)
+		}()
+	}
 	for w := 0; w < *workers; w++ {
 		wg.Add(1)
 		go func() {
@@ -213,6 +224,7 @@ func main() {
 	}
 	wg.Wait()
 	elapsed := time.Since(t0)
+	mutWG.Wait()
 
 	// Summarize: client latency over every issued query, server-side
 	// percentiles over the 200s, cache-hit percentiles over the hits.
@@ -260,6 +272,8 @@ func main() {
 	if batchedN > 0 {
 		res.BatchMean = float64(batchSum) / float64(batchedN)
 	}
+	res.Mutations = mutations.Load()
+	res.StalePaths = stalePaths.Load()
 
 	fmt.Fprintf(os.Stderr, "mploadgen: %d queries in %v (%.0f qps), %d solved, %d errors (%d rejected)\n",
 		res.Queries, elapsed.Round(time.Millisecond), res.Throughput, res.Solved, res.Errors, res.Rejected)
@@ -271,6 +285,9 @@ func main() {
 	}
 	if res.CacheHit != nil {
 		fmt.Fprintf(os.Stderr, "  cache hits    : p50=%.0fµs p99=%.0fµs\n", res.CacheHit.P50, res.CacheHit.P99)
+	}
+	if *mutateEvery > 0 {
+		fmt.Fprintf(os.Stderr, "  mutations     : %d applied, %d stale paths\n", res.Mutations, res.StalePaths)
 	}
 
 	if err := servebench.WriteFile(*out, res); err != nil {
@@ -289,6 +306,114 @@ func main() {
 		fmt.Fprintln(os.Stderr, "mploadgen:", err)
 		os.Exit(1)
 	}
+	if res.StalePaths > 0 {
+		fmt.Fprintf(os.Stderr, "mploadgen: %d stale path(s) served after a committed mutation — cache invalidation is broken\n", res.StalePaths)
+		os.Exit(1)
+	}
+}
+
+// runMutator periodically walls off the hot pair's current path with a
+// sphere through POST /v1/env/mutate, probes the pair for a stale cached
+// answer (a returned path through the sphere can only be pre-mutation),
+// and restores the world by removing the sphere. The cadence tracks the
+// dispatch counter: one mutation cycle per `every` dispatched queries.
+func runMutator(client *http.Client, url string, spec serve.Spec, probe pair, removeIdx int,
+	space *parmp.Space, every int, n int64, next *atomic.Int64, mutations, stale *atomic.Int64) {
+
+	// Sphere radius: 4% of the shortest workspace span — big enough to
+	// catch the path's midpoint, small enough to leave detours open.
+	radius := space.Bounds.Hi[0] - space.Bounds.Lo[0]
+	for d := 1; d < space.Dim(); d++ {
+		if span := space.Bounds.Hi[d] - space.Bounds.Lo[d]; span < radius {
+			radius = span
+		}
+	}
+	radius *= 0.04
+
+	last := int64(0)
+	for {
+		cur := next.Load()
+		if cur >= n {
+			return
+		}
+		if cur-last < int64(every) {
+			time.Sleep(time.Millisecond)
+			continue
+		}
+		last = cur
+		// Find where the hot path currently runs; skip the cycle when the
+		// pair is unsolved (nothing cacheable to invalidate).
+		path, ok := queryPath(client, url, spec, probe)
+		if !ok || len(path) < 3 {
+			continue
+		}
+		center := path[len(path)/2]
+		add := serve.MutationSpec{Op: "add", Sphere: &serve.SphereSpec{Center: center, Radius: radius}}
+		if !postMutate(client, url, spec, add) {
+			continue // e.g. midpoint out of bounds after clamping; try next cycle
+		}
+		mutations.Add(1)
+		// This probe was issued strictly after the mutation committed: a
+		// returned path through the sphere can only be a stale cache entry.
+		if p2, ok := queryPath(client, url, spec, probe); ok && pathIntersectsSphere(p2, center, radius) {
+			stale.Add(1)
+		}
+		if postMutate(client, url, spec, serve.MutationSpec{Op: "remove", Index: removeIdx}) {
+			mutations.Add(1)
+		} else {
+			fatalf("mutator could not restore the world (remove index %d failed)", removeIdx)
+		}
+	}
+}
+
+// queryPath answers one query, returning the path and whether it solved.
+func queryPath(client *http.Client, url string, spec serve.Spec, p pair) ([][]float64, bool) {
+	body, _ := json.Marshal(serve.QueryRequest{Spec: spec, Start: p.start, Goal: p.goal})
+	resp, err := client.Post(url+"/v1/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, false
+	}
+	var ans serve.QueryResponse
+	decErr := json.NewDecoder(resp.Body).Decode(&ans)
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || decErr != nil {
+		return nil, false
+	}
+	return ans.Path, ans.OK
+}
+
+// postMutate issues one mutation, reporting whether it committed.
+func postMutate(client *http.Client, url string, spec serve.Spec, m serve.MutationSpec) bool {
+	body, _ := json.Marshal(serve.MutateRequest{Spec: spec, Mutations: []serve.MutationSpec{m}})
+	resp, err := client.Post(url+"/v1/env/mutate", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return false
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}
+
+// pathIntersectsSphere reports whether any path segment passes through
+// the sphere, by dense sampling.
+func pathIntersectsSphere(path [][]float64, center []float64, radius float64) bool {
+	const steps = 64
+	for i := 1; i < len(path); i++ {
+		a, b := path[i-1], path[i]
+		for s := 0; s <= steps; s++ {
+			t := float64(s) / steps
+			var d2 float64
+			for d := range center {
+				x := a[d] + t*(b[d]-a[d]) - center[d]
+				d2 += x * x
+			}
+			if d2 < radius*radius {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 // cornerConfig returns the configuration at fraction f of every bound's

@@ -67,10 +67,25 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "wall-clock budget for growth; on expiry the committed rounds still serve (0 = none)")
 	queries := flag.Int("queries", 0, "serve mode: answer this many random queries against the final snapshot and report latency percentiles")
 	queriesJSON := flag.String("queries-json", "", "write the serve-mode result in the BENCH_serve.json schema to this path (\"-\" = stdout), comparable with mploadgen output")
+	mutate := flag.String("mutate", "", "dynamic-world mode: play this scripted scenario's mutations after growth, repairing the roadmap incrementally each step ("+strings.Join(parmp.DynamicScenarioNames(), ", ")+"); overrides -env")
+	mutateSteps := flag.Int("mutate-steps", 4, "with -mutate, scripted mutation steps to play")
 	flag.Parse()
 
+	var mutateScript func(k int) []parmp.Mutation
 	var e *parmp.Environment
-	if *envFile != "" {
+	if *mutate != "" {
+		if *nPortfolio > 0 {
+			fmt.Fprintln(os.Stderr, "mpsolve: -mutate does not combine with -portfolio")
+			os.Exit(2)
+		}
+		sc, ok := parmp.DynamicScenarioByName(*mutate)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "mpsolve: unknown scenario %q (want %s)\n",
+				*mutate, strings.Join(parmp.DynamicScenarioNames(), ", "))
+			os.Exit(2)
+		}
+		e, mutateScript = sc.Build()
+	} else if *envFile != "" {
 		f, err := os.Open(*envFile)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "mpsolve:", err)
@@ -184,6 +199,32 @@ func main() {
 			}
 			fmt.Printf("growth      : timed out after %d/%d rounds; serving the committed roadmap\n",
 				snap.Rounds(), *rounds)
+		}
+		if mutateScript != nil {
+			// Each step is one replanning cycle: mutate the world, repair
+			// the roadmap incrementally, grow one round so freed space
+			// refills, then re-answer the query.
+			fmt.Printf("scenario    : %s, %d scripted steps\n", *mutate, *mutateSteps)
+			for k := 0; k < *mutateSteps; k++ {
+				st, err := eng.ApplyDelta(ctx, mutateScript(k)...)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "mpsolve: step %d: %v\n", k, err)
+					os.Exit(1)
+				}
+				if err := eng.Grow(ctx); err != nil && !errors.Is(err, parmp.ErrStopped) {
+					fmt.Fprintf(os.Stderr, "mpsolve: step %d: %v\n", k, err)
+					os.Exit(1)
+				}
+				s := eng.Snapshot()
+				answer := "no path"
+				if p, ok := s.Query(start, goal, 8); ok {
+					answer = fmt.Sprintf("path %d waypoints", len(p))
+				}
+				fmt.Printf("  step %d: epoch %d, checked %d nodes + %d edges, removed %d nodes + %d edges, grafted %d, repair T=%.0f — %s\n",
+					k, s.Epoch(), st.CheckedNodes, st.CheckedEdges,
+					st.RemovedNodes, st.RemovedEdges, st.Grafted, st.Makespan, answer)
+			}
+			snap = eng.Snapshot()
 		}
 	}
 	fmt.Printf("environment : %s\n", e)

@@ -28,6 +28,7 @@ type Engine struct {
 	space *Space
 
 	mu   sync.Mutex // serializes growth
+	gen  uint64     // snapshots published so far (guarded by mu)
 	prm  *core.PRMEngine
 	rrt  *core.RRTEngine
 	rrtc *core.RRTConnectEngine
@@ -80,13 +81,23 @@ func NewRRTConnectEngine(space *Space, root, goal Config, opts Options) (*Engine
 // publish builds and atomically installs a fresh snapshot of the
 // engine's committed result. Called with mu held (or before the engine
 // escapes the constructor).
-func (e *Engine) publish() {
-	s := &Snapshot{space: e.space}
+func (e *Engine) publish() { e.publishIndexed(nil) }
+
+// publishIndexed is publish with an optional pre-repaired PRM index:
+// ApplyDelta derives the new index incrementally from the old snapshot's
+// (prm.RepairIndex) instead of rebuilding component labels from scratch.
+func (e *Engine) publishIndexed(ix *prm.Index) {
+	e.gen++
+	s := &Snapshot{space: e.space, gen: e.gen, epoch: e.space.Env.Epoch}
 	switch {
 	case e.prm != nil:
 		s.rounds = e.prm.Rounds()
 		s.prmRes = e.prm.Result()
-		s.prmIx = prm.BuildIndex(s.prmRes.Roadmap)
+		if ix != nil {
+			s.prmIx = ix
+		} else {
+			s.prmIx = prm.BuildIndex(s.prmRes.Roadmap)
+		}
 	case e.rrtc != nil:
 		s.rounds = e.rrtc.Rounds()
 		s.rrtRes = e.rrtc.Result()
@@ -164,6 +175,8 @@ func (e *Engine) Snapshot() *Snapshot { return e.snap.Load() }
 type Snapshot struct {
 	space  *Space
 	rounds int
+	gen    uint64
+	epoch  uint64
 
 	prmRes *PRMResult
 	prmIx  *prm.Index
@@ -174,6 +187,19 @@ type Snapshot struct {
 
 // Rounds returns the number of growth rounds this snapshot reflects.
 func (s *Snapshot) Rounds() int { return s.rounds }
+
+// Generation identifies this snapshot within its engine: it increments
+// on every publish — growth rounds and repairs alike — so a cache keyed
+// on it invalidates whenever the engine's answers could change. (Rounds
+// is not that key: ApplyDelta publishes without growing.) Strictly
+// increasing per engine, starting at 1 for the initial empty snapshot.
+func (s *Snapshot) Generation() uint64 { return s.gen }
+
+// Epoch is the environment epoch this snapshot was planned against:
+// the number of mutations committed to the engine's world when it was
+// published. Non-decreasing per engine; a query answered by an
+// old-epoch snapshot may not reflect newer obstacles.
+func (s *Snapshot) Epoch() uint64 { return s.epoch }
 
 // PRM returns the snapshot's PRM result, or nil for RRT engines. The
 // result (roadmap included) is frozen: treat it as read-only.

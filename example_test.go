@@ -48,7 +48,7 @@ func ExamplePlanRRT() {
 		fmt.Println("error:", err)
 		return
 	}
-	path, ok := res.ExtractPath(space, parmp.V(0.7, 0.6, 0.5), nil)
+	path, ok := parmp.NewTreeIndex(res).ExtractPath(space, parmp.V(0.7, 0.6, 0.5))
 	fmt.Println("reached:", ok, "— path starts at root:", path[0].Equal(root, 1e-9))
 	// Output:
 	// reached: true — path starts at root: true

@@ -49,7 +49,7 @@ func main() {
 		res.TotalNodes(), len(res.Branches), res.TotalTime)
 
 	goal := parmp.V(0.8, 0.8, math.Pi/2) // far side, facing +y
-	path, ok := res.ExtractPath(space, goal, nil)
+	path, ok := parmp.NewTreeIndex(res).ExtractPath(space, goal)
 	if !ok {
 		log.Fatal("goal unreachable; grow more nodes per region")
 	}

@@ -57,6 +57,8 @@ type PRMEngine struct {
 	costAcc []RegionCost
 	// boundary accumulates committed cross-region edges across rounds.
 	boundary []boundaryEdge
+	// repairAcc accumulates committed ApplyDelta repair stats.
+	repairAcc RepairStats
 
 	res   *PRMResult // last committed cumulative result
 	round int        // rounds committed so far
@@ -310,6 +312,7 @@ func (e *PRMEngine) GrowRound(stop <-chan struct{}) error {
 		MigratedRegions: prev.MigratedRegions + migrated,
 		DiffusedRegions: prev.DiffusedRegions + diffused,
 		RegionCosts:     append([]RegionCost(nil), e.costAcc...),
+		Repairs:         e.repairAcc,
 		CVBefore:        prev.CVBefore,
 	}
 	if round == 0 {

@@ -45,6 +45,8 @@ type RRTConnectEngine struct {
 	// costAcc accumulates the bounded per-region construct-cost summary
 	// across committed rounds (published as Result().RegionCosts).
 	costAcc []RegionCost
+	// repairAcc accumulates committed ApplyDelta repair stats.
+	repairAcc RepairStats
 
 	res   *RRTResult // last committed cumulative result
 	round int
@@ -281,6 +283,7 @@ func (e *RRTConnectEngine) GrowRound(stop <-chan struct{}) error {
 		MigratedRegions:  prev.MigratedRegions + migrated,
 		DiffusedRegions:  prev.DiffusedRegions + diffused,
 		RegionCosts:      append([]RegionCost(nil), e.costAcc...),
+		Repairs:          e.repairAcc,
 		CVBefore:         prev.CVBefore,
 		WeightActualCorr: weightCorr,
 	}

@@ -38,6 +38,8 @@ type RRTEngine struct {
 	// costAcc accumulates the bounded per-region construct-cost summary
 	// across committed rounds (published as Result().RegionCosts).
 	costAcc []RegionCost
+	// repairAcc accumulates committed ApplyDelta repair stats.
+	repairAcc RepairStats
 
 	res   *RRTResult // last committed cumulative result
 	round int
@@ -273,6 +275,7 @@ func (e *RRTEngine) GrowRound(stop <-chan struct{}) error {
 		MigratedRegions:  prev.MigratedRegions + migrated,
 		DiffusedRegions:  prev.DiffusedRegions + diffused,
 		RegionCosts:      append([]RegionCost(nil), e.costAcc...),
+		Repairs:          e.repairAcc,
 		CVBefore:         prev.CVBefore,
 		Rewires:          prev.Rewires,
 		WeightActualCorr: weightCorr,

@@ -306,10 +306,11 @@ type PhaseBreakdown struct {
 	Redistribution   float64 // weight computation + migration (repartition)
 	NodeConnection   float64 // PRM node connection / RRT branch growth
 	RegionConnection float64 // cross-region connection
+	Repair           float64 // incremental revalidation after ApplyDelta
 	Other            float64 // barriers and merge
 }
 
 // Total sums all phases.
 func (p PhaseBreakdown) Total() float64 {
-	return p.Setup + p.Sampling + p.Redistribution + p.NodeConnection + p.RegionConnection + p.Other
+	return p.Setup + p.Sampling + p.Redistribution + p.NodeConnection + p.RegionConnection + p.Repair + p.Other
 }

@@ -41,6 +41,9 @@ type PRMResult struct {
 	// The bounded replacement for the per-task maps the retained
 	// PhaseReports drop.
 	RegionCosts []RegionCost
+	// Repairs summarizes the incremental-repair work committed by
+	// ApplyDelta calls (zero while the world never mutates).
+	Repairs RepairStats
 }
 
 // prmRegionData memoizes per-region planning output.

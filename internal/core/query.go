@@ -16,7 +16,9 @@ import (
 // Deprecated: ExtractPath re-gathers and fully sorts every tree node on
 // every call. Callers answering repeated queries against a frozen
 // result should build a TreeIndex once and use TreeIndex.ExtractPath
-// (what engine snapshots do); this remains for one-shot compatibility.
+// (what engine snapshots do). Every caller outside this method's own
+// regression tests has been migrated; ExtractPath will be removed
+// together with the next RRTResult-format change.
 func (r *RRTResult) ExtractPath(s *cspace.Space, goal cspace.Config, c *cspace.Counters) ([]cspace.Config, bool) {
 	if !s.Valid(goal, c) {
 		return nil, false

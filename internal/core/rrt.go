@@ -53,6 +53,9 @@ type RRTResult struct {
 	// that the estimator is poor (only populated when Strategy is
 	// Repartition).
 	WeightActualCorr float64
+	// Repairs summarizes the incremental-repair work committed by
+	// ApplyDelta calls (zero while the world never mutates).
+	Repairs RepairStats
 }
 
 // TotalNodes sums the nodes of all branches.

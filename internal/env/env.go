@@ -96,10 +96,24 @@ func (o SphereObstacle) Volume() float64 {
 }
 
 // Environment is a workspace: bounds plus obstacles.
+//
+// Environments are versioned: the mutation API (AddObstacle,
+// RemoveObstacle, MoveObstacle) edits the obstacle set in place, bumps
+// Epoch and returns a Delta describing the change, so downstream
+// structures (roadmaps, trees, caches) can repair incrementally instead
+// of rebuilding. An Environment is not safe for concurrent mutation;
+// long-lived services clone (Clone) before mutating so published
+// snapshots keep reading a frozen world.
 type Environment struct {
 	Name      string
 	Bounds    geom.AABB
 	Obstacles []Obstacle
+	// Epoch counts committed mutations. A freshly built environment is
+	// epoch 0; every successful AddObstacle/RemoveObstacle/MoveObstacle
+	// increments it. Snapshots carry the epoch they were planned
+	// against, which is what keys path-cache invalidation in the
+	// serving tier.
+	Epoch uint64
 }
 
 // Dim returns the workspace dimension.

@@ -310,8 +310,9 @@ func ConnectBoundaryArena(s *cspace.Space, aNodes, bNodes []Node, k, maxSources 
 // Deprecated: Query re-gathers every roadmap point and rebuilds the
 // kd-tree per call. Build an Index once and use Index.Query, which is
 // non-mutating, concurrency-safe and amortizes the build cost across
-// calls. Query remains for one-shot callers that issue a single query
-// per roadmap.
+// calls. Every caller outside this function's own regression tests has
+// been migrated (the public parmp.Query now routes through BuildIndex);
+// Query will be removed together with the next roadmap-format change.
 func Query(s *cspace.Space, m *Roadmap, start, goal cspace.Config, k int, c *cspace.Counters) ([]cspace.Config, bool) {
 	if !s.Valid(start, c) || !s.Valid(goal, c) {
 		return nil, false

@@ -1,0 +1,222 @@
+package prm
+
+import (
+	"sort"
+
+	"parmp/internal/cspace"
+	"parmp/internal/geom"
+	"parmp/internal/graph"
+	"parmp/internal/knn"
+)
+
+// RegionRepair is the product of re-validating one region's committed
+// nodes and local edges against an environment delta: survival marks
+// plus the collision work spent, which feeds the load accounting the
+// same way construction work does (repair concentrates around the
+// mutated obstacle, so its distribution is exactly the skewed workload
+// the observed-cost balancer handles).
+type RegionRepair struct {
+	// Alive[i] reports node i survived (configuration still free).
+	Alive []bool
+	// KeepEdge[j] reports local edge j survived (both endpoints alive
+	// and the sweep still valid).
+	KeepEdge []bool
+	// CheckedNodes / CheckedEdges count the candidates that actually
+	// paid a collision re-check (culled ones are free).
+	CheckedNodes, CheckedEdges int
+	// DeadNodes / DeadEdges count the casualties.
+	DeadNodes, DeadEdges int
+	Work                 cspace.Counters
+}
+
+// RevalidateRegion re-checks one region's nodes and local edges against
+// dc. candidates, when non-nil, lists the only node indices that can
+// have been invalidated (from a kd radius query over the committed
+// snapshot); nil screens every node through the checker's cull. Edges
+// are screened geometrically regardless — an edge can cross the delta
+// with both endpoints far outside it.
+func RevalidateRegion(dc *cspace.DeltaChecker, nodes []Node, edges [][2]int, candidates []int) RegionRepair {
+	rr := RegionRepair{
+		Alive:    make([]bool, len(nodes)),
+		KeepEdge: make([]bool, len(edges)),
+	}
+	for i := range rr.Alive {
+		rr.Alive[i] = true
+	}
+	check := func(i int) {
+		if !dc.ConfigAffected(nodes[i].Q) {
+			return
+		}
+		rr.CheckedNodes++
+		if !dc.ConfigStillFree(nodes[i].Q, &rr.Work) {
+			rr.Alive[i] = false
+			rr.DeadNodes++
+		}
+	}
+	if candidates != nil {
+		for _, i := range candidates {
+			check(i)
+		}
+	} else {
+		for i := range nodes {
+			check(i)
+		}
+	}
+	for j, ed := range edges {
+		a, b := ed[0], ed[1]
+		if !rr.Alive[a] || !rr.Alive[b] {
+			rr.DeadEdges++
+			continue
+		}
+		if !dc.EdgeAffected(nodes[a].Q, nodes[b].Q) {
+			rr.KeepEdge[j] = true
+			continue
+		}
+		rr.CheckedEdges++
+		if dc.EdgeStillFree(nodes[a].Q, nodes[b].Q, &rr.Work) {
+			rr.KeepEdge[j] = true
+		} else {
+			rr.DeadEdges++
+		}
+	}
+	return rr
+}
+
+// AffectedVertices returns the indices of roadmap vertices whose
+// validity the delta may have changed — a superset by construction
+// (culling is conservative), so callers re-check members and trust
+// non-members. When the checker offers a cull ball (point-robot
+// C-spaces) the selection is a kd radius query over the index's
+// committed tree, filtered through the tighter box test; otherwise it
+// degrades to a scan. Sorted ascending. A nil return means "nothing
+// affected".
+func (ix *Index) AffectedVertices(dc *cspace.DeltaChecker) []int {
+	if !dc.Invalidating() {
+		return nil
+	}
+	if center, radius, ok := dc.CullBall(); ok {
+		hits, _ := ix.tree.Radius(center, radius)
+		out := make([]int, 0, len(hits))
+		for _, h := range hits {
+			if dc.ConfigAffected(ix.pts[h.Index]) {
+				out = append(out, h.Index)
+			}
+		}
+		sort.Ints(out)
+		return out
+	}
+	var out []int
+	for i, p := range ix.pts {
+		if dc.ConfigAffected(p) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// RelabelScoped computes connected-component labels for a repaired
+// roadmap without touching the components the repair left alone.
+// oldLabel maps each vertex of m to its pre-repair component label and
+// touched marks the old labels whose components lost a vertex or an
+// edge. Vertices of untouched components keep their old connectivity —
+// repair only removes, and every edge was intra-component, so an
+// untouched component is bit-identical to before — and get their old
+// label compacted into the new dense label space. Touched components
+// are relabeled by a union-find restricted to their own vertices and
+// surviving edges, which is where splits appear (a door closing severs
+// the two sides of the passage).
+func RelabelScoped(m *Roadmap, oldLabel []int, touched []bool) (labels []int, comps int) {
+	n := m.NumNodes()
+	labels = make([]int, n)
+	// Dense relabeling for the untouched components, in old-label order.
+	remap := make(map[int]int)
+	for v := 0; v < n; v++ {
+		ol := oldLabel[v]
+		if ol >= 0 && ol < len(touched) && touched[ol] {
+			labels[v] = -1 // relabel below
+			continue
+		}
+		nl, ok := remap[ol]
+		if !ok {
+			nl = comps
+			comps++
+			remap[ol] = nl
+		}
+		labels[v] = nl
+	}
+	// Union-find over the touched vertices only.
+	var touchedVerts []int
+	for v := 0; v < n; v++ {
+		if labels[v] == -1 {
+			touchedVerts = append(touchedVerts, v)
+		}
+	}
+	if len(touchedVerts) == 0 {
+		return labels, comps
+	}
+	local := make(map[int]int, len(touchedVerts))
+	for i, v := range touchedVerts {
+		local[v] = i
+	}
+	uf := graph.NewUnionFind(len(touchedVerts))
+	for _, v := range touchedVerts {
+		for _, e := range m.G.Neighbors(graph.ID(v)) {
+			w := int(e.To)
+			if w < v {
+				continue // each undirected edge once
+			}
+			if lw, ok := local[w]; ok {
+				uf.Union(local[v], lw)
+			}
+		}
+	}
+	fresh := make(map[int]int)
+	for i, v := range touchedVerts {
+		root := uf.Find(i)
+		nl, ok := fresh[root]
+		if !ok {
+			nl = comps
+			comps++
+			fresh[root] = nl
+		}
+		labels[v] = nl
+	}
+	return labels, comps
+}
+
+// RepairIndex builds the query index for a repaired roadmap m from the
+// pre-repair index: remap maps old vertex ids to new ones (-1 =
+// removed) and touchedVerts lists old vertex ids whose components lost
+// a vertex or an edge. Labels carry over for untouched components (the
+// scoped relabel), only the kd-tree and the touched components rebuild.
+func RepairIndex(old *Index, m *Roadmap, remap []int, touchedVerts []int) *Index {
+	touched := make([]bool, old.comps)
+	for _, v := range touchedVerts {
+		touched[old.labels[v]] = true
+	}
+	oldLabelOfNew := make([]int, m.NumNodes())
+	for oldID, newID := range remap {
+		if newID >= 0 {
+			oldLabelOfNew[newID] = old.labels[oldID]
+		}
+	}
+	labels, comps := RelabelScoped(m, oldLabelOfNew, touched)
+	return IndexFromParts(m, labels, comps)
+}
+
+// IndexFromParts builds a query index over a repaired roadmap from
+// precomputed component labels (the scoped relabel), rebuilding only
+// the kd-tree — the one structure whose point set changed.
+func IndexFromParts(m *Roadmap, labels []int, comps int) *Index {
+	pts := make([]geom.Vec, m.NumNodes())
+	for i := range pts {
+		pts[i] = m.G.Vertex(graph.ID(i)).Q
+	}
+	return &Index{
+		m:      m,
+		pts:    pts,
+		tree:   knn.BuildParallel(pts, 0),
+		labels: labels,
+		comps:  comps,
+	}
+}

@@ -1,0 +1,71 @@
+package repairbench
+
+import (
+	"bytes"
+	"testing"
+)
+
+// The virtual-time benchmark is bit-stable: two runs of the same config
+// serialize identically, so the CI gate never sees noise.
+func TestRepairBenchDeterministic(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Steps = 2 // keep the test cheap; determinism is step-count independent
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ba, bb bytes.Buffer
+	if err := Write(&ba, a); err != nil {
+		t.Fatal(err)
+	}
+	if err := Write(&bb, b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ba.Bytes(), bb.Bytes()) {
+		t.Fatal("two identical runs serialized differently")
+	}
+}
+
+// Repair must beat rebuild on both scripted scenarios — the acceptance
+// contract the CI gate enforces.
+func TestRepairBeatsRebuild(t *testing.T) {
+	for _, scenario := range []string{"warehouse-forklift", "door"} {
+		cfg := DefaultConfig()
+		cfg.Scenario = scenario
+		r, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", scenario, err)
+		}
+		if len(r.Steps) != cfg.Steps {
+			t.Fatalf("%s: %d steps, want %d", scenario, len(r.Steps), cfg.Steps)
+		}
+		if r.RepairTotal >= r.RebuildTotal {
+			t.Fatalf("%s: repair total %.2f not below rebuild total %.2f",
+				scenario, r.RepairTotal, r.RebuildTotal)
+		}
+		if r.SpeedupMean < 1 {
+			t.Fatalf("%s: mean speedup %.2fx below 1", scenario, r.SpeedupMean)
+		}
+		if err := (Gate{MinSpeedup: 1}).Check(r, nil); err != nil {
+			t.Fatalf("%s: %v", scenario, err)
+		}
+	}
+}
+
+// The gate trips on a genuine regression and stays quiet otherwise.
+func TestRepairGate(t *testing.T) {
+	base := Result{RepairTotal: 100, SpeedupMean: 5}
+	good := Result{RepairTotal: 105, SpeedupMean: 4}
+	if err := (Gate{MinSpeedup: 1, MaxRepairRegress: 0.10}).Check(good, &base); err != nil {
+		t.Fatalf("good run tripped the gate: %v", err)
+	}
+	slow := Result{RepairTotal: 150, SpeedupMean: 0.8}
+	err := (Gate{MinSpeedup: 1, MaxRepairRegress: 0.10}).Check(slow, &base)
+	if err == nil {
+		t.Fatal("regressed run passed the gate")
+	}
+}

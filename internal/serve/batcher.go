@@ -114,7 +114,10 @@ func (t *tenant) coalesce(batch []*request) []*request {
 // concurrent rollover drops rather than poisons them.
 func (t *tenant) serveBatch(batch []*request) {
 	snap := t.eng.Snapshot()
-	gen := int64(snap.Rounds())
+	// Generation, not rounds: a mutate publishes a repaired snapshot
+	// without growing, and pre-mutation paths must not survive it.
+	gen := int64(snap.Generation())
+	rounds := snap.Rounds()
 	size := len(batch)
 	var misses []*request
 	for _, r := range batch {
@@ -125,7 +128,7 @@ func (t *tenant) serveBatch(batch []*request) {
 		}
 		if path, ok := t.cache.get(r.key, gen); ok {
 			t.cacheHits.Add(1)
-			r.respond(response{path: path, ok: true, cacheHit: true, batchSize: size, rounds: int(gen)})
+			r.respond(response{path: path, ok: true, cacheHit: true, batchSize: size, rounds: rounds})
 			continue
 		}
 		misses = append(misses, r)
@@ -152,7 +155,7 @@ func (t *tenant) serveBatch(batch []*request) {
 			if oks[i] {
 				t.cache.put(r.key, gen, paths[i])
 			}
-			r.respond(response{path: paths[i], ok: oks[i], batchSize: size, rounds: int(gen)})
+			r.respond(response{path: paths[i], ok: oks[i], batchSize: size, rounds: rounds})
 		}
 	}
 }

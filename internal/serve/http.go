@@ -62,6 +62,81 @@ type BatchResponse struct {
 	ServeUS float64         `json:"serve_us"`
 }
 
+// MutateRequest is the body of POST /v1/env/mutate: the tenant spec
+// plus an ordered mutation batch, applied atomically (all commit or the
+// tenant's world is untouched).
+type MutateRequest struct {
+	Spec      Spec           `json:"spec"`
+	Mutations []MutationSpec `json:"mutations"`
+}
+
+// MutationSpec is one environment edit in a mutate request. Op selects
+// the kind and which fields are read:
+//
+//	"add"     Box or Sphere (exactly one)
+//	"remove"  Index
+//	"move"    Index, By
+type MutationSpec struct {
+	Op     string      `json:"op"`
+	Box    *BoxSpec    `json:"box,omitempty"`
+	Sphere *SphereSpec `json:"sphere,omitempty"`
+	Index  int         `json:"index,omitempty"`
+	By     []float64   `json:"by,omitempty"`
+}
+
+// BoxSpec is an axis-aligned box obstacle spanning [lo, hi].
+type BoxSpec struct {
+	Lo []float64 `json:"lo"`
+	Hi []float64 `json:"hi"`
+}
+
+// SphereSpec is a sphere obstacle.
+type SphereSpec struct {
+	Center []float64 `json:"center"`
+	Radius float64   `json:"radius"`
+}
+
+// mutation converts the wire spec to a parmp.Mutation, or rejects it.
+func (m MutationSpec) mutation() (parmp.Mutation, error) {
+	switch m.Op {
+	case "add":
+		switch {
+		case m.Box != nil && m.Sphere == nil:
+			return parmp.AddObstacle{Obstacle: parmp.NewBoxObstacle(m.Box.Lo, m.Box.Hi)}, nil
+		case m.Sphere != nil && m.Box == nil:
+			return parmp.AddObstacle{Obstacle: parmp.NewSphereObstacle(m.Sphere.Center, m.Sphere.Radius)}, nil
+		default:
+			return nil, fmt.Errorf(`op "add" needs exactly one of "box" or "sphere"`)
+		}
+	case "remove":
+		return parmp.RemoveObstacle{Index: m.Index}, nil
+	case "move":
+		if len(m.By) == 0 {
+			return nil, fmt.Errorf(`op "move" needs a non-empty "by" vector`)
+		}
+		return parmp.MoveObstacle{Index: m.Index, By: m.By}, nil
+	default:
+		return nil, fmt.Errorf("unknown mutation op %q (want add, remove or move)", m.Op)
+	}
+}
+
+// MutateResponse reports a committed mutation batch: the new
+// environment epoch and snapshot generation, the incremental-repair
+// work this batch cost, and the server-side latency.
+type MutateResponse struct {
+	Epoch      uint64 `json:"epoch"`
+	Generation uint64 `json:"generation"`
+	// Repair work for this batch: deltas applied, state re-validated,
+	// state removed, frontier branches regrafted.
+	Deltas       int     `json:"deltas"`
+	CheckedNodes int     `json:"checked_nodes"`
+	CheckedEdges int     `json:"checked_edges"`
+	RemovedNodes int     `json:"removed_nodes"`
+	RemovedEdges int     `json:"removed_edges"`
+	Grafted      int     `json:"grafted"`
+	ServeUS      float64 `json:"serve_us"`
+}
+
 // StatsResponse is GET /v1/stats.
 type StatsResponse struct {
 	UptimeSec float64       `json:"uptime_sec"`
@@ -78,12 +153,13 @@ const maxBodyBytes = 1 << 20
 // maxBatchQueries bounds one client-side batch.
 const maxBatchQueries = 1024
 
-// Server is the HTTP planning service: a Pool behind three endpoints.
+// Server is the HTTP planning service: a Pool behind these endpoints.
 //
-//	POST /v1/query  one query; coalesced server-side
-//	POST /v1/batch  many queries answered against one snapshot
-//	GET  /v1/stats  pool and per-tenant counters
-//	GET  /healthz   liveness
+//	POST /v1/query       one query; coalesced server-side
+//	POST /v1/batch       many queries answered against one snapshot
+//	POST /v1/env/mutate  edit a tenant's world; incremental repair
+//	GET  /v1/stats       pool and per-tenant counters
+//	GET  /healthz        liveness
 type Server struct {
 	cfg   Config
 	pool  *Pool
@@ -101,6 +177,7 @@ func New(cfg Config) *Server {
 	}
 	s.mux.HandleFunc("POST /v1/query", s.handleQuery)
 	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	s.mux.HandleFunc("POST /v1/env/mutate", s.handleMutate)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Write([]byte("ok\n"))
@@ -183,9 +260,12 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	start, goal := parmp.Config(qr.Start), parmp.Config(qr.Goal)
 	key := cacheKey(start, goal, k)
 
-	// Fast path: answer straight from the cache, before admission.
+	// Fast path: answer straight from the cache, before admission. The
+	// cache is keyed on the snapshot generation, not rounds: an
+	// environment mutation publishes a repaired snapshot without growing,
+	// and its paths must not be served from the pre-mutation cache.
 	snap := t.eng.Snapshot()
-	if path, ok := t.cache.get(key, int64(snap.Rounds())); ok {
+	if path, ok := t.cache.get(key, int64(snap.Generation())); ok {
 		t.queries.Add(1)
 		t.cacheHits.Add(1)
 		writeJSON(w, http.StatusOK, QueryResponse{
@@ -259,7 +339,8 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	snap := t.eng.Snapshot()
-	gen := int64(snap.Rounds())
+	gen := int64(snap.Generation())
+	rounds := snap.Rounds()
 	grown := t.growDone.Load()
 	results := make([]QueryResponse, len(br.Queries))
 	t.queries.Add(int64(len(br.Queries)))
@@ -275,7 +356,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		keys[i] = cacheKey(parmp.Config(q.Start), parmp.Config(q.Goal), k)
 		if path, ok := t.cache.get(keys[i], gen); ok {
 			t.cacheHits.Add(1)
-			results[i] = QueryResponse{OK: true, Path: pathFloats(path), Rounds: int(gen), GrowDone: grown, CacheHit: true}
+			results[i] = QueryResponse{OK: true, Path: pathFloats(path), Rounds: rounds, GrowDone: grown, CacheHit: true}
 			continue
 		}
 		byK[k] = append(byK[k], i)
@@ -296,11 +377,75 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			}
 			results[i] = QueryResponse{
 				OK: oks[j], Path: pathFloats(paths[j]),
-				Rounds: int(gen), GrowDone: grown, BatchSize: len(idxs),
+				Rounds: rounds, GrowDone: grown, BatchSize: len(idxs),
 			}
 		}
 	}
 	writeJSON(w, http.StatusOK, BatchResponse{Results: results, ServeUS: us(time.Since(t0))})
+}
+
+// handleMutate edits a tenant's environment through the engine's
+// incremental repair path. Mutations in one request commit atomically;
+// a rejected mutation (unknown op, degenerate obstacle, bad index,
+// out-of-bounds move) is a 400 with the world untouched. On commit the
+// path cache is retagged to the repaired snapshot's generation, so no
+// query answered after this response can carry a pre-mutation path.
+func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
+	t0 := time.Now()
+	var mr MutateRequest
+	if !decode(w, r, &mr) {
+		return
+	}
+	if len(mr.Mutations) == 0 {
+		writeError(w, http.StatusBadRequest, "empty mutation batch")
+		return
+	}
+	muts := make([]parmp.Mutation, len(mr.Mutations))
+	for i, ms := range mr.Mutations {
+		m, err := ms.mutation()
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "mutation %d: %v", i, err)
+			return
+		}
+		muts[i] = m
+	}
+	t := s.tenantFor(w, mr.Spec)
+	if t == nil {
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
+
+	// Serialize mutations per tenant: concurrent mutate requests apply
+	// in some order, each seeing the world the previous one left.
+	t.mu.Lock()
+	rep, err := t.eng.ApplyDelta(ctx, muts...)
+	if err != nil {
+		t.mu.Unlock()
+		switch {
+		case errors.Is(err, parmp.ErrStopped):
+			writeError(w, http.StatusRequestTimeout, "mutation timed out; world unchanged: %v", err)
+		default:
+			writeError(w, http.StatusBadRequest, "%v", err)
+		}
+		return
+	}
+	snap := t.eng.Snapshot()
+	t.cache.invalidate(int64(snap.Generation()))
+	t.mu.Unlock()
+	t.repairs.Add(1)
+	t.repairUS.Add(time.Since(t0).Microseconds())
+	writeJSON(w, http.StatusOK, MutateResponse{
+		Epoch:        snap.Epoch(),
+		Generation:   snap.Generation(),
+		Deltas:       rep.Deltas,
+		CheckedNodes: rep.CheckedNodes,
+		CheckedEdges: rep.CheckedEdges,
+		RemovedNodes: rep.RemovedNodes,
+		RemovedEdges: rep.RemovedEdges,
+		Grafted:      rep.Grafted,
+		ServeUS:      us(time.Since(t0)),
+	})
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,175 @@
+package serve
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// The mutate endpoint's core guarantee: once the mutate response has
+// committed, no query — cached or planned — returns a path through the
+// new obstacle. This is the serve-tier stale-path gate.
+func TestServeMutateStaleQueryNeverServed(t *testing.T) {
+	cfg := testConfig()
+	cfg.GrowRounds = 2
+	srv := New(cfg)
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	spec := Spec{Env: "free", Procs: 4, Regions: 32, Samples: 10, Rounds: 2}
+	q := QueryRequest{
+		Spec:  spec,
+		Start: []float64{0.05, 0.5, 0.5},
+		Goal:  []float64{0.95, 0.5, 0.5},
+	}
+	postJSON(t, ts.Client(), ts.URL+"/v1/query", q, nil)
+	waitGrown(t, ts.Client(), ts.URL, 10*time.Second)
+
+	// Solve once, then again so the answer is warm in the path cache.
+	var qr QueryResponse
+	code, _ := postJSON(t, ts.Client(), ts.URL+"/v1/query", q, &qr)
+	if code != http.StatusOK || !qr.OK {
+		t.Fatalf("pre-mutation query: status %d ok=%v", code, qr.OK)
+	}
+	code, _ = postJSON(t, ts.Client(), ts.URL+"/v1/query", q, &qr)
+	if code != http.StatusOK || !qr.OK || !qr.CacheHit {
+		t.Fatalf("pre-mutation repeat: status %d ok=%v cache_hit=%v", code, qr.OK, qr.CacheHit)
+	}
+
+	// Wall off the workspace: a full-height slab across x. Every
+	// start-to-goal path crosses it, so the cached path is now a lie.
+	mreq := MutateRequest{Spec: spec, Mutations: []MutationSpec{{
+		Op:  "add",
+		Box: &BoxSpec{Lo: []float64{0.45, 0, 0}, Hi: []float64{0.55, 1, 1}},
+	}}}
+	var mr MutateResponse
+	code, _ = postJSON(t, ts.Client(), ts.URL+"/v1/env/mutate", mreq, &mr)
+	if code != http.StatusOK {
+		t.Fatalf("mutate: status %d", code)
+	}
+	if mr.Epoch != 1 {
+		t.Fatalf("epoch = %d, want 1", mr.Epoch)
+	}
+	if mr.Deltas != 1 {
+		t.Fatalf("deltas = %d, want 1", mr.Deltas)
+	}
+	if mr.RemovedNodes+mr.RemovedEdges == 0 {
+		t.Fatal("a full slab through a free-space roadmap removed nothing")
+	}
+
+	// The same query must now miss — and must not be a cache hit.
+	code, _ = postJSON(t, ts.Client(), ts.URL+"/v1/query", q, &qr)
+	if code != http.StatusOK {
+		t.Fatalf("post-mutation query: status %d", code)
+	}
+	if qr.OK || qr.CacheHit {
+		t.Fatalf("stale path served after mutation: ok=%v cache_hit=%v", qr.OK, qr.CacheHit)
+	}
+	// Batch path too: same generation-keyed cache, same gate.
+	var br BatchResponse
+	code, _ = postJSON(t, ts.Client(), ts.URL+"/v1/batch", BatchRequest{
+		Spec:    spec,
+		Queries: []BatchQuery{{Start: q.Start, Goal: q.Goal}},
+	}, &br)
+	if code != http.StatusOK || len(br.Results) != 1 {
+		t.Fatalf("post-mutation batch: status %d results %d", code, len(br.Results))
+	}
+	if br.Results[0].OK {
+		t.Fatal("batch served a stale path after mutation")
+	}
+
+	// Stats surface the dynamic-world accounting.
+	stats := srv.Pool().Stats()
+	if len(stats) != 1 {
+		t.Fatalf("tenants = %d, want 1", len(stats))
+	}
+	st := stats[0]
+	if st.Epoch != 1 || st.Repairs != 1 {
+		t.Fatalf("stats epoch=%d repairs=%d, want 1 and 1", st.Epoch, st.Repairs)
+	}
+	if st.RepairUS <= 0 {
+		t.Fatal("stats recorded no repair latency")
+	}
+	if st.Generation < 3 {
+		t.Fatalf("generation = %d, want >= 3 (build + grow + mutate)", st.Generation)
+	}
+}
+
+// Invalid mutation batches are client errors with the world untouched.
+func TestServeMutateRejectsInvalid(t *testing.T) {
+	srv := New(testConfig())
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	spec := Spec{Env: "free", Procs: 2, Regions: 16, Samples: 4}
+	bad := []struct {
+		name string
+		muts []MutationSpec
+	}{
+		{"empty batch", nil},
+		{"unknown op", []MutationSpec{{Op: "teleport"}}},
+		{"add without shape", []MutationSpec{{Op: "add"}}},
+		{"add with two shapes", []MutationSpec{{
+			Op:     "add",
+			Box:    &BoxSpec{Lo: []float64{0, 0, 0}, Hi: []float64{0.1, 0.1, 0.1}},
+			Sphere: &SphereSpec{Center: []float64{0.5, 0.5, 0.5}, Radius: 0.1},
+		}}},
+		{"degenerate sphere", []MutationSpec{{Op: "add", Sphere: &SphereSpec{Center: []float64{0.5, 0.5, 0.5}}}}},
+		{"remove missing index", []MutationSpec{{Op: "remove", Index: 7}}},
+		{"move without by", []MutationSpec{{Op: "move", Index: 0}}},
+		{"atomic batch with bad tail", []MutationSpec{
+			{Op: "add", Sphere: &SphereSpec{Center: []float64{0.5, 0.5, 0.5}, Radius: 0.1}},
+			{Op: "remove", Index: 9},
+		}},
+	}
+	for _, tc := range bad {
+		var er errorResponse
+		code, _ := postJSON(t, ts.Client(), ts.URL+"/v1/env/mutate", MutateRequest{Spec: spec, Mutations: tc.muts}, &er)
+		if code != http.StatusBadRequest {
+			t.Fatalf("%s: status %d (%s), want 400", tc.name, code, er.Error)
+		}
+	}
+	// Every rejection left the world at epoch 0 — including the atomic
+	// batch whose first mutation was valid.
+	for _, st := range srv.Pool().Stats() {
+		if st.Epoch != 0 || st.Repairs != 0 {
+			t.Fatalf("rejected mutations moved the world: epoch=%d repairs=%d", st.Epoch, st.Repairs)
+		}
+	}
+}
+
+// A portfolio tenant takes mutations too: every racer repairs, the
+// winner's snapshot reflects the new epoch, and stats agree.
+func TestServeMutatePortfolioTenant(t *testing.T) {
+	srv := New(testConfig())
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	start, goal := []float64{0.05, 0.05, 0.05}, []float64{0.95, 0.95, 0.95}
+	spec := Spec{Env: "free", Portfolio: 2, Root: start, Goal: goal, Procs: 2, Regions: 16, Samples: 8}
+	postJSON(t, ts.Client(), ts.URL+"/v1/query", QueryRequest{Spec: spec, Start: start, Goal: goal}, nil)
+	waitGrown(t, ts.Client(), ts.URL, 30*time.Second)
+
+	var mr MutateResponse
+	code, _ := postJSON(t, ts.Client(), ts.URL+"/v1/env/mutate", MutateRequest{
+		Spec: spec,
+		Mutations: []MutationSpec{{
+			Op:     "add",
+			Sphere: &SphereSpec{Center: []float64{0.5, 0.9, 0.5}, Radius: 0.05},
+		}},
+	}, &mr)
+	if code != http.StatusOK {
+		t.Fatalf("portfolio mutate: status %d", code)
+	}
+	if mr.Epoch != 1 {
+		t.Fatalf("epoch = %d, want 1", mr.Epoch)
+	}
+	st := srv.Pool().Stats()[0]
+	if st.Epoch != 1 || st.Repairs != 1 {
+		t.Fatalf("stats epoch=%d repairs=%d, want 1 and 1", st.Epoch, st.Repairs)
+	}
+}

@@ -13,11 +13,13 @@ import (
 
 // engine is what a tenant serves: a plain parmp.Engine or a
 // parmp.Portfolio, both of which grow round-by-round under cooperative
-// cancellation and publish immutable snapshots.
+// cancellation, accept environment mutations with incremental repair,
+// and publish immutable snapshots.
 type engine interface {
 	Grow(ctx context.Context) error
 	Rounds() int
 	Snapshot() *parmp.Snapshot
+	ApplyDelta(ctx context.Context, muts ...parmp.Mutation) (parmp.RepairStats, error)
 }
 
 // Pool owns the server's engines: one tenant per canonical spec,
@@ -68,6 +70,11 @@ type tenant struct {
 	batched   atomic.Int64 // requests served through batches
 	growDone  atomic.Bool
 	growErr   atomic.Pointer[error] // terminal (non-cancellation) Grow failure
+
+	// Environment-mutation accounting (POST /v1/env/mutate).
+	mu       sync.Mutex   // serializes ApplyDelta per tenant
+	repairs  atomic.Int64 // committed mutate requests
+	repairUS atomic.Int64 // cumulative wall-clock repair latency, microseconds
 }
 
 // errTenantClosed is returned to requests stranded in the queue of a
@@ -238,7 +245,7 @@ func (t *tenant) growLoop() {
 			t.growErr.Store(&err)
 			return
 		}
-		t.cache.invalidate(int64(t.eng.Snapshot().Rounds()))
+		t.cache.invalidate(int64(t.eng.Snapshot().Generation()))
 		if iv := t.pool.cfg.GrowInterval; iv > 0 {
 			select {
 			case <-time.After(iv):
@@ -269,6 +276,16 @@ type TenantStats struct {
 	Batches   int64  `json:"batches"`
 	Batched   int64  `json:"batched"`
 	QueueLen  int    `json:"queue_len"`
+	// Dynamic-world accounting: the snapshot's environment epoch and
+	// publish generation, mutate-request count, cumulative wall-clock
+	// repair latency and the repair work committed so far (virtual
+	// makespan plus node/edge casualties).
+	Epoch          uint64  `json:"epoch"`
+	Generation     uint64  `json:"generation"`
+	Repairs        int64   `json:"repairs,omitempty"`
+	RepairUS       float64 `json:"repair_us,omitempty"`
+	RepairMakespan float64 `json:"repair_makespan,omitempty"`
+	RepairRemoved  int     `json:"repair_removed,omitempty"`
 	// Portfolio tenants additionally report the race's progress.
 	Racers   int `json:"racers,omitempty"`
 	Waves    int `json:"waves,omitempty"`
@@ -315,6 +332,18 @@ func (p *Pool) Stats() []TenantStats {
 				snap := t.eng.Snapshot()
 				st.Rounds = snap.Rounds()
 				st.Nodes = snap.NumNodes()
+				st.Epoch = snap.Epoch()
+				st.Generation = snap.Generation()
+				st.Repairs = t.repairs.Load()
+				st.RepairUS = float64(t.repairUS.Load())
+				var rep parmp.RepairStats
+				if r := snap.PRM(); r != nil {
+					rep = r.Repairs
+				} else if r := snap.RRT(); r != nil {
+					rep = r.Repairs
+				}
+				st.RepairMakespan = rep.Makespan
+				st.RepairRemoved = rep.RemovedNodes + rep.RemovedEdges
 				if pf, ok := t.eng.(*parmp.Portfolio); ok {
 					ps := pf.Stats()
 					st.Racers = ps.Racers

@@ -80,6 +80,12 @@ type Result struct {
 	// BatchMean is the mean coalesced batch size over non-cache-hit
 	// queries, as reported by the server.
 	BatchMean float64 `json:"batch_mean,omitempty"`
+	// Mutations counts environment mutations issued during the run
+	// (mploadgen -mutate-every); StalePaths counts probe responses that
+	// returned a path through a freshly-added obstacle — any nonzero
+	// value is a cache-invalidation bug.
+	Mutations  int64 `json:"mutations,omitempty"`
+	StalePaths int64 `json:"stale_paths,omitempty"`
 }
 
 // Write marshals r as indented JSON.

@@ -113,9 +113,12 @@ func PlanRRTConnect(space *Space, root, goal Config, opts Options) (*RRTResult, 
 func PlannerNames() []string { return []string{"prm", "rrt", "rrtconnect"} }
 
 // Query connects start and goal to a roadmap (each to its k nearest
-// nodes) and extracts a path, returning ok=false if none exists.
+// nodes) and extracts a path, returning ok=false if none exists. It
+// builds a throwaway index per call, so it suits one-shot queries;
+// answering several queries against the same roadmap is cheaper through
+// NewRoadmapIndex (or an Engine snapshot, which holds one already).
 func Query(space *Space, m *Roadmap, start, goal Config, k int) ([]Config, bool) {
-	return prm.Query(space, m, start, goal, k, nil)
+	return prm.BuildIndex(m).Query(space, start, goal, k, nil)
 }
 
 // NewPointSpace returns the C-space of a point robot in e.

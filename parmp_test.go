@@ -144,7 +144,7 @@ func TestPublicRRTStarAndExtract(t *testing.T) {
 	if res.Rewires == 0 {
 		t.Fatal("RRT* should rewire in free space")
 	}
-	path, ok := res.ExtractPath(space, V(0.6, 0.55, 0.5), nil)
+	path, ok := NewTreeIndex(res).ExtractPath(space, V(0.6, 0.55, 0.5))
 	if !ok || len(path) < 2 {
 		t.Fatalf("extract failed: ok=%v len=%d", ok, len(path))
 	}
